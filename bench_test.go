@@ -1,0 +1,425 @@
+package pegasus
+
+// One benchmark per evaluation artefact of the paper (DESIGN.md §3,
+// E1–E13), each wrapping the corresponding harness in
+// internal/experiments, plus micro-benchmarks for the substrates.
+// Virtual-time results (the paper-facing numbers) are attached via
+// b.ReportMetric; wall-clock ns/op measures the simulator itself.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/atm"
+	"repro/internal/disk"
+	"repro/internal/experiments"
+	"repro/internal/fabric"
+	"repro/internal/fileserver"
+	"repro/internal/invoke"
+	"repro/internal/lfs"
+	"repro/internal/media"
+	"repro/internal/names"
+	"repro/internal/nemesis"
+	"repro/internal/raid"
+	"repro/internal/rpc"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/tertiary"
+)
+
+func BenchmarkE1TileVsFrameLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.E1TileLatency()
+	}
+}
+
+func BenchmarkE2DisplayMux(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.E2DisplayMux()
+	}
+}
+
+func BenchmarkE3ZeroCopyPath(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.E3ZeroCopy()
+	}
+}
+
+func BenchmarkE4Scheduling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.E4Scheduling()
+	}
+}
+
+func BenchmarkE5Events(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.E5Events()
+	}
+}
+
+func BenchmarkE6AddressSpace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.E6AddressSpace()
+	}
+}
+
+func BenchmarkE7Invocation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.E7Invocation()
+	}
+}
+
+func BenchmarkE8Naming(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.E8Naming()
+	}
+}
+
+func BenchmarkE9SegmentIO(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.E9SegmentIO()
+	}
+}
+
+func BenchmarkE10Cleaner(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.E10Cleaner()
+	}
+}
+
+func BenchmarkE11WriteBuffering(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.E11WriteBuffering()
+	}
+}
+
+func BenchmarkE12FaultTolerance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.E12FaultTolerance()
+	}
+}
+
+func BenchmarkE13SyncAndIndex(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.E13SyncAndIndex()
+	}
+}
+
+func BenchmarkE14Relocation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.E14Relocation()
+	}
+}
+
+func BenchmarkE15CachePolicy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.E15CachePolicy()
+	}
+}
+
+func BenchmarkE16PowerFailure(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.E16PowerFailure()
+	}
+}
+
+func BenchmarkE17TertiaryStorage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.E17TertiaryStorage()
+	}
+}
+
+func BenchmarkE18Admission(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.E18Admission()
+	}
+}
+
+// --- substrate micro-benchmarks -------------------------------------
+
+// BenchmarkSimEvents measures the discrete-event engine itself.
+func BenchmarkSimEvents(b *testing.B) {
+	s := sim.New()
+	var fire func()
+	n := 0
+	fire = func() {
+		n++
+		if n < b.N {
+			s.After(1, fire)
+		}
+	}
+	b.ResetTimer()
+	s.After(1, fire)
+	s.Run()
+}
+
+// BenchmarkSwitchForwarding measures cell switching (wall clock per
+// simulated cell hop).
+func BenchmarkSwitchForwarding(b *testing.B) {
+	s := sim.New()
+	sw := fabric.NewSwitch(s, "sw", 2, sim.Microsecond)
+	sink := fabric.HandlerFunc(func(atm.Cell) {})
+	sw.AttachOutput(1, fabric.NewLink(s, fabric.Rate100M, 0, 0, sink))
+	in := fabric.NewLink(s, fabric.Rate100M, 0, 0, sw.In(0))
+	sw.Route(0, 1, 1, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in.Send(atm.Cell{VCI: 1})
+		if i%1024 == 0 {
+			s.Run()
+		}
+	}
+	s.Run()
+}
+
+// BenchmarkCodecFrame measures the tile codec over a full 640x480 frame.
+func BenchmarkCodecFrame(b *testing.B) {
+	f := media.SyntheticFrame(640, 480, 1)
+	b.SetBytes(int64(len(f.Pix)))
+	for i := 0; i < b.N; i++ {
+		media.CompressFrame(f, 2)
+	}
+}
+
+// BenchmarkLFSWrite measures core-layer log writes, reporting the
+// virtual throughput the simulated array achieved.
+func BenchmarkLFSWrite(b *testing.B) {
+	const segSize = 1 << 20
+	s := sim.New()
+	arr := raid.New(s, disk.DefaultParams(), segSize, 512)
+	fs := lfs.New(s, arr, lfs.DefaultConfig(segSize))
+	pn := fs.Create(false)
+	buf := make([]byte, 64<<10)
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	var off int64
+	for i := 0; i < b.N; i++ {
+		if fs.FreeSegments() < 4 {
+			b.StopTimer()
+			fs.Delete(pn)
+			fs.Sync(func(error) {})
+			s.Run()
+			fs.CleanPegasus(func(lfs.CleanStats, error) {})
+			s.Run()
+			pn = fs.Create(false)
+			off = 0
+			b.StartTimer()
+		}
+		if err := fs.Write(pn, off, buf); err != nil {
+			b.Fatal(err)
+		}
+		off += int64(len(buf))
+	}
+	fs.Sync(func(error) {})
+	s.Run()
+	if sec := s.Now().Seconds(); sec > 0 {
+		b.ReportMetric(float64(fs.Stats.BytesAppended)/sec/1e6, "virtualMB/s")
+	}
+}
+
+// BenchmarkCleanerPegasusVsSprite reports cleaner CPU cost at two file
+// system sizes (the E10 ablation in bench form).
+func BenchmarkCleanerPegasusVsSprite(b *testing.B) {
+	const segSize = 64 << 10
+	for _, cfg := range []struct {
+		name    string
+		nseg    int64
+		pegasus bool
+	}{
+		{"pegasus-64seg", 64, true},
+		{"pegasus-1024seg", 1024, true},
+		{"sprite-64seg", 64, false},
+		{"sprite-1024seg", 1024, false},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			var cpu sim.Duration
+			for i := 0; i < b.N; i++ {
+				s := sim.New()
+				arr := raid.New(s, disk.DefaultParams(), segSize, cfg.nseg)
+				fs := lfs.New(s, arr, lfs.DefaultConfig(segSize))
+				var pns []lfs.Pnode
+				for j := 0; j < 8; j++ {
+					pn := fs.Create(false)
+					pns = append(pns, pn)
+					fs.Write(pn, 0, make([]byte, segSize-1024))
+				}
+				fs.Sync(func(error) {})
+				s.Run()
+				for j := 0; j < 4; j++ {
+					fs.Delete(pns[j])
+				}
+				fs.Sync(func(error) {})
+				s.Run()
+				var cs lfs.CleanStats
+				if cfg.pegasus {
+					fs.CleanPegasus(func(c lfs.CleanStats, err error) { cs = c })
+				} else {
+					fs.CleanSprite(8, func(c lfs.CleanStats, err error) { cs = c })
+				}
+				s.Run()
+				cpu = cs.CPUTime
+			}
+			b.ReportMetric(float64(cpu), "virtual-cpu-ns")
+		})
+	}
+}
+
+// BenchmarkProtectedCall measures the kernel's cross-domain call path
+// (wall clock per simulated call; virtual cost reported as a metric).
+func BenchmarkProtectedCall(b *testing.B) {
+	s := sim.New()
+	k := nemesis.NewKernel(s, nemesis.Config{SwitchCost: 10 * sim.Microsecond, SingleAddressSpace: true}, sched.NewRoundRobin())
+	iface := NewInterface("echo")
+	iface.Define("op", func(arg []byte) ([]byte, error) { return arg, nil })
+	srv := invoke.NewProtectedServer(k, "echo", nemesis.SchedParams{BestEffort: true}, iface)
+	var elapsed sim.Duration
+	k.Spawn("client", nemesis.SchedParams{BestEffort: true}, func(c *nemesis.Ctx) {
+		bnd := srv.Connect(c.Domain())
+		caller := &invoke.DomainCaller{Ctx: c}
+		t0 := c.Now()
+		for i := 0; i < b.N; i++ {
+			if _, err := bnd.Invoke(caller, "op", []byte{1}); err != nil {
+				panic(err)
+			}
+		}
+		elapsed = c.Now() - t0
+	})
+	b.ResetTimer()
+	s.Run()
+	k.Shutdown()
+	b.ReportMetric(float64(elapsed)/float64(b.N), "virtual-ns/call")
+}
+
+// BenchmarkRPCRoundTrip measures the MSNA/ANSA stack over a simulated
+// 100 Mb/s link, reporting the virtual round-trip time.
+func BenchmarkRPCRoundTrip(b *testing.B) {
+	s := sim.New()
+	ta := rpc.NewTransport(s)
+	tb := rpc.NewTransport(s)
+	ta.SetOutput(fabric.NewLink(s, fabric.Rate100M, 5*sim.Microsecond, 0, tb))
+	tb.SetOutput(fabric.NewLink(s, fabric.Rate100M, 5*sim.Microsecond, 0, ta))
+	iface := NewInterface("echo")
+	iface.Define("op", func(arg []byte) ([]byte, error) { return arg, nil })
+	rpc.NewServer(tb, 100, iface)
+	client := rpc.NewClient(ta, 100)
+	arg := make([]byte, 64)
+	start := s.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		done := false
+		client.Go("op", arg, func([]byte, error) { done = true })
+		s.Run()
+		if !done {
+			b.Fatal("call did not complete")
+		}
+	}
+	b.ReportMetric(float64(s.Now()-start)/float64(b.N), "virtual-ns/rtt")
+}
+
+// BenchmarkTapeRecall measures a cold recall through the tape-library
+// model (wall clock per simulated recall; virtual latency as a metric).
+// One item per cartridge, recalled alternately, so every recall pays a
+// robot exchange plus the wind and stream.
+func BenchmarkTapeRecall(b *testing.B) {
+	s := sim.New()
+	p := tertiary.DefaultParams()
+	p.Tapes = 2
+	p.TapeCapacity = 1 << 20 // one 1 MB item fills a cartridge
+	lib := tertiary.New(s, p)
+	data := make([]byte, 1<<20)
+	lib.Store("a", data, func(err error) {
+		if err != nil {
+			b.Fatal(err)
+		}
+	})
+	lib.Store("b", data, func(err error) {
+		if err != nil {
+			b.Fatal(err)
+		}
+	})
+	s.Run()
+	var total sim.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := "a"
+		if i%2 == 1 {
+			id = "b"
+		}
+		t0 := s.Now()
+		ok := false
+		lib.Recall(id, func(bs []byte, err error) { ok = err == nil })
+		s.Run()
+		if !ok {
+			b.Fatal("recall failed")
+		}
+		total += s.Now() - t0
+	}
+	b.ReportMetric(float64(total)/float64(b.N), "virtual-ns/recall")
+}
+
+// BenchmarkLoaderWarmReload measures the relocation cache's hit path
+// (wall clock; virtual reload cost as a metric).
+func BenchmarkLoaderWarmReload(b *testing.B) {
+	l := nemesis.NewLoader(nemesis.LoaderConfig{
+		MapCost:   200 * sim.Microsecond,
+		RelocCost: sim.Microsecond,
+	})
+	im := nemesis.Image{Name: "editor", Relocs: 30000}
+	if _, err := l.Load(im); err != nil {
+		b.Fatal(err)
+	}
+	l.Unload("editor")
+	var cost sim.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := l.Load(im)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cost = res.Cost
+		l.Unload("editor")
+	}
+	b.ReportMetric(float64(cost), "virtual-ns/reload")
+}
+
+// BenchmarkDirSemanticCache measures cached directory lookups (wall
+// clock per lookup; server trips per 1000 lookups as a metric).
+func BenchmarkDirSemanticCache(b *testing.B) {
+	s := sim.New()
+	ds := fileserver.NewDirServer(s)
+	if err := ds.MkDir("/d"); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 128; i++ {
+		ds.Insert("/d", fmt.Sprintf("f%03d", i), lfs.Pnode(100+i))
+	}
+	dc := fileserver.NewDirClient(s, ds, fileserver.SemanticDirCache)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dc.Lookup("/d", fmt.Sprintf("f%03d", i%128), func(lfs.Pnode, error) {})
+		if i%1024 == 0 {
+			s.Run()
+		}
+	}
+	s.Run()
+	if b.N > 0 {
+		b.ReportMetric(float64(dc.Stats.ServerTrips)*1000/float64(b.N), "trips/1k-lookups")
+	}
+}
+
+// BenchmarkNameResolve measures local name-space resolution (real
+// wall-clock cost of the data structure itself).
+func BenchmarkNameResolve(b *testing.B) {
+	ns := names.New()
+	iface := NewInterface("x")
+	h := LocalHandle(iface, 0)
+	if err := ns.Bind("/svc/storage/volumes/v0", h); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ns.Resolve("/svc/storage/volumes/v0"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

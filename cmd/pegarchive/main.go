@@ -1,0 +1,109 @@
+// Command pegarchive drives the Pegasus storage hierarchy end to end:
+// it formats a disk array, ingests continuous-media recordings, migrates
+// cold ones to a simulated tape library (running the one-pass cleaner as
+// segments free up), then recalls one and reports every cost involved.
+//
+// Usage:
+//
+//	pegarchive [-segs n] [-clips n] [-clipmb n] [-tapes n] [-keep n]
+//
+// All times are virtual (deterministic); see DESIGN.md §1.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/disk"
+	"repro/internal/fileserver"
+	"repro/internal/lfs"
+	"repro/internal/raid"
+	"repro/internal/sim"
+	"repro/internal/tertiary"
+)
+
+func main() {
+	segs := flag.Int64("segs", 1024, "disk array size in 64 KB segments")
+	clips := flag.Int("clips", 32, "recordings to ingest")
+	clipMB := flag.Int("clipmb", 4, "size of each recording in MB")
+	tapes := flag.Int("tapes", 8, "cartridges in the library")
+	keep := flag.Int("keep", 2, "newest recordings kept on disk")
+	flag.Parse()
+
+	const segSize = 64 << 10
+	s := sim.New()
+	arr := raid.New(s, disk.DefaultParams(), segSize, *segs)
+	fs := lfs.New(s, arr, lfs.DefaultConfig(segSize))
+	sv := fileserver.NewServer(s, fs)
+	p := tertiary.DefaultParams()
+	p.Tapes = *tapes
+	p.TapeCapacity = int64(*clips) * int64(*clipMB) << 20 / int64(*tapes) * 2
+	lib := tertiary.New(s, p)
+	mig := fileserver.NewMigrator(s, sv, lib)
+
+	diskBytes := *segs * segSize
+	fmt.Printf("array: %d segments (%.0f MB) over 4+1 disks; library: %d tapes x %.0f MB\n",
+		*segs, float64(diskBytes)/1e6, p.Tapes, float64(p.TapeCapacity)/1e6)
+
+	fail := func(stage string, err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pegarchive: %s: %v\n", stage, err)
+			os.Exit(1)
+		}
+	}
+
+	// Ingest, archiving everything older than the keep window.
+	var resident []string
+	data := make([]byte, *clipMB<<20)
+	cleans := 0
+	for i := 0; i < *clips; i++ {
+		name := fmt.Sprintf("/arc/rec%03d", i)
+		fail("create", sv.Create(name, true))
+		fail("write", sv.Write(name, 0, data))
+		var ferr error
+		sv.Flush(func(e error) { ferr = e })
+		s.Run()
+		fail("flush", ferr)
+		resident = append(resident, name)
+		for len(resident) > *keep {
+			victim := resident[0]
+			resident = resident[1:]
+			var aerr error
+			mig.Archive(victim, func(e error) { aerr = e })
+			s.Run()
+			fail("archive "+victim, aerr)
+			if fs.FreeSegments() < int(*segs/8) {
+				var cerr error
+				fs.CleanPegasus(func(_ lfs.CleanStats, e error) { cerr = e })
+				s.Run()
+				fail("clean", cerr)
+				cleans++
+			}
+		}
+	}
+	fmt.Printf("ingested %d clips (%.0f MB, %.1fx the array)\n",
+		*clips, float64(*clips**clipMB), float64(*clips)*float64(*clipMB)*1e6/float64(diskBytes))
+	fmt.Printf("archived: %d clips, %.0f MB on tape; cleaner ran %d times, freed %d segments\n",
+		mig.ArchivedFiles(), float64(mig.ArchivedBytes())/1e6, cleans, fs.Stats.SegmentsFreed)
+	fmt.Printf("disk now: %d/%d segments free; library: %.0f/%.0f MB used, %d exchanges\n",
+		fs.FreeSegments(), *segs, float64(lib.StoredBytes())/1e6,
+		float64(lib.Capacity())/1e6, lib.Stats.Exchanges)
+
+	// Recall the oldest clip and price it.
+	cold := "/arc/rec000"
+	t0 := s.Now()
+	var rerr error
+	mig.Read(cold, 0, 1, func(_ []byte, e error) { rerr = e })
+	s.Run()
+	fail("recall", rerr)
+	fmt.Printf("recall of %s: %v (robot %v, wind %v, stream %v total so far)\n",
+		cold, s.Now()-t0, lib.Stats.RobotTime, lib.Stats.WindTime, lib.Stats.StreamTime)
+
+	t0 = s.Now()
+	var derr error
+	sv.Read(resident[len(resident)-1], 0, 1<<20, func(_ []byte, e error) { derr = e })
+	s.Run()
+	fail("disk read", derr)
+	fmt.Printf("resident 1 MB read for comparison: %v\n", s.Now()-t0)
+}

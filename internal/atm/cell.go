@@ -1,0 +1,111 @@
+// Package atm implements the ATM cell format and AAL5 adaptation layer used
+// by every data path in the Pegasus reproduction (§2 of the paper).
+//
+// Cells are the 53-byte UNI format: a 5-byte header carrying GFC/VPI/VCI,
+// the payload-type indicator (PTI), the cell-loss priority bit (CLP) and a
+// CRC-8 header error check (HEC), followed by 48 payload bytes. AAL5 frames
+// (used by the ATM camera for tiles, by the audio node for sample blocks
+// and by the RPC transport) are segmented into cells with the standard
+// 8-byte trailer: UU, CPI, 16-bit length and CRC-32.
+package atm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Cell geometry (bytes).
+const (
+	HeaderSize  = 5
+	PayloadSize = 48
+	CellSize    = HeaderSize + PayloadSize
+)
+
+// VCI identifies a virtual circuit on a link. The paper's devices use the
+// VCI directly as a demultiplexing key (e.g. the display indexes its window
+// table by VCI), so we keep it as a first-class type.
+type VCI uint16
+
+// PTI payload-type values (only the user-data bits matter to AAL5; bit 0 of
+// the user-data encoding marks the last cell of a CS-PDU).
+const (
+	PTIUser0 uint8 = 0 // user data, not end of AAL5 frame
+	PTIUser1 uint8 = 1 // user data, end of AAL5 frame
+	PTIOAM   uint8 = 4 // management cell (control circuits)
+)
+
+// Cell is a single ATM cell.
+type Cell struct {
+	GFC     uint8 // generic flow control (UNI, 4 bits)
+	VPI     uint8 // virtual path identifier
+	VCI     VCI   // virtual circuit identifier
+	PTI     uint8 // payload type indicator (3 bits)
+	CLP     bool  // cell loss priority
+	Payload [PayloadSize]byte
+}
+
+// EndOfFrame reports whether this cell terminates an AAL5 CS-PDU.
+func (c *Cell) EndOfFrame() bool { return c.PTI&1 == 1 }
+
+// hecTable is the CRC-8 table for the HEC polynomial x^8+x^2+x+1 (0x07).
+var hecTable = func() [256]byte {
+	var t [256]byte
+	for i := 0; i < 256; i++ {
+		crc := byte(i)
+		for b := 0; b < 8; b++ {
+			if crc&0x80 != 0 {
+				crc = crc<<1 ^ 0x07
+			} else {
+				crc <<= 1
+			}
+		}
+		t[i] = crc
+	}
+	return t
+}()
+
+// hec computes the ITU I.432 header error check over the first four header
+// bytes, including the 0x55 coset addition.
+func hec(h []byte) byte {
+	var crc byte
+	for _, b := range h[:4] {
+		crc = hecTable[crc^b]
+	}
+	return crc ^ 0x55
+}
+
+// Marshal encodes the cell into the 53-byte wire format.
+func (c *Cell) Marshal() [CellSize]byte {
+	var w [CellSize]byte
+	w[0] = c.GFC<<4 | c.VPI>>4
+	w[1] = c.VPI<<4 | byte(c.VCI>>12)
+	w[2] = byte(c.VCI >> 4)
+	w[3] = byte(c.VCI)<<4 | c.PTI<<1
+	if c.CLP {
+		w[3] |= 1
+	}
+	w[4] = hec(w[:4])
+	copy(w[HeaderSize:], c.Payload[:])
+	return w
+}
+
+// ErrHEC reports a corrupted cell header.
+var ErrHEC = errors.New("atm: header error check mismatch")
+
+// Unmarshal decodes a 53-byte wire cell, verifying the HEC.
+func Unmarshal(w []byte) (Cell, error) {
+	var c Cell
+	if len(w) != CellSize {
+		return c, fmt.Errorf("atm: cell length %d, want %d", len(w), CellSize)
+	}
+	if hec(w[:4]) != w[4] {
+		return c, ErrHEC
+	}
+	c.GFC = w[0] >> 4
+	c.VPI = w[0]<<4 | w[1]>>4
+	c.VCI = VCI(w[1]&0x0f)<<12 | VCI(w[2])<<4 | VCI(w[3]>>4)
+	c.PTI = w[3] >> 1 & 0x07
+	c.CLP = w[3]&1 == 1
+	copy(c.Payload[:], w[HeaderSize:])
+	return c, nil
+}

@@ -1,0 +1,358 @@
+// Package core composes the Pegasus system of Fig 4: multimedia
+// workstations (Nemesis kernel + local ATM devices on the switch),
+// multimedia storage servers, and Unix nodes for the non-real-time
+// control plane, all interconnected by the ATM fabric.
+//
+// The package owns the plumbing the paper assigns to the workstation's
+// management process (§2.2): allocating switch ports and circuits,
+// patching data streams device-to-device (so video never touches a
+// CPU), pairing every data circuit with its control circuit, and wiring
+// RPC transports and name spaces between nodes.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/atm"
+	"repro/internal/devices"
+	"repro/internal/disk"
+	"repro/internal/fabric"
+	"repro/internal/fileserver"
+	"repro/internal/lfs"
+	"repro/internal/names"
+	"repro/internal/nemesis"
+	"repro/internal/netsig"
+	"repro/internal/raid"
+	"repro/internal/rpc"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// SiteConfig parameterises a Pegasus site.
+type SiteConfig struct {
+	// Ports is the central switch's port count.
+	Ports int
+	// LinkRate is the bit rate of every attachment link.
+	LinkRate int64
+	// LinkDelay is per-link propagation delay.
+	LinkDelay sim.Duration
+	// FabricDelay is the switch transit time per cell.
+	FabricDelay sim.Duration
+	// SwitchCost is the kernel context-switch cost on workstations.
+	SwitchCost sim.Duration
+}
+
+// DefaultSiteConfig matches the paper's testbed: 100 Mb/s links,
+// microsecond-scale switch transit.
+func DefaultSiteConfig() SiteConfig {
+	return SiteConfig{
+		Ports:       32,
+		LinkRate:    fabric.Rate100M,
+		LinkDelay:   2 * sim.Microsecond,
+		FabricDelay: 3 * sim.Microsecond,
+		SwitchCost:  10 * sim.Microsecond,
+	}
+}
+
+// Site is one Pegasus installation: a switch and everything attached.
+type Site struct {
+	Sim    *sim.Sim
+	Switch *fabric.Switch
+	Config SiteConfig
+	// Signalling is the site's connection manager (§2.2): circuits
+	// established through it are admission-controlled against link
+	// capacity. Patch/PlumbVideo bypass it (pre-provisioned circuits);
+	// use Signalling.Establish for guaranteed-rate streams.
+	Signalling *netsig.Manager
+
+	nextPort int
+	nextVCI  atm.VCI
+}
+
+// NewSite builds an empty site.
+func NewSite(cfg SiteConfig) *Site {
+	s := sim.New()
+	sw := fabric.NewSwitch(s, "site", cfg.Ports, cfg.FabricDelay)
+	return &Site{
+		Sim:        s,
+		Switch:     sw,
+		Config:     cfg,
+		Signalling: netsig.NewManager(sw, cfg.LinkRate),
+		nextVCI:    100,
+	}
+}
+
+// AllocVCI hands out a site-unique circuit number.
+func (st *Site) AllocVCI() atm.VCI {
+	v := st.nextVCI
+	st.nextVCI++
+	return v
+}
+
+// allocPort reserves the next switch port.
+func (st *Site) allocPort() int {
+	if st.nextPort >= st.Switch.Ports() {
+		panic("core: switch ports exhausted; raise SiteConfig.Ports")
+	}
+	p := st.nextPort
+	st.nextPort++
+	return p
+}
+
+// Endpoint is one attachment to the switch: the device's transmit link
+// into the switch and the switch's output link to the device.
+type Endpoint struct {
+	Port int
+	// ToSwitch carries the device's cells into the fabric.
+	ToSwitch *fabric.Link
+	// FromSwitch delivers fabric cells to the device's handler.
+	FromSwitch *fabric.Link
+	// Demux receives everything from the switch; register per-VCI
+	// handlers on it.
+	Demux *devices.Demux
+}
+
+// Attach creates an endpoint on a fresh switch port.
+func (st *Site) Attach(name string) *Endpoint {
+	port := st.allocPort()
+	dm := devices.NewDemux()
+	ep := &Endpoint{Port: port, Demux: dm}
+	ep.ToSwitch = fabric.NewLink(st.Sim, st.Config.LinkRate, st.Config.LinkDelay, 0, st.Switch.In(port))
+	ep.FromSwitch = fabric.NewLink(st.Sim, st.Config.LinkRate, st.Config.LinkDelay, 0, dm)
+	st.Switch.AttachOutput(port, ep.FromSwitch)
+	return ep
+}
+
+// Patch routes a one-way circuit between two endpoints (VCI preserved).
+func (st *Site) Patch(from *Endpoint, vci atm.VCI, to *Endpoint) {
+	st.Switch.Route(from.Port, vci, to.Port, vci)
+}
+
+// PatchBidi routes a circuit in both directions — the shape every RPC
+// connection uses.
+func (st *Site) PatchBidi(a *Endpoint, vci atm.VCI, b *Endpoint) {
+	st.Switch.Route(a.Port, vci, b.Port, vci)
+	st.Switch.Route(b.Port, vci, a.Port, vci)
+}
+
+// Unpatch tears down a one-way circuit (every leaf routed from this
+// input); it reports whether a route existed.
+func (st *Site) Unpatch(from *Endpoint, vci atm.VCI) bool {
+	return st.Switch.Unroute(from.Port, vci)
+}
+
+// Workstation is a multimedia workstation (Fig 1): a conventional CPU
+// running Nemesis, with its multimedia devices attached directly to the
+// network, not to the workstation bus.
+type Workstation struct {
+	Site *Site
+	Name string
+
+	Kernel *nemesis.Kernel
+	EDF    *sched.EDFShares
+	QoS    *sched.QoSManager
+	NS     *names.NameSpace
+
+	// Net is the CPU's own network endpoint (RPC, control traffic).
+	Net       *Endpoint
+	Transport *rpc.Transport
+
+	cameraN, displayN, audioN int
+}
+
+// NewWorkstation adds a workstation with an EDF-over-shares kernel.
+func (st *Site) NewWorkstation(name string) *Workstation {
+	edf := sched.NewEDFShares()
+	k := nemesis.NewKernel(st.Sim, nemesis.Config{
+		SwitchCost:         st.Config.SwitchCost,
+		SingleAddressSpace: true,
+	}, edf)
+	w := &Workstation{
+		Site:   st,
+		Name:   name,
+		Kernel: k,
+		EDF:    edf,
+		QoS:    sched.NewQoSManager(st.Sim, edf),
+		NS:     names.New(),
+		Net:    st.Attach(name + ".net"),
+	}
+	w.Transport = rpc.NewTransport(st.Sim)
+	w.Transport.SetOutput(w.Net.ToSwitch)
+	// All cells reaching the CPU endpoint go to the protocol transport
+	// unless a more specific handler is registered.
+	w.Net.Demux.Register(0, w.Transport) // placeholder; real VCIs bound below
+	return w
+}
+
+// BindRPC binds the workstation's transport to a circuit so RPC frames
+// arriving on it are processed.
+func (w *Workstation) BindRPC(vci atm.VCI) {
+	w.Net.Demux.Register(vci, fabric.HandlerFunc(w.Transport.HandleCell))
+}
+
+// AttachCamera puts an ATM camera on its own switch port and returns
+// it with its endpoint.
+func (w *Workstation) AttachCamera(cfg devices.CameraConfig) (*devices.Camera, *Endpoint) {
+	w.cameraN++
+	ep := w.Site.Attach(fmt.Sprintf("%s.cam%d", w.Name, w.cameraN))
+	if cfg.VCI == 0 {
+		cfg.VCI = w.Site.AllocVCI()
+	}
+	if cfg.CtrlVCI == 0 {
+		cfg.CtrlVCI = w.Site.AllocVCI()
+	}
+	cam := devices.NewCamera(w.Site.Sim, cfg, ep.ToSwitch)
+	return cam, ep
+}
+
+// AttachDisplay puts an ATM display on its own switch port.
+func (w *Workstation) AttachDisplay(wpx, hpx int) (*devices.Display, *Endpoint) {
+	w.displayN++
+	ep := w.Site.Attach(fmt.Sprintf("%s.disp%d", w.Name, w.displayN))
+	d := devices.NewDisplay(w.Site.Sim, wpx, hpx, 0)
+	// The display consumes everything arriving at its port.
+	ep.FromSwitch = fabric.NewLink(w.Site.Sim, w.Site.Config.LinkRate, w.Site.Config.LinkDelay, 0, d)
+	w.Site.Switch.AttachOutput(ep.Port, ep.FromSwitch)
+	return d, ep
+}
+
+// AttachAudioSource puts an audio capture node on its own port.
+func (w *Workstation) AttachAudioSource(cfg devices.AudioSourceConfig) (*devices.AudioSource, *Endpoint) {
+	w.audioN++
+	ep := w.Site.Attach(fmt.Sprintf("%s.audio%d", w.Name, w.audioN))
+	if cfg.VCI == 0 {
+		cfg.VCI = w.Site.AllocVCI()
+	}
+	if cfg.CtrlVCI == 0 {
+		cfg.CtrlVCI = w.Site.AllocVCI()
+	}
+	src := devices.NewAudioSource(w.Site.Sim, cfg, ep.ToSwitch)
+	return src, ep
+}
+
+// AttachAudioSink puts a playout node on its own port, listening on the
+// given circuit.
+func (w *Workstation) AttachAudioSink(vci atm.VCI, delay sim.Duration) (*devices.AudioSink, *Endpoint) {
+	w.audioN++
+	ep := w.Site.Attach(fmt.Sprintf("%s.dac%d", w.Name, w.audioN))
+	sink := devices.NewAudioSink(w.Site.Sim, delay)
+	ep.Demux.Register(vci, sink)
+	return sink, ep
+}
+
+// PlumbVideo is the §2.2 management operation: create a display window
+// for a camera's stream, route the data and control circuits through
+// the switch, and return the window. No CPU is on the resulting path.
+func (st *Site) PlumbVideo(cam *devices.Camera, camEP *Endpoint, disp *devices.Display, dispEP *Endpoint, x, y int) *devices.Window {
+	cfg := cam.Config()
+	st.Patch(camEP, cfg.VCI, dispEP)
+	st.Patch(camEP, cfg.CtrlVCI, dispEP)
+	win := disp.CreateWindow(cfg.VCI, x, y, cfg.W, cfg.H)
+	disp.AttachControl(cfg.CtrlVCI, cfg.VCI)
+	return win
+}
+
+// StorageServer is the Pegasus file server node: the service stacks
+// over the log on a five-disk array, plus its network endpoint.
+type StorageServer struct {
+	Site   *Site
+	Name   string
+	Server *fileserver.Server
+	Net    *Endpoint
+	Ingest *Ingest
+
+	Transport *rpc.Transport
+}
+
+// NewStorageServer adds a storage node with the given log geometry.
+func (st *Site) NewStorageServer(name string, segSize int, nseg int64) *StorageServer {
+	arr := raid.New(st.Sim, disk.DefaultParams(), segSize, nseg)
+	fs := lfs.New(st.Sim, arr, lfs.DefaultConfig(segSize))
+	sv := fileserver.NewServer(st.Sim, fs)
+	ss := &StorageServer{
+		Site:   st,
+		Name:   name,
+		Server: sv,
+		Net:    st.Attach(name),
+	}
+	ss.Ingest = NewIngest(sv)
+	ss.Transport = rpc.NewTransport(st.Sim)
+	ss.Transport.SetOutput(ss.Net.ToSwitch)
+	return ss
+}
+
+// BindRPC exposes the storage transport on a circuit.
+func (ss *StorageServer) BindRPC(vci atm.VCI) {
+	ss.Net.Demux.Register(vci, fabric.HandlerFunc(ss.Transport.HandleCell))
+}
+
+// RecordStream routes a camera-style stream (data + control circuits)
+// into the file server and starts a recorder for it — the file server
+// acting as a multimedia device (§2.2).
+func (ss *StorageServer) RecordStream(name string, from *Endpoint, dataVCI, ctrlVCI atm.VCI) (*fileserver.Recorder, error) {
+	rec, err := ss.Server.NewRecorder(name)
+	if err != nil {
+		return nil, err
+	}
+	ss.Site.Patch(from, dataVCI, ss.Net)
+	ss.Site.Patch(from, ctrlVCI, ss.Net)
+	ss.Ingest.Route(dataVCI, ctrlVCI, rec)
+	ss.Net.Demux.Register(dataVCI, ss.Ingest)
+	ss.Net.Demux.Register(ctrlVCI, ss.Ingest)
+	return rec, nil
+}
+
+// StopStream tears down a recording's circuits and ingest routing.
+// Recording again on the same circuit pair without stopping the first
+// take would add another point-to-multipoint leaf at the switch and
+// duplicate every cell into the reassembler.
+func (ss *StorageServer) StopStream(from *Endpoint, dataVCI, ctrlVCI atm.VCI) {
+	ss.Site.Unpatch(from, dataVCI)
+	ss.Site.Unpatch(from, ctrlVCI)
+	ss.Ingest.Unroute(dataVCI, ctrlVCI)
+	ss.Net.Demux.Unregister(dataVCI)
+	ss.Net.Demux.Unregister(ctrlVCI)
+}
+
+// UnixNode is the non-real-time control plane of §2.3: ordinary
+// applications that create, control and communicate with the real-time
+// parts over RPC, but never touch continuous-media data themselves.
+type UnixNode struct {
+	Site      *Site
+	Name      string
+	Net       *Endpoint
+	Transport *rpc.Transport
+	NS        *names.NameSpace
+}
+
+// NewUnixNode adds a Unix box to the site.
+func (st *Site) NewUnixNode(name string) *UnixNode {
+	u := &UnixNode{
+		Site: st,
+		Name: name,
+		Net:  st.Attach(name),
+		NS:   names.New(),
+	}
+	u.Transport = rpc.NewTransport(st.Sim)
+	u.Transport.SetOutput(u.Net.ToSwitch)
+	return u
+}
+
+// BindRPC exposes the Unix node's transport on a circuit.
+func (u *UnixNode) BindRPC(vci atm.VCI) {
+	u.Net.Demux.Register(vci, fabric.HandlerFunc(u.Transport.HandleCell))
+}
+
+// ConnectRPC wires a bidirectional RPC circuit between two endpoints
+// and binds both transports, returning the circuit id.
+func (st *Site) ConnectRPC(a interface {
+	BindRPC(atm.VCI)
+}, aEP *Endpoint, b interface {
+	BindRPC(atm.VCI)
+}, bEP *Endpoint) atm.VCI {
+	vci := st.AllocVCI()
+	st.PatchBidi(aEP, vci, bEP)
+	a.BindRPC(vci)
+	b.BindRPC(vci)
+	return vci
+}

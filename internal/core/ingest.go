@@ -1,0 +1,90 @@
+package core
+
+import (
+	"repro/internal/atm"
+	"repro/internal/devices"
+	"repro/internal/fileserver"
+)
+
+// Ingest is the file server's stream input: it reassembles AAL5 frames
+// arriving on recording circuits, appends data-frame payloads to the
+// stream file, and turns control-stream EOF messages into index entries
+// — the §2.2/§5 mechanism where "the storage server stores the data
+// streams and uses the control stream to generate indexing information".
+type Ingest struct {
+	sv  *fileserver.Server
+	ras *atm.Reassembler
+
+	byData map[atm.VCI]*fileserver.Recorder
+	byCtrl map[atm.VCI]*fileserver.Recorder
+
+	// Stats
+	Frames    int64
+	CtrlMsgs  int64
+	Errors    int64
+	DataBytes int64
+}
+
+// NewIngest builds an ingest front-end for a server.
+func NewIngest(sv *fileserver.Server) *Ingest {
+	return &Ingest{
+		sv:     sv,
+		ras:    atm.NewReassembler(),
+		byData: make(map[atm.VCI]*fileserver.Recorder),
+		byCtrl: make(map[atm.VCI]*fileserver.Recorder),
+	}
+}
+
+// Route directs a circuit pair at a recorder.
+func (in *Ingest) Route(dataVCI, ctrlVCI atm.VCI, rec *fileserver.Recorder) {
+	in.byData[dataVCI] = rec
+	in.byCtrl[ctrlVCI] = rec
+}
+
+// Unroute detaches a circuit pair.
+func (in *Ingest) Unroute(dataVCI, ctrlVCI atm.VCI) {
+	delete(in.byData, dataVCI)
+	delete(in.byCtrl, ctrlVCI)
+}
+
+// HandleCell is the network input (a fabric.Handler).
+func (in *Ingest) HandleCell(c atm.Cell) {
+	f, err := in.ras.Push(c)
+	if err != nil {
+		in.Errors++
+		return
+	}
+	if f == nil {
+		return
+	}
+	switch f.UU {
+	case devices.UUVideo, devices.UUData:
+		rec := in.byData[f.VCI]
+		if rec == nil {
+			in.Errors++
+			return
+		}
+		if err := rec.Append(f.Payload); err != nil {
+			in.Errors++
+			return
+		}
+		in.Frames++
+		in.DataBytes += int64(len(f.Payload))
+	case devices.UUCtrl:
+		m, err := devices.DecodeCtrl(f.Payload)
+		if err != nil {
+			in.Errors++
+			return
+		}
+		in.CtrlMsgs++
+		rec := in.byCtrl[f.VCI]
+		if rec == nil {
+			return
+		}
+		if m.Kind == devices.CtrlEOF {
+			rec.MarkFrame(m.Seq, m.Timestamp)
+		}
+	default:
+		in.Errors++
+	}
+}

@@ -1,0 +1,61 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/devices"
+	"repro/internal/sim"
+)
+
+// Recording the same camera circuits into consecutive takes must give
+// each take a clean stream: without StopStream between takes, the
+// switch grows extra point-to-multipoint leaves and every cell arrives
+// in duplicate, corrupting AAL5 reassembly.
+func TestStopStreamAllowsBackToBackTakes(t *testing.T) {
+	site := core.NewSite(core.DefaultSiteConfig())
+	wa := site.NewWorkstation("A")
+	ss := site.NewStorageServer("store", 64<<10, 256)
+	cam, camEP := wa.AttachCamera(devices.CameraConfig{W: 64, H: 48, FPS: 25, Compress: true})
+	cfg := cam.Config()
+
+	for take := 0; take < 3; take++ {
+		name := fmt.Sprintf("/takes/t%d", take)
+		rec, err := ss.RecordStream(name, camEP, cfg.VCI, cfg.CtrlVCI)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cam.Start()
+		site.Sim.RunFor(10 * sim.Second / 25)
+		cam.Stop()
+		site.Sim.Run()
+		ss.StopStream(camEP, cfg.VCI, cfg.CtrlVCI)
+		if err := rec.Finalize(); err != nil {
+			t.Fatal(err)
+		}
+		if got := rec.Frames(); got < 9 || got > 11 {
+			t.Fatalf("take %d indexed %d frames, want ~10", take, got)
+		}
+		if ss.Ingest.Errors != 0 {
+			t.Fatalf("take %d: %d ingest errors (duplicate cells?)", take, ss.Ingest.Errors)
+		}
+		sz, err := ss.Server.Size(name)
+		if err != nil || sz == 0 {
+			t.Fatalf("take %d stored %d bytes (%v)", take, sz, err)
+		}
+	}
+}
+
+func TestUnpatchReportsExistence(t *testing.T) {
+	site := core.NewSite(core.DefaultSiteConfig())
+	a := site.Attach("a")
+	b := site.Attach("b")
+	site.Patch(a, 42, b)
+	if !site.Unpatch(a, 42) {
+		t.Fatal("existing route not torn down")
+	}
+	if site.Unpatch(a, 42) {
+		t.Fatal("double unpatch reported a route")
+	}
+}

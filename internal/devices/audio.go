@@ -1,0 +1,184 @@
+package devices
+
+import (
+	"repro/internal/atm"
+	"repro/internal/fabric"
+	"repro/internal/media"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// AudioSourceConfig parameterises the capture half of the ATM DSP/audio
+// node (§2.1): ADCs pack samples into single ATM cells, each carrying a
+// timestamp.
+type AudioSourceConfig struct {
+	VCI     atm.VCI
+	CtrlVCI atm.VCI
+	Stream  uint8
+	Rate    int // samples per second
+	// SyncEvery emits a control Sync message every n blocks (0 = 16).
+	SyncEvery int
+}
+
+func (c *AudioSourceConfig) setDefaults() {
+	if c.VCI == 0 {
+		c.VCI = 48
+	}
+	if c.CtrlVCI == 0 {
+		c.CtrlVCI = c.VCI + 1
+	}
+	if c.Rate == 0 {
+		c.Rate = media.DefaultAudioRate
+	}
+	if c.SyncEvery == 0 {
+		c.SyncEvery = 16
+	}
+}
+
+// AudioSourceStats counts capture activity.
+type AudioSourceStats struct {
+	Blocks    int64
+	CtrlCells int64
+}
+
+// AudioSource captures a deterministic tone and streams one audio block
+// per ATM cell at the configured sample rate.
+type AudioSource struct {
+	sim *sim.Sim
+	cfg AudioSourceConfig
+	out *fabric.Link
+
+	Stats AudioSourceStats
+
+	seq     uint32
+	phase   int
+	running bool
+}
+
+// NewAudioSource builds an audio capture node transmitting on out.
+func NewAudioSource(s *sim.Sim, cfg AudioSourceConfig, out *fabric.Link) *AudioSource {
+	cfg.setDefaults()
+	return &AudioSource{sim: s, cfg: cfg, out: out}
+}
+
+// Config returns the (defaulted) configuration.
+func (a *AudioSource) Config() AudioSourceConfig { return a.cfg }
+
+// BlockPeriod is the virtual time covered by one audio block.
+func (a *AudioSource) BlockPeriod() sim.Duration {
+	return sim.Duration(int64(media.AudioSamplesPerBlock) * int64(sim.Second) / int64(a.cfg.Rate))
+}
+
+// Start begins capture.
+func (a *AudioSource) Start() {
+	if a.running {
+		return
+	}
+	a.running = true
+	a.emit()
+}
+
+// Stop ends capture after the current block.
+func (a *AudioSource) Stop() { a.running = false }
+
+func (a *AudioSource) emit() {
+	if !a.running {
+		return
+	}
+	var b media.AudioBlock
+	b.Timestamp = uint64(a.sim.Now())
+	blocks := []media.AudioBlock{b}
+	a.phase = media.Tone(blocks, a.seq, a.phase)
+	enc := blocks[0].Encode()
+	var cell atm.Cell
+	cell.VCI = a.cfg.VCI
+	cell.PTI = atm.PTIUser1
+	copy(cell.Payload[:], enc[:])
+	a.out.Send(cell)
+	a.Stats.Blocks++
+	if a.cfg.SyncEvery > 0 && a.seq%uint32(a.cfg.SyncEvery) == 0 {
+		SendCtrl(a.out, a.cfg.CtrlVCI, CtrlMsg{
+			Kind: CtrlSync, Stream: a.cfg.Stream, Seq: a.seq, Timestamp: b.Timestamp,
+		})
+		a.Stats.CtrlCells++
+	}
+	a.seq++
+	a.sim.After(a.BlockPeriod(), a.emit)
+}
+
+// AudioSinkStats counts playout activity and quality.
+type AudioSinkStats struct {
+	Received int64
+	Played   int64
+	Late     int64 // blocks arriving after their playout instant
+	Gaps     int64 // sequence discontinuities (lost blocks)
+	Errors   int64
+	// TransitNS samples network transit time (arrival - capture), ns.
+	TransitNS stats.Sample
+	// JitterNS samples |inter-arrival - inter-capture| in ns: the
+	// irregularity audio is so sensitive to (§2).
+	JitterNS stats.Sample
+}
+
+// AudioSink is the playout half of the DSP node: a dejitter buffer that
+// renders each block at capture-timestamp + Delay.
+type AudioSink struct {
+	sim *sim.Sim
+	// Delay is the playout delay added to source timestamps.
+	Delay sim.Duration
+	// OnBlock fires when a block is rendered.
+	OnBlock func(b media.AudioBlock, at sim.Time)
+
+	Stats AudioSinkStats
+
+	haveLast    bool
+	lastSeq     uint32
+	lastArrival sim.Time
+	lastTS      uint64
+}
+
+// NewAudioSink builds a playout node with the given dejitter delay.
+func NewAudioSink(s *sim.Sim, delay sim.Duration) *AudioSink {
+	return &AudioSink{sim: s, Delay: delay}
+}
+
+// HandleCell is the sink's network input.
+func (k *AudioSink) HandleCell(c atm.Cell) {
+	b, err := media.DecodeAudioBlock(c.Payload[:])
+	if err != nil {
+		k.Stats.Errors++
+		return
+	}
+	now := k.sim.Now()
+	k.Stats.Received++
+	k.Stats.TransitNS.Add(float64(now - sim.Time(b.Timestamp)))
+	if k.haveLast {
+		if b.Seq != k.lastSeq+1 {
+			k.Stats.Gaps++
+		}
+		interArrival := now - k.lastArrival
+		interCapture := sim.Time(b.Timestamp) - sim.Time(k.lastTS)
+		j := interArrival - interCapture
+		if j < 0 {
+			j = -j
+		}
+		k.Stats.JitterNS.Add(float64(j))
+	}
+	k.haveLast = true
+	k.lastSeq = b.Seq
+	k.lastArrival = now
+	k.lastTS = b.Timestamp
+
+	playAt := sim.Time(b.Timestamp) + k.Delay
+	if playAt < now {
+		k.Stats.Late++
+		playAt = now
+	}
+	blk := b
+	k.sim.At(playAt, func() {
+		k.Stats.Played++
+		if k.OnBlock != nil {
+			k.OnBlock(blk, k.sim.Now())
+		}
+	})
+}

@@ -1,0 +1,230 @@
+package devices
+
+import (
+	"repro/internal/atm"
+	"repro/internal/fabric"
+	"repro/internal/media"
+	"repro/internal/sim"
+)
+
+// CameraConfig parameterises an ATM camera (§2.1, Fig 2).
+type CameraConfig struct {
+	W, H int // frame geometry in pixels (tile multiples)
+	FPS  int // frames per second
+
+	VCI     atm.VCI // data circuit
+	CtrlVCI atm.VCI // control circuit
+	Stream  uint8   // stream tag carried in control messages
+
+	Compress bool  // enable the motion-JPEG-substitute compressor
+	Quality  uint8 // codec quality (0 = lossless)
+
+	// TilesPerGroup bounds tiles packed into one AAL5 frame;
+	// 0 packs a whole 8-line band per group, as the hardware does.
+	TilesPerGroup int
+
+	// FrameMode holds all of a frame's cells until capture of the frame
+	// completes, modelling a conventional frame-buffered video interface.
+	// The default (false) emits each 8-line band as soon as it has been
+	// digitised — the tile pipeline the paper advocates.
+	FrameMode bool
+
+	// AudioCapture enables the production camera's audio capability
+	// (§2.1: "The version of the ATM camera now in production also
+	// includes audio capture"). Audio blocks leave on their own circuit,
+	// timestamped by the same clock as the video tiles, so a playout
+	// controller can lip-sync the two without any cross-device wiring.
+	AudioCapture bool
+	// AudioVCI is the audio data circuit (default VCI+2; its control
+	// circuit is AudioVCI+1).
+	AudioVCI atm.VCI
+	// AudioRate is the audio sample rate (default media.DefaultAudioRate).
+	AudioRate int
+}
+
+func (c *CameraConfig) setDefaults() {
+	if c.W == 0 {
+		c.W = 640
+	}
+	if c.H == 0 {
+		c.H = 480
+	}
+	if c.FPS == 0 {
+		c.FPS = 25
+	}
+	if c.VCI == 0 {
+		c.VCI = 32
+	}
+	if c.CtrlVCI == 0 {
+		c.CtrlVCI = c.VCI + 1
+	}
+	if c.AudioVCI == 0 {
+		c.AudioVCI = c.VCI + 2
+	}
+}
+
+// CameraStats counts camera activity.
+type CameraStats struct {
+	Frames     int64
+	Groups     int64
+	Cells      int64
+	BytesSent  int64 // AAL5 payload bytes (post-compression)
+	BytesRaw   int64 // raw pixel bytes digitised
+	CtrlCells  int64
+	LastFrame  uint32
+	FirstStart sim.Time
+}
+
+// Camera is the ATM camera: it digitises scan lines of a synthetic (or
+// caller-supplied) image source, cuts each 8-line band into tiles, packs
+// tile groups into AAL5 frames and streams the cells onto its link. A
+// per-frame Sync and EOF message goes out on the control circuit.
+type Camera struct {
+	sim *sim.Sim
+	cfg CameraConfig
+	out *fabric.Link
+
+	// Source supplies frame pixels; defaults to media.SyntheticFrame.
+	Source func(id uint32) *media.Frame
+
+	Stats CameraStats
+
+	frameID uint32
+	running bool
+	pending []atm.Cell // frame-mode staging
+	audio   *AudioSource
+}
+
+// NewCamera builds a camera transmitting on out.
+func NewCamera(s *sim.Sim, cfg CameraConfig, out *fabric.Link) *Camera {
+	cfg.setDefaults()
+	c := &Camera{sim: s, cfg: cfg, out: out}
+	c.Source = func(id uint32) *media.Frame {
+		return media.SyntheticFrame(cfg.W, cfg.H, id)
+	}
+	if cfg.AudioCapture {
+		c.audio = NewAudioSource(s, AudioSourceConfig{
+			VCI:     cfg.AudioVCI,
+			CtrlVCI: cfg.AudioVCI + 1,
+			Stream:  cfg.Stream + 1,
+			Rate:    cfg.AudioRate,
+		}, out)
+	}
+	return c
+}
+
+// Audio returns the camera's audio capture half, or nil when the
+// camera was built without it.
+func (c *Camera) Audio() *AudioSource { return c.audio }
+
+// Config returns the camera's (defaulted) configuration.
+func (c *Camera) Config() CameraConfig { return c.cfg }
+
+// FramePeriod is the virtual time between frame starts.
+func (c *Camera) FramePeriod() sim.Duration {
+	return sim.Second / sim.Duration(c.cfg.FPS)
+}
+
+// Start begins capturing; the first frame starts immediately. An
+// audio-capable camera starts its audio stream on the same instant, so
+// the two media share time zero.
+func (c *Camera) Start() {
+	if c.running {
+		return
+	}
+	c.running = true
+	c.Stats.FirstStart = c.sim.Now()
+	if c.audio != nil {
+		c.audio.Start()
+	}
+	c.captureFrame()
+}
+
+// Stop ceases capture after the current frame.
+func (c *Camera) Stop() {
+	c.running = false
+	if c.audio != nil {
+		c.audio.Stop()
+	}
+}
+
+// Running reports whether the camera is capturing.
+func (c *Camera) Running() bool { return c.running }
+
+func (c *Camera) captureFrame() {
+	if !c.running {
+		return
+	}
+	id := c.frameID
+	c.frameID++
+	f := c.Source(id)
+	start := c.sim.Now()
+	period := c.FramePeriod()
+	lineTime := period / sim.Duration(c.cfg.H)
+
+	c.sendCtrl(CtrlMsg{Kind: CtrlSync, Stream: c.cfg.Stream, Seq: id, Timestamp: uint64(start)})
+
+	bands := f.Bands()
+	for b := 0; b < bands; b++ {
+		y := b * media.TileH
+		capAt := start + sim.Duration(y+media.TileH)*lineTime
+		last := b == bands-1
+		c.sim.At(capAt, func() { c.emitBand(f, id, y, last) })
+	}
+	c.sim.At(start+period, c.captureFrame)
+}
+
+func (c *Camera) emitBand(f *media.Frame, id uint32, y int, lastBand bool) {
+	tiles := f.Band(y)
+	c.Stats.BytesRaw += int64(len(tiles) * media.TileBytes)
+	per := c.cfg.TilesPerGroup
+	if per <= 0 {
+		per = len(tiles)
+	}
+	for i := 0; i < len(tiles); i += per {
+		end := i + per
+		if end > len(tiles) {
+			end = len(tiles)
+		}
+		g := &media.TileGroup{
+			FrameID:    id,
+			Timestamp:  uint64(c.sim.Now()),
+			Quality:    c.cfg.Quality,
+			Compressed: c.cfg.Compress,
+			Tiles:      tiles[i:end],
+		}
+		payload := media.EncodeGroup(g)
+		cells, err := atm.Segment(c.cfg.VCI, UUVideo, payload)
+		if err != nil {
+			panic("devices: tile group exceeds AAL5 frame; lower TilesPerGroup")
+		}
+		c.Stats.Groups++
+		c.Stats.BytesSent += int64(len(payload))
+		if c.cfg.FrameMode {
+			c.pending = append(c.pending, cells...)
+		} else {
+			c.sendCells(cells)
+		}
+	}
+	if lastBand {
+		if c.cfg.FrameMode {
+			c.sendCells(c.pending)
+			c.pending = c.pending[:0]
+		}
+		c.sendCtrl(CtrlMsg{Kind: CtrlEOF, Stream: c.cfg.Stream, Seq: id, Timestamp: uint64(c.sim.Now())})
+		c.Stats.Frames++
+		c.Stats.LastFrame = id
+	}
+}
+
+func (c *Camera) sendCells(cells []atm.Cell) {
+	for _, cell := range cells {
+		c.out.Send(cell)
+	}
+	c.Stats.Cells += int64(len(cells))
+}
+
+func (c *Camera) sendCtrl(m CtrlMsg) {
+	SendCtrl(c.out, c.cfg.CtrlVCI, m)
+	c.Stats.CtrlCells++
+}

@@ -1,0 +1,139 @@
+package devices
+
+import (
+	"testing"
+
+	"repro/internal/atm"
+	"repro/internal/fabric"
+	"repro/internal/media"
+	"repro/internal/sim"
+)
+
+// avRig wires an audio-capable camera to a demux and records both
+// media streams' timestamps.
+type avRig struct {
+	s      *sim.Sim
+	cam    *Camera
+	audTS  []uint64 // audio block capture timestamps
+	vidTS  []uint64 // video frame Sync timestamps
+	audRaw int      // audio cells seen
+	vidRaw int      // video cells seen
+}
+
+func newAVRig(t *testing.T) *avRig {
+	t.Helper()
+	r := &avRig{s: sim.New()}
+	dm := NewDemux()
+	link := fabric.NewLink(r.s, fabric.Rate100M, 0, 0, dm)
+	r.cam = NewCamera(r.s, CameraConfig{
+		W: 64, H: 64, FPS: 25,
+		AudioCapture: true,
+	}, link)
+	cfg := r.cam.Config()
+
+	ras := atm.NewReassembler()
+	dm.Register(cfg.VCI, fabric.HandlerFunc(func(atm.Cell) { r.vidRaw++ }))
+	dm.Register(cfg.CtrlVCI, fabric.HandlerFunc(func(c atm.Cell) {
+		f, err := ras.Push(c)
+		if err != nil || f == nil {
+			return
+		}
+		if m, err := DecodeCtrl(f.Payload); err == nil && m.Kind == CtrlSync {
+			r.vidTS = append(r.vidTS, m.Timestamp)
+		}
+	}))
+	dm.Register(cfg.AudioVCI, fabric.HandlerFunc(func(c atm.Cell) {
+		r.audRaw++
+		if b, err := media.DecodeAudioBlock(c.Payload[:]); err == nil {
+			r.audTS = append(r.audTS, b.Timestamp)
+		}
+	}))
+	dm.Register(cfg.AudioVCI+1, fabric.HandlerFunc(func(atm.Cell) {}))
+	return r
+}
+
+func TestCameraAudioCaptureDefaults(t *testing.T) {
+	s := sim.New()
+	sink := fabric.HandlerFunc(func(atm.Cell) {})
+	link := fabric.NewLink(s, fabric.Rate100M, 0, 0, sink)
+	cam := NewCamera(s, CameraConfig{AudioCapture: true}, link)
+	cfg := cam.Config()
+	if cfg.AudioVCI != cfg.VCI+2 {
+		t.Fatalf("audio VCI = %d, want video VCI+2 = %d", cfg.AudioVCI, cfg.VCI+2)
+	}
+	if cam.Audio() == nil {
+		t.Fatal("audio-capable camera has no audio source")
+	}
+	if cam.Audio().Config().Rate != media.DefaultAudioRate {
+		t.Fatalf("audio rate = %d", cam.Audio().Config().Rate)
+	}
+	plain := NewCamera(s, CameraConfig{}, link)
+	if plain.Audio() != nil {
+		t.Fatal("plain camera grew an audio source")
+	}
+}
+
+func TestCameraAudioCaptureEmitsBothStreams(t *testing.T) {
+	r := newAVRig(t)
+	r.cam.Start()
+	r.s.RunUntil(200 * sim.Millisecond)
+	r.cam.Stop()
+	r.s.Run()
+	if r.vidRaw == 0 {
+		t.Fatal("no video cells")
+	}
+	if r.audRaw == 0 {
+		t.Fatal("no audio cells")
+	}
+	// 200 ms at 8 kHz, one block per media.AudioSamplesPerBlock samples.
+	seconds := 0.2
+	wantBlocks := int(seconds * float64(media.DefaultAudioRate) / float64(media.AudioSamplesPerBlock))
+	if r.audRaw < wantBlocks-2 || r.audRaw > wantBlocks+2 {
+		t.Fatalf("audio blocks = %d, want ~%d", r.audRaw, wantBlocks)
+	}
+}
+
+func TestCameraAudioSharesClock(t *testing.T) {
+	// Lip-sync rests on both media stamping the same clock from the
+	// same start: every video Sync timestamp must have an audio block
+	// timestamp within one frame period of it.
+	r := newAVRig(t)
+	r.cam.Start()
+	r.s.RunUntil(400 * sim.Millisecond)
+	r.cam.Stop()
+	r.s.Run()
+	if len(r.vidTS) < 5 || len(r.audTS) < 5 {
+		t.Fatalf("too little media: %d video syncs, %d audio blocks", len(r.vidTS), len(r.audTS))
+	}
+	frame := uint64(r.cam.FramePeriod())
+	for _, v := range r.vidTS {
+		best := uint64(1 << 62)
+		for _, a := range r.audTS {
+			d := a - v
+			if a < v {
+				d = v - a
+			}
+			if d < best {
+				best = d
+			}
+		}
+		if best > frame {
+			t.Fatalf("video sync at %d has no audio within a frame period (nearest %d ns away)", v, best)
+		}
+	}
+}
+
+func TestCameraStopQuiescesAudio(t *testing.T) {
+	r := newAVRig(t)
+	r.cam.Start()
+	r.s.RunUntil(100 * sim.Millisecond)
+	r.cam.Stop()
+	r.s.Run()
+	audAtStop := r.audRaw
+	vidAtStop := r.vidRaw
+	r.s.RunFor(100 * sim.Millisecond)
+	r.s.Run()
+	if r.audRaw != audAtStop || r.vidRaw != vidAtStop {
+		t.Fatal("camera kept transmitting after Stop")
+	}
+}

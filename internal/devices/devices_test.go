@@ -1,0 +1,358 @@
+package devices
+
+import (
+	"testing"
+
+	"repro/internal/atm"
+	"repro/internal/fabric"
+	"repro/internal/media"
+	"repro/internal/sim"
+)
+
+func TestCtrlMsgRoundTrip(t *testing.T) {
+	m := CtrlMsg{Kind: CtrlSync, Stream: 3, Seq: 99, Timestamp: 123456789}
+	got, err := DecodeCtrl(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != m {
+		t.Fatalf("round trip: got %+v want %+v", got, m)
+	}
+	if _, err := DecodeCtrl([]byte{1, 2, 3}); err != ErrBadCtrl {
+		t.Fatalf("short decode err = %v, want ErrBadCtrl", err)
+	}
+}
+
+func TestDemuxRoutes(t *testing.T) {
+	d := NewDemux()
+	var a, b int
+	d.Register(1, fabric.HandlerFunc(func(atm.Cell) { a++ }))
+	d.Register(2, fabric.HandlerFunc(func(atm.Cell) { b++ }))
+	d.HandleCell(atm.Cell{VCI: 1})
+	d.HandleCell(atm.Cell{VCI: 2})
+	d.HandleCell(atm.Cell{VCI: 2})
+	d.HandleCell(atm.Cell{VCI: 9})
+	if a != 1 || b != 2 || d.Unrouted != 1 {
+		t.Fatalf("a=%d b=%d unrouted=%d", a, b, d.Unrouted)
+	}
+	d.Unregister(2)
+	d.HandleCell(atm.Cell{VCI: 2})
+	if d.Unrouted != 2 {
+		t.Fatalf("unrouted after unregister = %d, want 2", d.Unrouted)
+	}
+}
+
+// cameraToDisplay wires camera -> link -> display directly (no switch) and
+// returns all the pieces.
+func cameraToDisplay(s *sim.Sim, cfg CameraConfig, frameMode bool) (*Camera, *Display) {
+	d := NewDisplay(s, 640, 480, 0)
+	d.FrameMode = frameMode
+	link := fabric.NewLink(s, fabric.Rate100M, 0, 0, d)
+	cam := NewCamera(s, cfg, link)
+	c := cam.Config()
+	d.CreateWindow(c.VCI, 0, 0, c.W, c.H)
+	d.AttachControl(c.CtrlVCI, c.VCI)
+	return cam, d
+}
+
+func TestCameraStreamsFramesToDisplay(t *testing.T) {
+	s := sim.New()
+	cam, d := cameraToDisplay(s, CameraConfig{W: 64, H: 48, FPS: 25}, false)
+	cam.Start()
+	s.RunUntil(2 * sim.Second / 25) // two frame periods
+	cam.Stop()
+	s.Run()
+	if cam.Stats.Frames < 2 {
+		t.Fatalf("camera captured %d frames, want >= 2", cam.Stats.Frames)
+	}
+	if d.Stats.Tiles == 0 {
+		t.Fatal("display blitted no tiles")
+	}
+	wantTiles := cam.Stats.Frames * int64((64/8)*(48/8))
+	if d.Stats.Tiles != wantTiles {
+		t.Fatalf("display blitted %d tiles, want %d", d.Stats.Tiles, wantTiles)
+	}
+	if d.Stats.FramesShown < 2 {
+		t.Fatalf("frames shown = %d, want >= 2", d.Stats.FramesShown)
+	}
+}
+
+func TestDisplayReconstructsPixels(t *testing.T) {
+	s := sim.New()
+	cam, d := cameraToDisplay(s, CameraConfig{W: 64, H: 48, FPS: 25}, false)
+	cam.Start()
+	s.RunUntil(sim.Second / 25)
+	cam.Stop()
+	s.Run()
+	// After one full frame, the window region must equal the source frame.
+	src := media.SyntheticFrame(64, 48, cam.Stats.LastFrame)
+	for y := 0; y < 48; y++ {
+		for x := 0; x < 64; x++ {
+			if d.Screen().Pix[y*640+x] != src.Pix[y*64+x] {
+				t.Fatalf("pixel (%d,%d) = %d, want %d", x, y,
+					d.Screen().Pix[y*640+x], src.Pix[y*64+x])
+			}
+		}
+	}
+}
+
+func TestCompressedStreamReconstructsLosslessly(t *testing.T) {
+	s := sim.New()
+	cam, d := cameraToDisplay(s, CameraConfig{W: 64, H: 48, FPS: 25, Compress: true, Quality: 0}, false)
+	cam.Start()
+	s.RunUntil(sim.Second / 25)
+	cam.Stop()
+	s.Run()
+	src := media.SyntheticFrame(64, 48, cam.Stats.LastFrame)
+	for y := 0; y < 48; y++ {
+		for x := 0; x < 64; x++ {
+			if d.Screen().Pix[y*640+x] != src.Pix[y*64+x] {
+				t.Fatalf("lossless compressed path corrupted pixel (%d,%d)", x, y)
+			}
+		}
+	}
+	// Compression must actually reduce bytes on the wire.
+	if cam.Stats.BytesSent >= cam.Stats.BytesRaw {
+		t.Fatalf("sent %d >= raw %d; compressor had no effect",
+			cam.Stats.BytesSent, cam.Stats.BytesRaw)
+	}
+}
+
+func TestTileModeBeatsFrameModeLatency(t *testing.T) {
+	// E1's core claim in miniature: first-tile latency in tile mode is
+	// far below frame mode, because nothing waits for end of frame.
+	measure := func(frameMode bool) sim.Time {
+		s := sim.New()
+		cfg := CameraConfig{W: 64, H: 48, FPS: 25, FrameMode: frameMode}
+		cam, d := cameraToDisplay(s, cfg, frameMode)
+		var first sim.Time = -1
+		var firstCapture uint64
+		d.OnTile = func(w *Window, g *media.TileGroup, tile media.Tile, at sim.Time) {
+			if first < 0 {
+				first = at
+				firstCapture = g.Timestamp
+			}
+		}
+		cam.Start()
+		s.RunUntil(sim.Second / 25)
+		cam.Stop()
+		s.Run()
+		if first < 0 {
+			t.Fatal("no tile rendered")
+		}
+		return first - sim.Time(firstCapture)
+	}
+	tile := measure(false)
+	frame := measure(true)
+	if tile*5 > frame {
+		t.Fatalf("tile latency %v not clearly below frame latency %v", tile, frame)
+	}
+}
+
+func TestWindowOverlapClipping(t *testing.T) {
+	s := sim.New()
+	d := NewDisplay(s, 64, 64, 0)
+	link := fabric.NewLink(s, fabric.Rate960M, 0, 0, d)
+
+	wA := d.CreateWindow(10, 0, 0, 32, 32)
+	_ = wA
+	d.CreateWindow(11, 16, 16, 32, 32) // overlaps A's lower-right quadrant
+
+	// Send a white tile group covering A's full area on circuit 10.
+	f := media.NewFrame(32, 32, 0)
+	for i := range f.Pix {
+		f.Pix[i] = 0xFF
+	}
+	for y := 0; y < 32; y += 8 {
+		g := &media.TileGroup{FrameID: 0, Tiles: f.Band(y)}
+		cells, err := atm.Segment(10, UUVideo, media.EncodeGroup(g))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range cells {
+			link.Send(c)
+		}
+	}
+	s.Run()
+	// Pixel (8,8): A only -> white. Pixel (20,20): covered by B (on top)
+	// -> must NOT be written by A's stream.
+	if d.Screen().Pix[8*64+8] != 0xFF {
+		t.Fatal("unobscured pixel not written")
+	}
+	if d.Screen().Pix[20*64+20] != 0 {
+		t.Fatal("obscured pixel written through overlapping window")
+	}
+	if d.Stats.PixelsClipped == 0 {
+		t.Fatal("no pixels clipped despite overlap")
+	}
+	// Raise A above B and resend: now (20,20) belongs to A.
+	d.RaiseWindow(wA)
+	for y := 0; y < 32; y += 8 {
+		g := &media.TileGroup{FrameID: 1, Tiles: f.Band(y)}
+		cells, _ := atm.Segment(10, UUVideo, media.EncodeGroup(g))
+		for _, c := range cells {
+			link.Send(c)
+		}
+	}
+	s.Run()
+	if d.Screen().Pix[20*64+20] != 0xFF {
+		t.Fatal("raised window still clipped")
+	}
+}
+
+func TestWindowMoveChangesTarget(t *testing.T) {
+	s := sim.New()
+	d := NewDisplay(s, 64, 64, 0)
+	link := fabric.NewLink(s, fabric.Rate960M, 0, 0, d)
+	w := d.CreateWindow(10, 0, 0, 8, 8)
+
+	var tile media.Tile
+	for i := range tile.Pix {
+		tile.Pix[i] = 7
+	}
+	send := func() {
+		g := &media.TileGroup{Tiles: []media.Tile{tile}}
+		cells, _ := atm.Segment(10, UUVideo, media.EncodeGroup(g))
+		for _, c := range cells {
+			link.Send(c)
+		}
+		s.Run()
+	}
+	send()
+	if d.Screen().Pix[0] != 7 {
+		t.Fatal("tile not blitted at origin")
+	}
+	d.MoveWindow(w, 40, 40)
+	send()
+	if d.Screen().Pix[40*64+40] != 7 {
+		t.Fatal("tile not blitted at moved window position")
+	}
+}
+
+func TestDestroyWindowStopsRendering(t *testing.T) {
+	s := sim.New()
+	d := NewDisplay(s, 64, 64, 0)
+	link := fabric.NewLink(s, fabric.Rate960M, 0, 0, d)
+	w := d.CreateWindow(10, 0, 0, 8, 8)
+	d.DestroyWindow(w)
+	var tile media.Tile
+	g := &media.TileGroup{Tiles: []media.Tile{tile}}
+	cells, _ := atm.Segment(10, UUVideo, media.EncodeGroup(g))
+	for _, c := range cells {
+		link.Send(c)
+	}
+	s.Run()
+	if d.Stats.NoWindow == 0 {
+		t.Fatal("destroyed window still receives groups")
+	}
+}
+
+func TestDuplicateWindowPanics(t *testing.T) {
+	s := sim.New()
+	d := NewDisplay(s, 64, 64, 0)
+	d.CreateWindow(10, 0, 0, 8, 8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate window did not panic")
+		}
+	}()
+	d.CreateWindow(10, 8, 8, 8, 8)
+}
+
+func TestAudioPathEndToEnd(t *testing.T) {
+	s := sim.New()
+	sink := NewAudioSink(s, 5*sim.Millisecond)
+	link := fabric.NewLink(s, fabric.Rate100M, 0, 0, NewDemux())
+	dm := NewDemux()
+	link = fabric.NewLink(s, fabric.Rate100M, 0, 0, dm)
+	src := NewAudioSource(s, AudioSourceConfig{Rate: 8000}, link)
+	dm.Register(src.Config().VCI, sink)
+	dm.Register(src.Config().CtrlVCI, fabric.HandlerFunc(func(atm.Cell) {}))
+
+	src.Start()
+	s.RunUntil(sim.Second / 10) // 100 ms of audio
+	src.Stop()
+	s.Run()
+
+	// 100ms at 8kHz / 18 samples per block ~= 44 blocks.
+	if sink.Stats.Received < 40 {
+		t.Fatalf("received %d blocks, want >= 40", sink.Stats.Received)
+	}
+	if sink.Stats.Played != sink.Stats.Received {
+		t.Fatalf("played %d != received %d", sink.Stats.Played, sink.Stats.Received)
+	}
+	if sink.Stats.Late != 0 {
+		t.Fatalf("late blocks = %d on an idle network", sink.Stats.Late)
+	}
+	if sink.Stats.Gaps != 0 {
+		t.Fatalf("sequence gaps = %d, want 0", sink.Stats.Gaps)
+	}
+	// On an uncontended link jitter should be essentially zero.
+	if j := sink.Stats.JitterNS.Max(); j > float64(10*sim.Microsecond) {
+		t.Fatalf("max jitter %v ns on idle link", j)
+	}
+}
+
+func TestAudioSinkLateBlocks(t *testing.T) {
+	s := sim.New()
+	sink := NewAudioSink(s, 0) // zero playout delay: everything is late
+	var b media.AudioBlock
+	b.Timestamp = 0
+	b.Seq = 0
+	enc := b.Encode()
+	var cell atm.Cell
+	copy(cell.Payload[:], enc[:])
+	s.At(10*sim.Millisecond, func() { sink.HandleCell(cell) })
+	s.Run()
+	if sink.Stats.Late != 1 {
+		t.Fatalf("late = %d, want 1", sink.Stats.Late)
+	}
+}
+
+func TestSyncGroupCommitsWorstDelay(t *testing.T) {
+	var g SyncGroup
+	g.Margin = 2 * sim.Millisecond
+	g.Observe(0, 5*sim.Millisecond)    // 5 ms transit
+	g.Observe(1000, 3*sim.Millisecond) // earlier arrival: smaller delay
+	if g.Delay() != 0 {
+		t.Fatal("delay committed before Commit")
+	}
+	d := g.Commit()
+	if d != 7*sim.Millisecond {
+		t.Fatalf("delay = %v, want 7ms", d)
+	}
+	if rt := g.RenderTime(1_000_000); rt != sim.Time(1_000_000)+7*sim.Millisecond {
+		t.Fatalf("RenderTime = %v", rt)
+	}
+}
+
+func TestCameraFrameModeStillDeliversAllTiles(t *testing.T) {
+	s := sim.New()
+	cam, d := cameraToDisplay(s, CameraConfig{W: 64, H: 48, FPS: 25, FrameMode: true}, true)
+	cam.Start()
+	s.RunUntil(sim.Second / 25)
+	cam.Stop()
+	s.Run()
+	want := cam.Stats.Frames * int64((64/8)*(48/8))
+	if d.Stats.Tiles != want {
+		t.Fatalf("tiles = %d, want %d", d.Stats.Tiles, want)
+	}
+}
+
+func TestCameraTilesPerGroupSplitsGroups(t *testing.T) {
+	s := sim.New()
+	cfg := CameraConfig{W: 64, H: 16, FPS: 25, TilesPerGroup: 2}
+	cam, d := cameraToDisplay(s, cfg, false)
+	cam.Start()
+	s.RunUntil(sim.Second / 25)
+	cam.Stop()
+	s.Run()
+	// 8 tiles per band / 2 per group = 4 groups per band, 2 bands.
+	wantGroups := cam.Stats.Frames * 8
+	if cam.Stats.Groups != wantGroups {
+		t.Fatalf("groups = %d, want %d", cam.Stats.Groups, wantGroups)
+	}
+	if d.Stats.Groups != wantGroups {
+		t.Fatalf("display groups = %d, want %d", d.Stats.Groups, wantGroups)
+	}
+}

@@ -1,0 +1,325 @@
+package devices
+
+import (
+	"fmt"
+
+	"repro/internal/atm"
+	"repro/internal/media"
+	"repro/internal/sim"
+)
+
+// Window is one entry of the display's window-descriptor table (§2.1,
+// Fig 3): a screen offset plus clipping state. The VCI of an incoming
+// tile stream indexes this table, so the multiplexing of windows onto the
+// screen happens in the "hardware" table rather than in window-system
+// software — the unification of video and graphics the paper describes.
+type Window struct {
+	VCI        atm.VCI
+	X, Y, W, H int
+	Enabled    bool
+
+	display *Display
+}
+
+// Bounds reports the window rectangle.
+func (w *Window) Bounds() (x, y, wd, ht int) { return w.X, w.Y, w.W, w.H }
+
+// DisplayStats counts display activity.
+type DisplayStats struct {
+	Tiles         int64 // tiles blitted
+	PixelsWritten int64
+	PixelsClipped int64 // pixels suppressed by window clipping/overlap
+	Groups        int64
+	GroupErrors   int64 // undecodable tile groups (AAL5 already filters CRC)
+	CellErrors    int64
+	FramesShown   int64 // EOF events rendered
+	CtrlMsgs      int64
+	NoWindow      int64 // groups for circuits with no descriptor
+}
+
+// bufferedGroup is a decoded tile group awaiting a frame-mode blit.
+type bufferedGroup struct{ g *media.TileGroup }
+
+// Display is the ATM display. Cells arrive on data circuits, are
+// reassembled into AAL5 tile groups and blitted through the
+// window-descriptor table into the framebuffer. The framebuffer port has
+// a finite bit rate (960 Mb/s in Fig 3), modelled as a busy-until time.
+type Display struct {
+	sim    *sim.Sim
+	fb     *media.Frame
+	fbRate int64
+	ras    *atm.Reassembler
+
+	windows map[atm.VCI]*Window
+	zorder  []*Window // bottom ... top
+	owner   []*Window // per-pixel topmost window
+	ctrl    map[atm.VCI]*Window
+
+	// FrameMode buffers each window's tiles until the stream's EOF
+	// control message, modelling a frame-buffered renderer (the baseline
+	// the paper's tile pipeline beats in experiment E1).
+	FrameMode bool
+	pending   map[*Window][]bufferedGroup
+
+	fbBusy sim.Time
+
+	// OnTile fires when a tile's pixels land in the framebuffer; at is
+	// the blit completion time. Used for latency measurement.
+	OnTile func(w *Window, g *media.TileGroup, t media.Tile, at sim.Time)
+	// OnFrame fires when a stream's EOF has been rendered.
+	OnFrame func(w *Window, frameID uint32, at sim.Time)
+	// OnCtrl fires for every control message received.
+	OnCtrl func(m CtrlMsg)
+
+	Stats DisplayStats
+}
+
+// NewDisplay builds a display with a w×h screen and the given
+// framebuffer port rate in bits/second (0 selects 960 Mb/s).
+func NewDisplay(s *sim.Sim, w, h int, fbRate int64) *Display {
+	if fbRate == 0 {
+		fbRate = 960_000_000
+	}
+	d := &Display{
+		sim:     s,
+		fb:      media.NewFrame(w, h, 0),
+		fbRate:  fbRate,
+		ras:     atm.NewReassembler(),
+		windows: make(map[atm.VCI]*Window),
+		ctrl:    make(map[atm.VCI]*Window),
+		pending: make(map[*Window][]bufferedGroup),
+		owner:   make([]*Window, w*h),
+	}
+	return d
+}
+
+// Screen exposes the framebuffer (for assertions and screenshots).
+func (d *Display) Screen() *media.Frame { return d.fb }
+
+// CreateWindow installs a descriptor mapping circuit vci to a screen
+// rectangle; the new window goes on top of the z-order.
+func (d *Display) CreateWindow(vci atm.VCI, x, y, w, h int) *Window {
+	if _, dup := d.windows[vci]; dup {
+		panic(fmt.Sprintf("devices: circuit %d already has a window", vci))
+	}
+	win := &Window{VCI: vci, X: x, Y: y, W: w, H: h, Enabled: true, display: d}
+	d.windows[vci] = win
+	d.zorder = append(d.zorder, win)
+	d.recomputeOwnership()
+	return win
+}
+
+// DestroyWindow removes a window and its control binding.
+func (d *Display) DestroyWindow(w *Window) {
+	delete(d.windows, w.VCI)
+	for v, cw := range d.ctrl {
+		if cw == w {
+			delete(d.ctrl, v)
+		}
+	}
+	for i, z := range d.zorder {
+		if z == w {
+			d.zorder = append(d.zorder[:i], d.zorder[i+1:]...)
+			break
+		}
+	}
+	delete(d.pending, w)
+	d.recomputeOwnership()
+}
+
+// MoveWindow repositions a window. The window manager exerts all its
+// control by editing descriptors like this (§2.1).
+func (d *Display) MoveWindow(w *Window, x, y int) {
+	w.X, w.Y = x, y
+	d.recomputeOwnership()
+}
+
+// ResizeWindow changes a window's clip rectangle.
+func (d *Display) ResizeWindow(w *Window, wd, ht int) {
+	w.W, w.H = wd, ht
+	d.recomputeOwnership()
+}
+
+// RaiseWindow moves a window to the top of the z-order.
+func (d *Display) RaiseWindow(w *Window) {
+	for i, z := range d.zorder {
+		if z == w {
+			d.zorder = append(d.zorder[:i], d.zorder[i+1:]...)
+			d.zorder = append(d.zorder, w)
+			break
+		}
+	}
+	d.recomputeOwnership()
+}
+
+// LowerWindow moves a window to the bottom of the z-order.
+func (d *Display) LowerWindow(w *Window) {
+	for i, z := range d.zorder {
+		if z == w {
+			d.zorder = append(d.zorder[:i], d.zorder[i+1:]...)
+			d.zorder = append([]*Window{w}, d.zorder...)
+			break
+		}
+	}
+	d.recomputeOwnership()
+}
+
+// SetEnabled toggles a window's visibility.
+func (d *Display) SetEnabled(w *Window, on bool) {
+	w.Enabled = on
+	d.recomputeOwnership()
+}
+
+// AttachControl binds a control circuit to the window of a data circuit,
+// so EOF/Sync messages drive that window's rendering.
+func (d *Display) AttachControl(ctrlVCI, dataVCI atm.VCI) {
+	w, ok := d.windows[dataVCI]
+	if !ok {
+		panic(fmt.Sprintf("devices: no window for data circuit %d", dataVCI))
+	}
+	d.ctrl[ctrlVCI] = w
+}
+
+// Window returns the descriptor for a data circuit, or nil.
+func (d *Display) Window(vci atm.VCI) *Window { return d.windows[vci] }
+
+func (d *Display) recomputeOwnership() {
+	for i := range d.owner {
+		d.owner[i] = nil
+	}
+	for _, w := range d.zorder { // bottom to top; later wins
+		if !w.Enabled {
+			continue
+		}
+		x0, y0 := max(0, w.X), max(0, w.Y)
+		x1, y1 := min(d.fb.W, w.X+w.W), min(d.fb.H, w.Y+w.H)
+		for y := y0; y < y1; y++ {
+			row := d.owner[y*d.fb.W : (y+1)*d.fb.W]
+			for x := x0; x < x1; x++ {
+				row[x] = w
+			}
+		}
+	}
+}
+
+// HandleCell is the display's network input.
+func (d *Display) HandleCell(c atm.Cell) {
+	f, err := d.ras.Push(c)
+	if err != nil {
+		d.Stats.CellErrors++
+		return
+	}
+	if f == nil {
+		return
+	}
+	switch f.UU {
+	case UUCtrl:
+		m, err := DecodeCtrl(f.Payload)
+		if err != nil {
+			d.Stats.GroupErrors++
+			return
+		}
+		d.handleCtrl(f.VCI, m)
+	case UUVideo:
+		g, err := media.DecodeGroup(f.Payload)
+		if err != nil {
+			d.Stats.GroupErrors++
+			return
+		}
+		d.handleGroup(f.VCI, g)
+	default:
+		d.Stats.GroupErrors++
+	}
+}
+
+func (d *Display) handleCtrl(vci atm.VCI, m CtrlMsg) {
+	d.Stats.CtrlMsgs++
+	if d.OnCtrl != nil {
+		d.OnCtrl(m)
+	}
+	w := d.ctrl[vci]
+	if w == nil || m.Kind != CtrlEOF {
+		return
+	}
+	if d.FrameMode {
+		groups := d.pending[w]
+		d.pending[w] = nil
+		for _, bg := range groups {
+			d.blitGroup(w, bg.g)
+		}
+	}
+	at := d.sim.Now()
+	if d.fbBusy > at {
+		at = d.fbBusy
+	}
+	frameID := m.Seq
+	win := w
+	d.sim.At(at, func() {
+		d.Stats.FramesShown++
+		if d.OnFrame != nil {
+			d.OnFrame(win, frameID, d.sim.Now())
+		}
+	})
+}
+
+func (d *Display) handleGroup(vci atm.VCI, g *media.TileGroup) {
+	w, ok := d.windows[vci]
+	if !ok {
+		d.Stats.NoWindow++
+		return
+	}
+	d.Stats.Groups++
+	if !w.Enabled {
+		return
+	}
+	if d.FrameMode {
+		d.pending[w] = append(d.pending[w], bufferedGroup{g})
+		return
+	}
+	d.blitGroup(w, g)
+}
+
+// blitGroup schedules the framebuffer writes for one tile group, paced by
+// the framebuffer port rate.
+func (d *Display) blitGroup(w *Window, g *media.TileGroup) {
+	bytes := int64(len(g.Tiles) * media.TileBytes)
+	start := d.sim.Now()
+	if d.fbBusy > start {
+		start = d.fbBusy
+	}
+	done := start + sim.Duration(bytes*8*int64(sim.Second)/d.fbRate)
+	d.fbBusy = done
+	d.sim.At(done, func() {
+		for _, t := range g.Tiles {
+			d.blitTile(w, g, t)
+		}
+	})
+}
+
+func (d *Display) blitTile(w *Window, g *media.TileGroup, t media.Tile) {
+	d.Stats.Tiles++
+	baseX, baseY := w.X+t.X, w.Y+t.Y
+	for r := 0; r < media.TileH; r++ {
+		y := baseY + r
+		if y < 0 || y >= d.fb.H {
+			d.Stats.PixelsClipped += media.TileW
+			continue
+		}
+		for cx := 0; cx < media.TileW; cx++ {
+			x := baseX + cx
+			// Clip to screen, to the window rectangle, and to the
+			// window's visible (topmost) region.
+			if x < 0 || x >= d.fb.W ||
+				t.X+cx >= w.W || t.Y+r >= w.H ||
+				d.owner[y*d.fb.W+x] != w {
+				d.Stats.PixelsClipped++
+				continue
+			}
+			d.fb.Pix[y*d.fb.W+x] = t.Pix[r*media.TileW+cx]
+			d.Stats.PixelsWritten++
+		}
+	}
+	if d.OnTile != nil {
+		d.OnTile(w, g, t, d.sim.Now())
+	}
+}

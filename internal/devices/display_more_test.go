@@ -1,0 +1,147 @@
+package devices
+
+import (
+	"testing"
+
+	"repro/internal/atm"
+	"repro/internal/fabric"
+	"repro/internal/media"
+	"repro/internal/sim"
+)
+
+// sendTile pushes one solid tile to the display on the given circuit.
+func sendTile(t *testing.T, s *sim.Sim, link *fabric.Link, vci atm.VCI, val byte) {
+	t.Helper()
+	var tile media.Tile
+	for i := range tile.Pix {
+		tile.Pix[i] = val
+	}
+	g := &media.TileGroup{Tiles: []media.Tile{tile}}
+	cells, err := atm.Segment(vci, UUVideo, media.EncodeGroup(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cells {
+		link.Send(c)
+	}
+	s.Run()
+}
+
+func TestLowerWindowExposesUnderneath(t *testing.T) {
+	s := sim.New()
+	d := NewDisplay(s, 32, 32, 0)
+	link := fabric.NewLink(s, fabric.Rate960M, 0, 0, d)
+	a := d.CreateWindow(1, 0, 0, 8, 8)
+	b := d.CreateWindow(2, 0, 0, 8, 8) // fully covers a
+	_ = b
+	sendTile(t, s, link, 1, 0x11)
+	if d.Screen().Pix[0] == 0x11 {
+		t.Fatal("obscured window painted")
+	}
+	d.LowerWindow(b)
+	sendTile(t, s, link, 1, 0x22)
+	if d.Screen().Pix[0] != 0x22 {
+		t.Fatal("window not exposed after lowering the cover")
+	}
+	_ = a
+}
+
+func TestDisabledWindowDrawsNothing(t *testing.T) {
+	s := sim.New()
+	d := NewDisplay(s, 32, 32, 0)
+	link := fabric.NewLink(s, fabric.Rate960M, 0, 0, d)
+	w := d.CreateWindow(1, 0, 0, 8, 8)
+	d.SetEnabled(w, false)
+	sendTile(t, s, link, 1, 0x33)
+	if d.Screen().Pix[0] == 0x33 {
+		t.Fatal("disabled window painted")
+	}
+	d.SetEnabled(w, true)
+	sendTile(t, s, link, 1, 0x44)
+	if d.Screen().Pix[0] != 0x44 {
+		t.Fatal("re-enabled window did not paint")
+	}
+}
+
+func TestResizeWindowClipsTiles(t *testing.T) {
+	s := sim.New()
+	d := NewDisplay(s, 32, 32, 0)
+	link := fabric.NewLink(s, fabric.Rate960M, 0, 0, d)
+	w := d.CreateWindow(1, 0, 0, 8, 8)
+	d.ResizeWindow(w, 4, 4) // clip to a quarter tile
+	sendTile(t, s, link, 1, 0x55)
+	if d.Screen().Pix[0] != 0x55 {
+		t.Fatal("in-clip pixel not painted")
+	}
+	if d.Screen().Pix[5] == 0x55 || d.Screen().Pix[5*32] == 0x55 {
+		t.Fatal("pixel outside the resized clip painted")
+	}
+}
+
+func TestCorruptGroupCounted(t *testing.T) {
+	s := sim.New()
+	d := NewDisplay(s, 32, 32, 0)
+	link := fabric.NewLink(s, fabric.Rate960M, 0, 0, d)
+	d.CreateWindow(1, 0, 0, 8, 8)
+	// A valid AAL5 frame whose payload is not a tile group.
+	cells, _ := atm.Segment(1, UUVideo, []byte("not a tile group at all"))
+	for _, c := range cells {
+		link.Send(c)
+	}
+	s.Run()
+	if d.Stats.GroupErrors != 1 {
+		t.Fatalf("group errors = %d, want 1", d.Stats.GroupErrors)
+	}
+	if d.Stats.Tiles != 0 {
+		t.Fatal("corrupt group blitted tiles")
+	}
+}
+
+func TestUnknownUUTagCounted(t *testing.T) {
+	s := sim.New()
+	d := NewDisplay(s, 32, 32, 0)
+	link := fabric.NewLink(s, fabric.Rate960M, 0, 0, d)
+	cells, _ := atm.Segment(1, 0x7F, []byte("mystery"))
+	for _, c := range cells {
+		link.Send(c)
+	}
+	s.Run()
+	if d.Stats.GroupErrors != 1 {
+		t.Fatalf("group errors = %d, want 1", d.Stats.GroupErrors)
+	}
+}
+
+func TestAudioJitterUnderCrossTraffic(t *testing.T) {
+	// Audio cells crossing a congested link pick up queueing jitter —
+	// the §2 sensitivity the dejitter buffer exists for. The audio and
+	// a bursty video stream share one 100 Mb/s output link.
+	s := sim.New()
+	dm := NewDemux()
+	shared := fabric.NewLink(s, fabric.Rate100M, 0, 0, dm)
+	sink := NewAudioSink(s, 20*sim.Millisecond)
+	src := NewAudioSource(s, AudioSourceConfig{Rate: 8000}, shared)
+	dm.Register(src.Config().VCI, sink)
+	dm.Register(src.Config().CtrlVCI, fabric.HandlerFunc(func(atm.Cell) {}))
+
+	// Bursty cross traffic: 2000-cell bursts every 20 ms on another VC.
+	dm.Register(999, fabric.HandlerFunc(func(atm.Cell) {}))
+	burst := s.Tick(0, 20*sim.Millisecond, func() {
+		for i := 0; i < 2000; i++ {
+			shared.Send(atm.Cell{VCI: 999})
+		}
+	})
+
+	src.Start()
+	s.RunUntil(sim.Second / 2)
+	src.Stop()
+	burst.Stop()
+	s.Run()
+
+	if sink.Stats.JitterNS.Max() < float64(100*sim.Microsecond) {
+		t.Fatalf("max jitter %v ns; cross traffic had no effect", sink.Stats.JitterNS.Max())
+	}
+	// The 20 ms dejitter buffer still plays everything on time.
+	if sink.Stats.Late != 0 {
+		t.Fatalf("late blocks = %d despite dejitter buffer", sink.Stats.Late)
+	}
+}

@@ -1,0 +1,132 @@
+package devices
+
+import (
+	"repro/internal/atm"
+	"repro/internal/fabric"
+	"repro/internal/media"
+	"repro/internal/sim"
+)
+
+// This file is the signal-processing half of the ATM DSP node (§2.1:
+// "an ATM DSP node which combines digital signal processing and audio
+// input and output"). The Mixer is the conferencing primitive: it takes
+// several incoming audio circuits, aligns blocks by source timestamp,
+// sums them with per-input gain, and emits a mixed stream on its own
+// circuit — entirely on the network, no workstation CPU involved.
+
+// MixerInput configures one input circuit.
+type MixerInput struct {
+	VCI atm.VCI
+	// Gain is a fixed-point multiplier in 1/256ths (256 = unity).
+	Gain int32
+}
+
+// MixerStats counts mixing activity.
+type MixerStats struct {
+	BlocksIn  int64
+	BlocksOut int64
+	Dropped   int64 // inputs arriving too late to join their mix slot
+	Saturated int64 // samples clipped at int16 range
+	Unmatched int64 // cells on unknown circuits
+}
+
+// Mixer is a DSP function: it mixes N timestamp-aligned audio streams
+// into one. Output blocks are emitted when all inputs for a timestamp
+// slot have arrived or after HoldTime, whichever is first.
+type Mixer struct {
+	sim    *sim.Sim
+	out    *fabric.Link
+	outVCI atm.VCI
+	inputs map[atm.VCI]MixerInput
+
+	// HoldTime bounds how long a slot waits for stragglers.
+	HoldTime sim.Duration
+
+	slots map[uint64]*mixSlot
+	seq   uint32
+
+	Stats MixerStats
+}
+
+type mixSlot struct {
+	ts      uint64
+	acc     [media.AudioSamplesPerBlock]int32
+	have    int
+	flushEv *sim.Event
+}
+
+// NewMixer builds a mixer emitting on outVCI via out.
+func NewMixer(s *sim.Sim, out *fabric.Link, outVCI atm.VCI, inputs []MixerInput) *Mixer {
+	m := &Mixer{
+		sim:      s,
+		out:      out,
+		outVCI:   outVCI,
+		inputs:   make(map[atm.VCI]MixerInput),
+		HoldTime: 5 * sim.Millisecond,
+		slots:    make(map[uint64]*mixSlot),
+	}
+	for _, in := range inputs {
+		m.inputs[in.VCI] = in
+	}
+	return m
+}
+
+// HandleCell is the mixer's network input.
+func (m *Mixer) HandleCell(c atm.Cell) {
+	in, ok := m.inputs[c.VCI]
+	if !ok {
+		m.Stats.Unmatched++
+		return
+	}
+	blk, err := media.DecodeAudioBlock(c.Payload[:])
+	if err != nil {
+		m.Stats.Unmatched++
+		return
+	}
+	m.Stats.BlocksIn++
+	slot, ok := m.slots[blk.Timestamp]
+	if !ok {
+		slot = &mixSlot{ts: blk.Timestamp}
+		m.slots[blk.Timestamp] = slot
+		ts := blk.Timestamp
+		slot.flushEv = m.sim.After(m.HoldTime, func() { m.flush(ts) })
+	}
+	for i, s := range blk.Samples {
+		slot.acc[i] += int32(s) * in.Gain / 256
+	}
+	slot.have++
+	if slot.have == len(m.inputs) {
+		m.sim.Cancel(slot.flushEv)
+		m.flush(blk.Timestamp)
+	}
+}
+
+// flush emits a slot's mix.
+func (m *Mixer) flush(ts uint64) {
+	slot, ok := m.slots[ts]
+	if !ok {
+		return
+	}
+	delete(m.slots, ts)
+	var out media.AudioBlock
+	out.Timestamp = ts
+	out.Seq = m.seq
+	m.seq++
+	for i, v := range slot.acc {
+		if v > 32767 {
+			v = 32767
+			m.Stats.Saturated++
+		} else if v < -32768 {
+			v = -32768
+			m.Stats.Saturated++
+		}
+		out.Samples[i] = int16(v)
+	}
+	enc := out.Encode()
+	var cell atm.Cell
+	cell.VCI = m.outVCI
+	cell.PTI = atm.PTIUser1
+	copy(cell.Payload[:], enc[:])
+	m.out.Send(cell)
+	m.Stats.BlocksOut++
+}

@@ -1,0 +1,138 @@
+package devices
+
+import (
+	"testing"
+
+	"repro/internal/atm"
+	"repro/internal/fabric"
+	"repro/internal/media"
+	"repro/internal/sim"
+)
+
+func sendAudio(l *fabric.Link, vci atm.VCI, ts uint64, seq uint32, val int16) {
+	var b media.AudioBlock
+	b.Timestamp = ts
+	b.Seq = seq
+	for i := range b.Samples {
+		b.Samples[i] = val
+	}
+	enc := b.Encode()
+	var c atm.Cell
+	c.VCI = vci
+	c.PTI = atm.PTIUser1
+	copy(c.Payload[:], enc[:])
+	l.Send(c)
+}
+
+func TestMixerSumsAlignedBlocks(t *testing.T) {
+	s := sim.New()
+	dm := NewDemux()
+	outLink := fabric.NewLink(s, fabric.Rate100M, 0, 0, dm)
+	var mixed []media.AudioBlock
+	dm.Register(70, fabric.HandlerFunc(func(c atm.Cell) {
+		b, err := media.DecodeAudioBlock(c.Payload[:])
+		if err != nil {
+			t.Errorf("bad mixed block: %v", err)
+			return
+		}
+		mixed = append(mixed, b)
+	}))
+	mixer := NewMixer(s, outLink, 70, []MixerInput{
+		{VCI: 71, Gain: 256}, // unity
+		{VCI: 72, Gain: 128}, // half
+	})
+	inLink := fabric.NewLink(s, fabric.Rate100M, 0, 0, mixer)
+
+	for slot := uint64(0); slot < 3; slot++ {
+		sendAudio(inLink, 71, slot*1000, uint32(slot), 1000)
+		sendAudio(inLink, 72, slot*1000, uint32(slot), 400)
+	}
+	s.Run()
+	if len(mixed) != 3 {
+		t.Fatalf("mixed %d blocks, want 3", len(mixed))
+	}
+	for _, b := range mixed {
+		// 1000*1 + 400*0.5 = 1200
+		if b.Samples[0] != 1200 {
+			t.Fatalf("mixed sample = %d, want 1200", b.Samples[0])
+		}
+	}
+	if mixer.Stats.Dropped != 0 || mixer.Stats.Unmatched != 0 {
+		t.Fatalf("stats = %+v", mixer.Stats)
+	}
+}
+
+func TestMixerFlushesOnHoldTimeout(t *testing.T) {
+	// One input goes silent: the slot must still emit after HoldTime.
+	s := sim.New()
+	var got int
+	dm := NewDemux()
+	outLink := fabric.NewLink(s, fabric.Rate100M, 0, 0, dm)
+	dm.Register(70, fabric.HandlerFunc(func(atm.Cell) { got++ }))
+	mixer := NewMixer(s, outLink, 70, []MixerInput{
+		{VCI: 71, Gain: 256},
+		{VCI: 72, Gain: 256},
+	})
+	inLink := fabric.NewLink(s, fabric.Rate100M, 0, 0, mixer)
+	sendAudio(inLink, 71, 5000, 0, 100) // input 72 never arrives
+	s.Run()
+	if got != 1 {
+		t.Fatalf("emitted %d blocks, want 1 (after hold timeout)", got)
+	}
+}
+
+func TestMixerSaturates(t *testing.T) {
+	s := sim.New()
+	var sample int16
+	dm := NewDemux()
+	outLink := fabric.NewLink(s, fabric.Rate100M, 0, 0, dm)
+	dm.Register(70, fabric.HandlerFunc(func(c atm.Cell) {
+		b, _ := media.DecodeAudioBlock(c.Payload[:])
+		sample = b.Samples[0]
+	}))
+	mixer := NewMixer(s, outLink, 70, []MixerInput{
+		{VCI: 71, Gain: 256},
+		{VCI: 72, Gain: 256},
+	})
+	inLink := fabric.NewLink(s, fabric.Rate100M, 0, 0, mixer)
+	sendAudio(inLink, 71, 0, 0, 30000)
+	sendAudio(inLink, 72, 0, 0, 30000)
+	s.Run()
+	if sample != 32767 {
+		t.Fatalf("sample = %d, want clipped 32767", sample)
+	}
+	if mixer.Stats.Saturated == 0 {
+		t.Fatal("saturation not counted")
+	}
+}
+
+func TestWindowManagerDecorations(t *testing.T) {
+	s := sim.New()
+	d := NewDisplay(s, 128, 128, 0)
+	wm := NewWindowManager(d)
+	w := d.CreateWindow(30, 32, 32, 64, 64)
+	wm.Manage(w)
+	s.Run()
+	// Title bar pixels above the window are painted with the shade.
+	if d.Screen().Pix[(32-4)*128+40] != wm.TitleShade {
+		t.Fatal("title bar not painted")
+	}
+	// Pixels inside the client window are NOT painted by the manager
+	// (it sits at the bottom of the z-order).
+	if d.Screen().Pix[40*128+40] == wm.TitleShade {
+		t.Fatal("manager painted inside a client window")
+	}
+}
+
+func TestWindowManagerMoveRedecorates(t *testing.T) {
+	s := sim.New()
+	d := NewDisplay(s, 128, 128, 0)
+	wm := NewWindowManager(d)
+	w := d.CreateWindow(30, 16, 16, 32, 32)
+	wm.Manage(w)
+	wm.Move(w, 64, 64)
+	s.Run()
+	if d.Screen().Pix[(64-4)*128+70] != wm.TitleShade {
+		t.Fatal("moved window's title bar not painted")
+	}
+}

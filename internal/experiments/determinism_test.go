@@ -1,0 +1,32 @@
+package experiments_test
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// Every harness must be bit-deterministic: the virtual-time substitution
+// is only a valid reproduction method if reruns agree exactly.
+func TestExperimentDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full runs per harness")
+	}
+	for _, mk := range []func() experiments.Result{
+		experiments.E14Relocation,
+		experiments.E15CachePolicy,
+		experiments.E16PowerFailure,
+		experiments.E18Admission,
+	} {
+		a, b := mk(), mk()
+		if a.ID != b.ID || len(a.Rows) != len(b.Rows) {
+			t.Fatalf("%s: row count changed between runs", a.ID)
+		}
+		for i := range a.Rows {
+			if a.Rows[i] != b.Rows[i] {
+				t.Fatalf("%s row %q: %q vs %q", a.ID,
+					a.Rows[i].Name, a.Rows[i].Measured, b.Rows[i].Measured)
+			}
+		}
+	}
+}

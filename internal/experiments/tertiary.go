@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/disk"
+	"repro/internal/fileserver"
+	"repro/internal/lfs"
+	"repro/internal/raid"
+	"repro/internal/sim"
+	"repro/internal/tertiary"
+)
+
+// E17TertiaryStorage reproduces §5's capacity story: the storage
+// service must "scale to a system size of 10 terabytes", which at 1994
+// densities means a tape tier behind the disk array. Cold recordings
+// migrate to tape, the one-pass cleaner reclaims their segments, and
+// the cost is the recall latency when a cold file is touched.
+func E17TertiaryStorage() Result {
+	res := Result{
+		ID:    "E17",
+		Title: "tertiary storage: migration, recall, capacity (§5)",
+		Notes: "64 MB disk array + 8-tape library; 2 MB video recordings ingested and archived",
+	}
+	const segSize = 64 << 10
+	const nseg = 1024 // 64 MB array
+	const recSize = 2 << 20
+
+	s := sim.New()
+	arr := raid.New(s, disk.DefaultParams(), segSize, nseg)
+	fs := lfs.New(s, arr, lfs.DefaultConfig(segSize))
+	sv := fileserver.NewServer(s, fs)
+	p := tertiary.DefaultParams()
+	p.Tapes = 8
+	p.TapeCapacity = 64 << 20
+	lib := tertiary.New(s, p)
+	m := fileserver.NewMigrator(s, sv, lib)
+
+	diskBytes := nseg * int64(segSize)
+	ingest := func(i int) string {
+		path := fmt.Sprintf("/rec%03d", i)
+		if err := sv.Create(path, true); err != nil {
+			panic(err)
+		}
+		if err := sv.Write(path, 0, make([]byte, recSize)); err != nil {
+			panic(err)
+		}
+		sv.Flush(func(err error) {
+			if err != nil {
+				panic(err)
+			}
+		})
+		s.Run()
+		return path
+	}
+	mustArchive := func(path string) {
+		m.Archive(path, func(err error) {
+			if err != nil {
+				panic(err)
+			}
+		})
+		s.Run()
+		if fs.FreeSegments() < 64 {
+			fs.CleanPegasus(func(_ lfs.CleanStats, err error) {
+				if err != nil {
+					panic(err)
+				}
+			})
+			s.Run()
+		}
+	}
+
+	// Ingest 4x the disk's capacity, keeping only the newest recording
+	// resident.
+	total := int64(0)
+	var last string
+	for i := 0; total < 4*diskBytes; i++ {
+		if last != "" {
+			mustArchive(last)
+		}
+		last = ingest(i)
+		total += recSize
+	}
+
+	res.Addf("data ingested vs disk capacity", "exceeds the array; tape absorbs it",
+		"%.0f MB ingested into a %.0f MB array (%.1fx)",
+		float64(total)/1e6, float64(diskBytes)/1e6, float64(total)/float64(diskBytes))
+	res.Addf("segments reclaimed by the cleaner", "cleaning cost ∝ garbage only",
+		"%d freed during migration", fs.Stats.SegmentsFreed)
+
+	// Latency: resident read vs cold recall of the same-size recording.
+	t0 := s.Now()
+	var residentErr error
+	sv.Read(last, 0, recSize, func(_ []byte, err error) { residentErr = err })
+	s.Run()
+	residentLat := s.Now() - t0
+	if residentErr != nil {
+		panic(residentErr)
+	}
+
+	cold := "/rec000"
+	t0 = s.Now()
+	var recallErr error
+	m.Read(cold, 0, recSize, func(_ []byte, err error) { recallErr = err })
+	s.Run()
+	recallLat := s.Now() - t0
+	if recallErr != nil {
+		panic(recallErr)
+	}
+	res.Addf("resident read, 2 MB", "disk-array latency", "%v", residentLat)
+	res.Addf("cold recall, 2 MB", "mount + wind + stream", "%v", recallLat)
+	res.Addf("recall penalty", "the price of the hierarchy", "%.0fx", float64(recallLat)/float64(residentLat))
+
+	// The 10 TB arithmetic with the era cost model.
+	full := tertiary.DefaultParams()
+	tapesFor10TB := (10 << 40) / full.TapeCapacity
+	res.Addf("10 TB at 2 GB/cartridge", "\"scale to ... 10 terabytes\"",
+		"%d cartridges (%d libraries of %d)", tapesFor10TB, tapesFor10TB/int64(full.Tapes), full.Tapes)
+	return res
+}

@@ -1,0 +1,90 @@
+package fabric_test
+
+import (
+	"testing"
+
+	"repro/internal/atm"
+	"repro/internal/fabric"
+	"repro/internal/sim"
+)
+
+func TestLinkAccessorsAndValidation(t *testing.T) {
+	s := sim.New()
+	sink := fabric.HandlerFunc(func(atm.Cell) {})
+	l := fabric.NewLink(s, fabric.Rate100M, 0, 0, sink)
+	if l.Rate() != fabric.Rate100M {
+		t.Fatalf("rate = %d", l.Rate())
+	}
+	for _, bad := range []func(){
+		func() { fabric.NewLink(s, 0, 0, 0, sink) },
+		func() { fabric.NewLink(s, fabric.Rate100M, 0, 0, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid link accepted")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+func TestSwitchAccessors(t *testing.T) {
+	s := sim.New()
+	sw := fabric.NewSwitch(s, "sw0", 4, 0)
+	if sw.Name() != "sw0" {
+		t.Fatalf("name = %q", sw.Name())
+	}
+	if sw.Ports() != 4 {
+		t.Fatalf("ports = %d", sw.Ports())
+	}
+	sink := fabric.HandlerFunc(func(atm.Cell) {})
+	l := fabric.NewLink(s, fabric.Rate100M, 0, 0, sink)
+	sw.AttachOutput(2, l)
+	if sw.Output(2) != l {
+		t.Fatal("Output(2) lost the link")
+	}
+	if sw.Output(1) != nil {
+		t.Fatal("unattached port has an output")
+	}
+	sw.Route(0, 7, 2, 9)
+	if !sw.Routed(0, 7) {
+		t.Fatal("installed route not reported")
+	}
+	if sw.Routed(0, 8) {
+		t.Fatal("phantom route reported")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("bad port accepted")
+			}
+		}()
+		sw.AttachOutput(99, l)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("zero-port switch accepted")
+			}
+		}()
+		fabric.NewSwitch(s, "bad", 0, 0)
+	}()
+}
+
+func TestSwitchNoOutportCounted(t *testing.T) {
+	// A route to a port with no attached link drops the cell and counts.
+	s := sim.New()
+	sw := fabric.NewSwitch(s, "sw", 2, 0)
+	in := fabric.NewLink(s, fabric.Rate100M, 0, 0, sw.In(0))
+	sw.Route(0, 1, 1, 1) // port 1 never attached
+	in.Send(atm.Cell{VCI: 1})
+	s.Run()
+	if sw.Stats.NoOutport != 1 {
+		t.Fatalf("NoOutport = %d, want 1", sw.Stats.NoOutport)
+	}
+	if sw.Stats.Switched != 0 {
+		t.Fatalf("Switched = %d, want 0", sw.Stats.Switched)
+	}
+}

@@ -1,0 +1,268 @@
+// Package fabric models the cell-switched network of the Pegasus
+// architecture (§2, Figs 1 and 4): point-to-point links with finite rate
+// and propagation delay, and Fairisle-style ATM switches with per-port
+// virtual-circuit routing tables and output queueing.
+//
+// The model is cell-accurate: every cell is serialised onto a link for
+// 424 bits / rate seconds of virtual time, and contention for an output
+// port appears as queueing delay, exactly the mechanism behind the paper's
+// latency and jitter arguments.
+package fabric
+
+import (
+	"fmt"
+
+	"repro/internal/atm"
+	"repro/internal/sim"
+)
+
+// Handler consumes cells delivered by a link.
+type Handler interface {
+	HandleCell(c atm.Cell)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(atm.Cell)
+
+// HandleCell calls f(c).
+func (f HandlerFunc) HandleCell(c atm.Cell) { f(c) }
+
+// Common link rates (bits per second). The Pegasus testbed ran 100 Mb/s
+// TAXI links; the display's framebuffer port runs at 960 Mb/s (Fig 3).
+const (
+	Rate100M = 100_000_000
+	Rate160M = 160_000_000
+	Rate960M = 960_000_000
+)
+
+// LinkStats counts traffic through a link.
+type LinkStats struct {
+	Sent      int64 // cells accepted for transmission
+	Delivered int64 // cells handed to the sink
+	Dropped   int64 // cells lost to queue overflow
+}
+
+// Link is a unidirectional cell pipe with serialisation delay, propagation
+// delay and a bounded output queue.
+type Link struct {
+	sim   *sim.Sim
+	rate  int64 // bits per second
+	prop  sim.Duration
+	limit int // max queued cells; 0 means unbounded
+	sink  Handler
+
+	queue []atm.Cell
+	head  int
+	busy  bool
+
+	Stats LinkStats
+}
+
+// NewLink builds a link of the given bit rate and propagation delay
+// delivering to sink. capacity bounds the transmit queue in cells
+// (0 = unbounded).
+func NewLink(s *sim.Sim, rate int64, prop sim.Duration, capacity int, sink Handler) *Link {
+	if rate <= 0 {
+		panic("fabric: link rate must be positive")
+	}
+	if sink == nil {
+		panic("fabric: link needs a sink")
+	}
+	return &Link{sim: s, rate: rate, prop: prop, limit: capacity, sink: sink}
+}
+
+// CellTime is the serialisation time of one 53-byte cell on this link.
+func (l *Link) CellTime() sim.Duration {
+	return sim.Duration(int64(atm.CellSize*8) * int64(sim.Second) / l.rate)
+}
+
+// Rate reports the link bit rate.
+func (l *Link) Rate() int64 { return l.rate }
+
+// QueueLen reports cells waiting to be serialised (excluding the one on
+// the wire).
+func (l *Link) QueueLen() int { return len(l.queue) - l.head }
+
+// Send queues a cell for transmission. Cells beyond the queue capacity
+// are dropped and counted.
+func (l *Link) Send(c atm.Cell) {
+	if l.limit > 0 && l.QueueLen() >= l.limit {
+		l.Stats.Dropped++
+		return
+	}
+	l.Stats.Sent++
+	l.queue = append(l.queue, c)
+	if !l.busy {
+		l.transmit()
+	}
+}
+
+func (l *Link) transmit() {
+	if l.head >= len(l.queue) {
+		l.queue = l.queue[:0]
+		l.head = 0
+		l.busy = false
+		return
+	}
+	l.busy = true
+	c := l.queue[l.head]
+	l.head++
+	if l.head > 1024 && l.head*2 > len(l.queue) {
+		l.queue = append(l.queue[:0], l.queue[l.head:]...)
+		l.head = 0
+	}
+	l.sim.After(l.CellTime(), func() {
+		l.sim.After(l.prop, func() {
+			l.Stats.Delivered++
+			l.sink.HandleCell(c)
+		})
+		l.transmit()
+	})
+}
+
+// routeKey identifies an incoming circuit at a switch.
+type routeKey struct {
+	port int
+	vci  atm.VCI
+}
+
+// routeVal is the outgoing side of a routing-table entry.
+type routeVal struct {
+	port int
+	vci  atm.VCI
+}
+
+// SwitchStats counts switch-level events.
+type SwitchStats struct {
+	Switched  int64 // cells forwarded
+	Unrouted  int64 // cells with no routing entry (dropped)
+	NoOutport int64 // cells routed to a port with no attached link
+}
+
+// Switch is an output-queued ATM switch. Each input cell is looked up in
+// the per-(port,VCI) routing table, its VCI rewritten, and after the
+// fabric transit delay it is queued on the output port's link.
+//
+// The paper's key architectural point (§2) is that the workstation manages
+// this table, so streams flow device-to-device without touching any CPU.
+type Switch struct {
+	sim         *sim.Sim
+	name        string
+	fabricDelay sim.Duration
+	outputs     []*Link
+	routes      map[routeKey][]routeVal
+
+	Stats SwitchStats
+}
+
+// NewSwitch builds a switch with nports ports and the given per-cell
+// fabric transit delay.
+func NewSwitch(s *sim.Sim, name string, nports int, fabricDelay sim.Duration) *Switch {
+	if nports <= 0 {
+		panic("fabric: switch needs at least one port")
+	}
+	return &Switch{
+		sim:         s,
+		name:        name,
+		fabricDelay: fabricDelay,
+		outputs:     make([]*Link, nports),
+		routes:      make(map[routeKey][]routeVal),
+	}
+}
+
+// Name returns the switch's name (for diagnostics).
+func (sw *Switch) Name() string { return sw.name }
+
+// Ports reports the port count.
+func (sw *Switch) Ports() int { return len(sw.outputs) }
+
+// AttachOutput connects the transmit side of port to link.
+func (sw *Switch) AttachOutput(port int, l *Link) {
+	sw.checkPort(port)
+	sw.outputs[port] = l
+}
+
+// Output returns the link attached to a port's transmit side, or nil.
+func (sw *Switch) Output(port int) *Link {
+	sw.checkPort(port)
+	return sw.outputs[port]
+}
+
+// In returns the handler for cells arriving on the given input port; wire
+// it as the sink of the link feeding this switch.
+func (sw *Switch) In(port int) Handler {
+	sw.checkPort(port)
+	return HandlerFunc(func(c atm.Cell) { sw.receive(port, c) })
+}
+
+// Route installs a routing entry: cells arriving on inPort with circuit
+// inVCI leave on outPort carrying outVCI. Calling Route again for the
+// same input adds another leaf, forming a point-to-multipoint circuit
+// (how the TV-director application feeds a preview window and the file
+// server from one camera).
+func (sw *Switch) Route(inPort int, inVCI atm.VCI, outPort int, outVCI atm.VCI) {
+	sw.checkPort(inPort)
+	sw.checkPort(outPort)
+	k := routeKey{inPort, inVCI}
+	sw.routes[k] = append(sw.routes[k], routeVal{outPort, outVCI})
+}
+
+// Unroute removes a routing entry; it reports whether one existed.
+func (sw *Switch) Unroute(inPort int, inVCI atm.VCI) bool {
+	k := routeKey{inPort, inVCI}
+	_, ok := sw.routes[k]
+	delete(sw.routes, k)
+	return ok
+}
+
+// Routed reports whether a circuit is routed from the given input port.
+func (sw *Switch) Routed(inPort int, inVCI atm.VCI) bool {
+	_, ok := sw.routes[routeKey{inPort, inVCI}]
+	return ok
+}
+
+func (sw *Switch) receive(port int, c atm.Cell) {
+	leaves, ok := sw.routes[routeKey{port, c.VCI}]
+	if !ok {
+		sw.Stats.Unrouted++
+		return
+	}
+	for _, v := range leaves {
+		out := sw.outputs[v.port]
+		if out == nil {
+			sw.Stats.NoOutport++
+			continue
+		}
+		cc := c
+		cc.VCI = v.vci
+		sw.Stats.Switched++
+		if sw.fabricDelay > 0 {
+			sw.sim.After(sw.fabricDelay, func() { out.Send(cc) })
+		} else {
+			out.Send(cc)
+		}
+	}
+}
+
+func (sw *Switch) checkPort(p int) {
+	if p < 0 || p >= len(sw.outputs) {
+		panic(fmt.Sprintf("fabric: switch %q has no port %d", sw.name, p))
+	}
+}
+
+// Recorder is a Handler that records delivery times, used by tests and by
+// the experiment harnesses to measure end-to-end cell latency.
+type Recorder struct {
+	sim   *sim.Sim
+	Cells []atm.Cell
+	Times []sim.Time
+}
+
+// NewRecorder returns a Recorder stamping deliveries with s's clock.
+func NewRecorder(s *sim.Sim) *Recorder { return &Recorder{sim: s} }
+
+// HandleCell records the cell and its arrival time.
+func (r *Recorder) HandleCell(c atm.Cell) {
+	r.Cells = append(r.Cells, c)
+	r.Times = append(r.Times, r.sim.Now())
+}

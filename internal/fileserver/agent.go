@@ -1,0 +1,173 @@
+package fileserver
+
+import (
+	"repro/internal/sim"
+)
+
+// Agent is the client-side file-server agent of §5. The reliability
+// protocol: on a write, the agent sends the data to the server and
+// keeps a copy in its own buffers; the server's acknowledgement (receipt
+// into server memory) unblocks the application, because client and
+// server crash independently and two copies now exist. The agent drops
+// its copy only when the server reports the data flushed to disk. If
+// the server crashes first, the agent replays everything not yet
+// flushed once the server returns.
+type Agent struct {
+	sim *sim.Sim
+	srv *Server
+	// NetDelay models the client-server hop for the acknowledgement
+	// path (one round trip per write).
+	NetDelay sim.Duration
+
+	// buffered holds copies awaiting flush confirmation, in send order.
+	buffered []agentEntry
+
+	Stats AgentStats
+}
+
+// AgentStats counts agent activity.
+type AgentStats struct {
+	Writes       int64
+	Acked        int64
+	FlushedDrops int64
+	Replays      int64
+	ReplayBytes  int64
+}
+
+type agentEntry struct {
+	path string
+	off  int64
+	data []byte
+	kind entryKind
+}
+
+type entryKind int
+
+const (
+	entryWrite entryKind = iota
+	entryCreate
+	entryDelete
+)
+
+// NewAgent builds an agent bound (in-process) to a server. Network
+// placement is the business of package core; the protocol is identical.
+func NewAgent(s *sim.Sim, srv *Server) *Agent {
+	a := &Agent{sim: s, srv: srv, NetDelay: 200 * sim.Microsecond}
+	srv.SubscribeFlush(a.onFlushed)
+	return a
+}
+
+// Buffered reports entries awaiting flush confirmation.
+func (a *Agent) Buffered() int { return len(a.buffered) }
+
+// Create forwards a create, remembering it for replay.
+func (a *Agent) Create(path string, continuous bool, done func(error)) {
+	a.buffered = append(a.buffered, agentEntry{path: path, kind: entryCreate})
+	a.sim.After(a.NetDelay, func() {
+		err := a.srv.Create(path, continuous)
+		a.sim.After(a.NetDelay, func() { done(err) })
+	})
+}
+
+// Write sends data and keeps a copy; done fires at the server's
+// acknowledgement (two copies exist from that instant).
+func (a *Agent) Write(path string, off int64, data []byte, done func(error)) {
+	cp := append([]byte(nil), data...)
+	a.buffered = append(a.buffered, agentEntry{path: path, off: off, data: cp, kind: entryWrite})
+	a.Stats.Writes++
+	a.sim.After(a.NetDelay, func() {
+		err := a.srv.Write(path, off, cp)
+		a.sim.After(a.NetDelay, func() {
+			if err == nil {
+				a.Stats.Acked++
+			}
+			done(err)
+		})
+	})
+}
+
+// Delete forwards a delete; earlier buffered entries for the path are
+// superseded.
+func (a *Agent) Delete(path string, done func(error)) {
+	kept := a.buffered[:0]
+	for _, e := range a.buffered {
+		if e.path != path {
+			kept = append(kept, e)
+		}
+	}
+	a.buffered = append(kept, agentEntry{path: path, kind: entryDelete})
+	a.sim.After(a.NetDelay, func() {
+		err := a.srv.Delete(path)
+		a.sim.After(a.NetDelay, func() { done(err) })
+	})
+}
+
+// Read proxies a read through the network hop.
+func (a *Agent) Read(path string, off int64, n int, done func([]byte, error)) {
+	a.sim.After(a.NetDelay, func() {
+		a.srv.Read(path, off, n, func(b []byte, err error) {
+			a.sim.After(a.NetDelay, func() { done(b, err) })
+		})
+	})
+}
+
+// onFlushed drops buffered copies the server has made durable.
+func (a *Agent) onFlushed(path string) {
+	kept := a.buffered[:0]
+	for _, e := range a.buffered {
+		if e.path == path {
+			a.Stats.FlushedDrops++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	a.buffered = kept
+}
+
+// Replay re-sends every unflushed entry after a server crash; done
+// fires when all entries are re-acknowledged. "When the server crashes,
+// the client agent notices and either writes the data to an alternative
+// server or waits for the crashed server to come back up" — this is the
+// wait-and-replay path.
+func (a *Agent) Replay(done func(error)) {
+	entries := a.buffered
+	idx := 0
+	var step func(error)
+	step = func(err error) {
+		if err != nil {
+			done(err)
+			return
+		}
+		if idx >= len(entries) {
+			done(nil)
+			return
+		}
+		e := entries[idx]
+		idx++
+		a.Stats.Replays++
+		switch e.kind {
+		case entryCreate:
+			a.sim.After(a.NetDelay, func() {
+				err := a.srv.Create(e.path, false)
+				if err != nil && a.srv.Exists(e.path) {
+					err = nil // already recovered from the name map
+				}
+				step(err)
+			})
+		case entryWrite:
+			a.Stats.ReplayBytes += int64(len(e.data))
+			a.sim.After(a.NetDelay, func() {
+				step(a.srv.Write(e.path, e.off, e.data))
+			})
+		case entryDelete:
+			a.sim.After(a.NetDelay, func() {
+				err := a.srv.Delete(e.path)
+				if err != nil && !a.srv.Exists(e.path) {
+					err = nil // already gone
+				}
+				step(err)
+			})
+		}
+	}
+	step(nil)
+}

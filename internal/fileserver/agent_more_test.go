@@ -1,0 +1,130 @@
+package fileserver_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/fileserver"
+	"repro/internal/sim"
+)
+
+func TestAgentReadThroughNetwork(t *testing.T) {
+	s := sim.New()
+	sv := newServer(s, 32)
+	ag := fileserver.NewAgent(s, sv)
+	data := pat(3, 2000)
+	ag.Create("/r", false, func(error) {})
+	ag.Write("/r", 0, data, func(error) {})
+	var got []byte
+	var err error
+	var at sim.Time
+	ag.Read("/r", 0, 2000, func(b []byte, e error) { got, err = b, e; at = s.Now() })
+	s.Run()
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("read = %v err %v", len(got), err)
+	}
+	// Two network hops each way: the read cannot be instantaneous.
+	if at < 2*ag.NetDelay {
+		t.Fatalf("read completed at %v, faster than the network allows", at)
+	}
+}
+
+func TestAgentDeleteSupersedesBufferedWrites(t *testing.T) {
+	s := sim.New()
+	sv := newServer(s, 32)
+	sv.WriteDelay = 30 * sim.Second
+	ag := fileserver.NewAgent(s, sv)
+	ag.Create("/tmp", false, func(error) {})
+	ag.Write("/tmp", 0, pat(1, 1000), func(error) {})
+	ag.Delete("/tmp", func(error) {})
+	s.RunUntil(sim.Second)
+	// After a crash+replay, the file must stay deleted (the delete is
+	// the last word).
+	sv.Crash()
+	srvRecover(t, s, sv)
+	var rerr error
+	ag.Replay(func(e error) { rerr = e })
+	s.Run()
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if sv.Exists("/tmp") {
+		t.Fatal("deleted file resurrected by replay")
+	}
+}
+
+func TestAgentReplayPreservesWriteOrder(t *testing.T) {
+	// Overlapping writes must replay in original order or the final
+	// content changes.
+	s := sim.New()
+	sv := newServer(s, 32)
+	sv.WriteDelay = 30 * sim.Second
+	ag := fileserver.NewAgent(s, sv)
+	ag.Create("/o", false, func(error) {})
+	ag.Write("/o", 0, pat(1, 1000), func(error) {})
+	ag.Write("/o", 500, pat(2, 1000), func(error) {})
+	ag.Write("/o", 200, pat(3, 100), func(error) {})
+	s.RunUntil(sim.Second)
+	want := make([]byte, 1500)
+	copy(want, pat(1, 1000))
+	copy(want[500:], pat(2, 1000))
+	copy(want[200:], pat(3, 100))
+
+	sv.Crash()
+	srvRecover(t, s, sv)
+	ag.Replay(func(error) {})
+	s.Run()
+	got := srvRead(t, s, sv, "/o", 0, 1500)
+	if !bytes.Equal(got, want) {
+		t.Fatal("replay reordered overlapping writes")
+	}
+}
+
+func TestTwoAgentsOneServer(t *testing.T) {
+	s := sim.New()
+	sv := newServer(s, 32)
+	sv.WriteDelay = 30 * sim.Second
+	a1 := fileserver.NewAgent(s, sv)
+	a2 := fileserver.NewAgent(s, sv)
+	a1.Create("/a1", false, func(error) {})
+	a2.Create("/a2", false, func(error) {})
+	a1.Write("/a1", 0, pat(1, 500), func(error) {})
+	a2.Write("/a2", 0, pat(2, 500), func(error) {})
+	s.RunUntil(sim.Second)
+	sv.Crash()
+	srvRecover(t, s, sv)
+	a1.Replay(func(error) {})
+	s.Run()
+	a2.Replay(func(error) {})
+	s.Run()
+	if !bytes.Equal(srvRead(t, s, sv, "/a1", 0, 500), pat(1, 500)) {
+		t.Fatal("agent 1 data lost")
+	}
+	if !bytes.Equal(srvRead(t, s, sv, "/a2", 0, 500), pat(2, 500)) {
+		t.Fatal("agent 2 data lost")
+	}
+}
+
+func TestFlushNotificationCountsMatch(t *testing.T) {
+	s := sim.New()
+	sv := newServer(s, 32)
+	sv.WriteDelay = 30 * sim.Second
+	ag := fileserver.NewAgent(s, sv)
+	for i := 0; i < 5; i++ {
+		name := string(rune('a' + i))
+		ag.Create("/"+name, false, func(error) {})
+		ag.Write("/"+name, 0, pat(byte(i), 100), func(error) {})
+	}
+	s.RunUntil(sim.Second)
+	buffered := ag.Buffered()
+	if buffered != 10 { // 5 creates + 5 writes
+		t.Fatalf("buffered = %d, want 10", buffered)
+	}
+	flush(t, s, sv)
+	if ag.Buffered() != 0 {
+		t.Fatalf("buffered after flush = %d", ag.Buffered())
+	}
+	if ag.Stats.FlushedDrops != 10 {
+		t.Fatalf("flushed drops = %d", ag.Stats.FlushedDrops)
+	}
+}

@@ -1,0 +1,284 @@
+package fileserver
+
+// Directory caching (§5): "This applies to naming data too, albeit that
+// directories can be cached more effectively when the semantics of
+// directory operations are exploited in the caching algorithms."
+//
+// A directory is not an opaque byte range: its operations are lookups,
+// inserts and removes. A client that caches directory *contents* and
+// applies its own mutations to the cached copy stays coherent without
+// refetching; a client that caches directories as data must invalidate
+// on every mutation. DirClient implements both policies so experiment
+// E15 can compare them.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/lfs"
+	"repro/internal/sim"
+)
+
+// Directory-service errors.
+var (
+	ErrNoDir    = errors.New("fileserver: no such directory")
+	ErrDirEntry = errors.New("fileserver: no such directory entry")
+	ErrDupEntry = errors.New("fileserver: directory entry exists")
+)
+
+// DirServerStats counts server-side directory activity.
+type DirServerStats struct {
+	Lookups  int64
+	ReadDirs int64
+	Inserts  int64
+	Removes  int64
+}
+
+// DirServer is the server half of the directory service: an in-memory
+// name → pnode map per directory. (Durability of directories rides the
+// ordinary file path; this type isolates the caching semantics.)
+type DirServer struct {
+	sim  *sim.Sim
+	dirs map[string]map[string]lfs.Pnode
+
+	Stats DirServerStats
+}
+
+// NewDirServer builds an empty directory service.
+func NewDirServer(s *sim.Sim) *DirServer {
+	return &DirServer{sim: s, dirs: make(map[string]map[string]lfs.Pnode)}
+}
+
+// MkDir creates an empty directory.
+func (ds *DirServer) MkDir(dir string) error {
+	if _, dup := ds.dirs[dir]; dup {
+		return fmt.Errorf("%w: %s", ErrExists, dir)
+	}
+	ds.dirs[dir] = make(map[string]lfs.Pnode)
+	return nil
+}
+
+// Insert adds an entry.
+func (ds *DirServer) Insert(dir, name string, pn lfs.Pnode) error {
+	d, ok := ds.dirs[dir]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoDir, dir)
+	}
+	if _, dup := d[name]; dup {
+		return fmt.Errorf("%w: %s/%s", ErrDupEntry, dir, name)
+	}
+	ds.Stats.Inserts++
+	d[name] = pn
+	return nil
+}
+
+// Remove deletes an entry.
+func (ds *DirServer) Remove(dir, name string) error {
+	d, ok := ds.dirs[dir]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoDir, dir)
+	}
+	if _, ok := d[name]; !ok {
+		return fmt.Errorf("%w: %s/%s", ErrDirEntry, dir, name)
+	}
+	ds.Stats.Removes++
+	delete(d, name)
+	return nil
+}
+
+// Lookup resolves one entry.
+func (ds *DirServer) Lookup(dir, name string) (lfs.Pnode, error) {
+	d, ok := ds.dirs[dir]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNoDir, dir)
+	}
+	ds.Stats.Lookups++
+	pn, ok := d[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s/%s", ErrDirEntry, dir, name)
+	}
+	return pn, nil
+}
+
+// ReadDir returns a directory's full contents (a copy).
+func (ds *DirServer) ReadDir(dir string) (map[string]lfs.Pnode, error) {
+	d, ok := ds.dirs[dir]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoDir, dir)
+	}
+	ds.Stats.ReadDirs++
+	out := make(map[string]lfs.Pnode, len(d))
+	for k, v := range d {
+		out[k] = v
+	}
+	return out, nil
+}
+
+// Entries lists a directory's names, sorted (diagnostics and tests).
+func (ds *DirServer) Entries(dir string) []string {
+	d := ds.dirs[dir]
+	out := make([]string, 0, len(d))
+	for k := range d {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DirCachePolicy selects how a DirClient keeps its cache coherent.
+type DirCachePolicy int
+
+const (
+	// NoDirCache sends every lookup to the server.
+	NoDirCache DirCachePolicy = iota
+	// DataDirCache treats a directory as opaque data: any mutation
+	// invalidates the whole cached directory, as a block cache would.
+	DataDirCache
+	// SemanticDirCache applies the client's own inserts and removes to
+	// the cached copy, exploiting the operations' semantics: the cache
+	// stays valid across mutations.
+	SemanticDirCache
+)
+
+// String names the policy.
+func (p DirCachePolicy) String() string {
+	switch p {
+	case DataDirCache:
+		return "data cache"
+	case SemanticDirCache:
+		return "semantic cache"
+	default:
+		return "no cache"
+	}
+}
+
+// DirClientStats counts client-side directory activity; ServerTrips is
+// the number experiment E15 reports.
+type DirClientStats struct {
+	Lookups       int64
+	Hits          int64 // lookups answered from the cache
+	NegativeHits  int64 // "no such entry" answered from the cache
+	ServerTrips   int64 // round trips paid
+	Invalidations int64 // whole-directory drops (data policy)
+}
+
+// DirClient is a client-side directory agent (one of the paper's
+// "file-server agents on client machines" mirroring a service-stack
+// layer).
+type DirClient struct {
+	sim      *sim.Sim
+	srv      *DirServer
+	Policy   DirCachePolicy
+	NetDelay sim.Duration
+
+	cache map[string]map[string]lfs.Pnode
+
+	Stats DirClientStats
+}
+
+// NewDirClient binds a client agent to a directory server.
+func NewDirClient(s *sim.Sim, srv *DirServer, policy DirCachePolicy) *DirClient {
+	return &DirClient{
+		sim:      s,
+		srv:      srv,
+		Policy:   policy,
+		NetDelay: 200 * sim.Microsecond,
+		cache:    make(map[string]map[string]lfs.Pnode),
+	}
+}
+
+// trip models one client-server round trip, then runs fn on the reply.
+func (dc *DirClient) trip(fn func()) {
+	dc.Stats.ServerTrips++
+	dc.sim.After(2*dc.NetDelay, fn)
+}
+
+// Lookup resolves dir/name, from the cache when the policy allows.
+// A cached full directory answers both hits and definitive misses
+// ("the name is not there") locally.
+func (dc *DirClient) Lookup(dir, name string, done func(lfs.Pnode, error)) {
+	dc.Stats.Lookups++
+	if dc.Policy != NoDirCache {
+		if d, ok := dc.cache[dir]; ok {
+			if pn, ok := d[name]; ok {
+				dc.Stats.Hits++
+				done(pn, nil)
+				return
+			}
+			dc.Stats.NegativeHits++
+			done(0, fmt.Errorf("%w: %s/%s", ErrDirEntry, dir, name))
+			return
+		}
+	}
+	dc.trip(func() {
+		if dc.Policy == NoDirCache {
+			pn, err := dc.srv.Lookup(dir, name)
+			done(pn, err)
+			return
+		}
+		// Cache the whole directory: one trip amortised over later
+		// lookups (this is how directory semantics already beat a block
+		// cache — the unit of transfer is the unit of meaning).
+		d, err := dc.srv.ReadDir(dir)
+		if err != nil {
+			done(0, err)
+			return
+		}
+		dc.cache[dir] = d
+		if pn, ok := d[name]; ok {
+			done(pn, nil)
+			return
+		}
+		done(0, fmt.Errorf("%w: %s/%s", ErrDirEntry, dir, name))
+	})
+}
+
+// Insert adds an entry through this client.
+func (dc *DirClient) Insert(dir, name string, pn lfs.Pnode, done func(error)) {
+	dc.trip(func() {
+		err := dc.srv.Insert(dir, name, pn)
+		if err == nil {
+			dc.applyMutation(dir, name, pn, true)
+		}
+		done(err)
+	})
+}
+
+// Remove deletes an entry through this client.
+func (dc *DirClient) Remove(dir, name string, done func(error)) {
+	dc.trip(func() {
+		err := dc.srv.Remove(dir, name)
+		if err == nil {
+			dc.applyMutation(dir, name, 0, false)
+		}
+		done(err)
+	})
+}
+
+// applyMutation keeps the cache coherent after one of our own writes,
+// according to the policy.
+func (dc *DirClient) applyMutation(dir, name string, pn lfs.Pnode, insert bool) {
+	d, ok := dc.cache[dir]
+	if !ok {
+		return
+	}
+	switch dc.Policy {
+	case SemanticDirCache:
+		if insert {
+			d[name] = pn
+		} else {
+			delete(d, name)
+		}
+	case DataDirCache:
+		// Opaque data changed: drop the cached copy.
+		delete(dc.cache, dir)
+		dc.Stats.Invalidations++
+	}
+}
+
+// Cached reports whether a directory is currently cached (tests).
+func (dc *DirClient) Cached(dir string) bool {
+	_, ok := dc.cache[dir]
+	return ok
+}

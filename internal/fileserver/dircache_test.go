@@ -1,0 +1,194 @@
+package fileserver_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/fileserver"
+	"repro/internal/lfs"
+	"repro/internal/sim"
+)
+
+func newDirPair(t *testing.T, policy fileserver.DirCachePolicy) (*sim.Sim, *fileserver.DirServer, *fileserver.DirClient) {
+	t.Helper()
+	s := sim.New()
+	ds := fileserver.NewDirServer(s)
+	if err := ds.MkDir("/src"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := ds.Insert("/src", fmt.Sprintf("f%d.c", i), lfs.Pnode(100+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s, ds, fileserver.NewDirClient(s, ds, policy)
+}
+
+func dirLookup(t *testing.T, s *sim.Sim, dc *fileserver.DirClient, dir, name string) (lfs.Pnode, error) {
+	t.Helper()
+	var pn lfs.Pnode
+	var err error
+	fired := false
+	dc.Lookup(dir, name, func(p lfs.Pnode, e error) { pn, err, fired = p, e, true })
+	s.Run()
+	if !fired {
+		t.Fatal("lookup callback never fired")
+	}
+	return pn, err
+}
+
+func dirInsert(t *testing.T, s *sim.Sim, dc *fileserver.DirClient, dir, name string, pn lfs.Pnode) {
+	t.Helper()
+	var err error
+	dc.Insert(dir, name, pn, func(e error) { err = e })
+	s.Run()
+	if err != nil {
+		t.Fatalf("Insert(%s/%s): %v", dir, name, err)
+	}
+}
+
+func dirRemove(t *testing.T, s *sim.Sim, dc *fileserver.DirClient, dir, name string) {
+	t.Helper()
+	var err error
+	dc.Remove(dir, name, func(e error) { err = e })
+	s.Run()
+	if err != nil {
+		t.Fatalf("Remove(%s/%s): %v", dir, name, err)
+	}
+}
+
+func TestDirNoCacheAlwaysTrips(t *testing.T) {
+	s, _, dc := newDirPair(t, fileserver.NoDirCache)
+	for i := 0; i < 5; i++ {
+		if pn, err := dirLookup(t, s, dc, "/src", "f3.c"); err != nil || pn != 103 {
+			t.Fatalf("lookup: pn=%d err=%v", pn, err)
+		}
+	}
+	if dc.Stats.ServerTrips != 5 {
+		t.Fatalf("trips = %d, want 5", dc.Stats.ServerTrips)
+	}
+	if dc.Stats.Hits != 0 {
+		t.Fatalf("hits = %d, want 0", dc.Stats.Hits)
+	}
+}
+
+func TestDirCacheAmortisesLookups(t *testing.T) {
+	for _, policy := range []fileserver.DirCachePolicy{fileserver.DataDirCache, fileserver.SemanticDirCache} {
+		s, _, dc := newDirPair(t, policy)
+		for i := 0; i < 10; i++ {
+			name := fmt.Sprintf("f%d.c", i%10)
+			if pn, err := dirLookup(t, s, dc, "/src", name); err != nil || pn != lfs.Pnode(100+i%10) {
+				t.Fatalf("%v lookup %s: pn=%d err=%v", policy, name, pn, err)
+			}
+		}
+		if dc.Stats.ServerTrips != 1 {
+			t.Fatalf("%v: trips = %d, want 1 (one ReadDir)", policy, dc.Stats.ServerTrips)
+		}
+		if dc.Stats.Hits != 9 {
+			t.Fatalf("%v: hits = %d, want 9", policy, dc.Stats.Hits)
+		}
+	}
+}
+
+func TestDirCacheNegativeLookup(t *testing.T) {
+	s, _, dc := newDirPair(t, fileserver.SemanticDirCache)
+	dirLookup(t, s, dc, "/src", "f0.c") // populate
+	_, err := dirLookup(t, s, dc, "/src", "missing.c")
+	if !errors.Is(err, fileserver.ErrDirEntry) {
+		t.Fatalf("err = %v, want ErrDirEntry", err)
+	}
+	if dc.Stats.NegativeHits != 1 {
+		t.Fatalf("negative hits = %d, want 1", dc.Stats.NegativeHits)
+	}
+	if dc.Stats.ServerTrips != 1 {
+		t.Fatalf("trips = %d: negative answer should be local", dc.Stats.ServerTrips)
+	}
+}
+
+func TestDirSemanticCacheSurvivesMutation(t *testing.T) {
+	s, ds, dc := newDirPair(t, fileserver.SemanticDirCache)
+	dirLookup(t, s, dc, "/src", "f0.c") // populate: 1 trip
+	dirInsert(t, s, dc, "/src", "new.c", 555)
+	dirRemove(t, s, dc, "/src", "f1.c")
+	if !dc.Cached("/src") {
+		t.Fatal("semantic cache dropped the directory on mutation")
+	}
+	// Both mutations visible locally with no further trips.
+	if pn, err := dirLookup(t, s, dc, "/src", "new.c"); err != nil || pn != 555 {
+		t.Fatalf("lookup new.c: pn=%d err=%v", pn, err)
+	}
+	if _, err := dirLookup(t, s, dc, "/src", "f1.c"); !errors.Is(err, fileserver.ErrDirEntry) {
+		t.Fatalf("removed entry still resolves: %v", err)
+	}
+	if dc.Stats.ServerTrips != 3 { // ReadDir + insert + remove
+		t.Fatalf("trips = %d, want 3", dc.Stats.ServerTrips)
+	}
+	// And the server agrees (coherence).
+	if _, err := ds.Lookup("/src", "f1.c"); err == nil {
+		t.Fatal("server still has the removed entry")
+	}
+}
+
+func TestDirDataCacheInvalidatesOnMutation(t *testing.T) {
+	s, _, dc := newDirPair(t, fileserver.DataDirCache)
+	dirLookup(t, s, dc, "/src", "f0.c") // populate: 1 trip
+	dirInsert(t, s, dc, "/src", "new.c", 555)
+	if dc.Cached("/src") {
+		t.Fatal("data cache kept a stale directory across a mutation")
+	}
+	if dc.Stats.Invalidations != 1 {
+		t.Fatalf("invalidations = %d, want 1", dc.Stats.Invalidations)
+	}
+	// Next lookup refetches.
+	if pn, err := dirLookup(t, s, dc, "/src", "new.c"); err != nil || pn != 555 {
+		t.Fatalf("lookup after invalidation: pn=%d err=%v", pn, err)
+	}
+	if dc.Stats.ServerTrips != 3 { // ReadDir + insert + ReadDir
+		t.Fatalf("trips = %d, want 3", dc.Stats.ServerTrips)
+	}
+}
+
+func TestDirServerErrors(t *testing.T) {
+	s := sim.New()
+	ds := fileserver.NewDirServer(s)
+	if err := ds.MkDir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.MkDir("/d"); !errors.Is(err, fileserver.ErrExists) {
+		t.Fatalf("duplicate mkdir: %v", err)
+	}
+	if err := ds.Insert("/ghost", "x", 1); !errors.Is(err, fileserver.ErrNoDir) {
+		t.Fatalf("insert into missing dir: %v", err)
+	}
+	if err := ds.Insert("/d", "x", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Insert("/d", "x", 2); !errors.Is(err, fileserver.ErrDupEntry) {
+		t.Fatalf("duplicate insert: %v", err)
+	}
+	if err := ds.Remove("/d", "y"); !errors.Is(err, fileserver.ErrDirEntry) {
+		t.Fatalf("remove missing entry: %v", err)
+	}
+	if _, err := ds.ReadDir("/ghost"); !errors.Is(err, fileserver.ErrNoDir) {
+		t.Fatalf("readdir missing dir: %v", err)
+	}
+	if got := ds.Entries("/d"); len(got) != 1 || got[0] != "x" {
+		t.Fatalf("entries = %v", got)
+	}
+}
+
+func TestDirTwoClientsSemanticCoherenceLimit(t *testing.T) {
+	// The semantic cache tracks the client's *own* mutations; a second
+	// client's mutation is invisible until refetch — the same limit the
+	// paper's client-server "jointly implemented" caching layers manage.
+	// This test documents the behaviour rather than hiding it.
+	s, ds, dc := newDirPair(t, fileserver.SemanticDirCache)
+	dirLookup(t, s, dc, "/src", "f0.c") // dc caches the directory
+	if err := ds.Insert("/src", "other.c", 777); err != nil {
+		t.Fatal(err) // a different client, bypassing dc
+	}
+	if _, err := dirLookup(t, s, dc, "/src", "other.c"); err == nil {
+		t.Fatal("stale cache answered for an entry it cannot know")
+	}
+}

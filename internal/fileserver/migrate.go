@@ -1,0 +1,173 @@
+package fileserver
+
+// Migration between the disk-resident log and the tape tier (§5). The
+// storage service's 10 TB goal outruns an era disk array by orders of
+// magnitude; the core layer is scoped to "secondary and tertiary
+// storage devices", so cold files move to tape and their log segments
+// become garbage for the one-pass cleaner to reclaim. A recall brings
+// a file back through the ordinary write path.
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/tertiary"
+)
+
+// MigratorStats counts migration activity.
+type MigratorStats struct {
+	ArchivedFiles int64
+	ArchivedBytes int64
+	Recalls       int64
+	RecallBytes   int64
+	ReadThroughs  int64 // transparent reads that triggered a recall
+}
+
+// archiveEntry is the catalogue stub left behind for an archived file.
+type archiveEntry struct {
+	size       int64
+	continuous bool
+}
+
+// Migrator moves whole files between a Server's log and a tape
+// library, leaving a catalogue stub while the file is on tape.
+type Migrator struct {
+	sim *sim.Sim
+	srv *Server
+	lib *tertiary.Library
+
+	archived map[string]archiveEntry
+
+	Stats MigratorStats
+}
+
+// NewMigrator binds a migrator to a server and a library.
+func NewMigrator(s *sim.Sim, srv *Server, lib *tertiary.Library) *Migrator {
+	return &Migrator{sim: s, srv: srv, lib: lib, archived: make(map[string]archiveEntry)}
+}
+
+// Archived reports whether a path currently lives on tape.
+func (m *Migrator) Archived(path string) bool {
+	_, ok := m.archived[path]
+	return ok
+}
+
+// ArchivedBytes reports the total size of files on tape.
+func (m *Migrator) ArchivedBytes() int64 {
+	var n int64
+	for _, e := range m.archived {
+		n += e.size
+	}
+	return n
+}
+
+// ArchivedFiles reports how many files live on tape.
+func (m *Migrator) ArchivedFiles() int { return len(m.archived) }
+
+// Size reports a path's size whether it is on disk or on tape.
+func (m *Migrator) Size(path string) (int64, error) {
+	if e, ok := m.archived[path]; ok {
+		return e.size, nil
+	}
+	return m.srv.Size(path)
+}
+
+// Archive moves a file to tape: read it (buffered writes included),
+// store it, delete the disk copy. The freed extents become garbage
+// entries — exactly what the Pegasus cleaner consumes.
+func (m *Migrator) Archive(path string, done func(error)) {
+	if m.Archived(path) {
+		done(fmt.Errorf("%w: %s already on tape", ErrExists, path))
+		return
+	}
+	size, err := m.srv.Size(path)
+	if err != nil {
+		done(err)
+		return
+	}
+	if size == 0 {
+		done(fmt.Errorf("%w: %s is empty", ErrNotFound, path))
+		return
+	}
+	continuous := m.srv.files[path].continuous
+	m.srv.Read(path, 0, int(size), func(data []byte, err error) {
+		if err != nil {
+			done(err)
+			return
+		}
+		m.lib.Store(path, data, func(err error) {
+			if err != nil {
+				done(err)
+				return
+			}
+			if err := m.srv.Delete(path); err != nil {
+				done(err)
+				return
+			}
+			m.archived[path] = archiveEntry{size: size, continuous: continuous}
+			m.Stats.ArchivedFiles++
+			m.Stats.ArchivedBytes += size
+			done(nil)
+		})
+	})
+}
+
+// Recall brings an archived file back to disk. The tape copy is
+// retired: once the file is writable on disk again, a stale tape copy
+// would be a correctness hazard.
+func (m *Migrator) Recall(path string, done func(error)) {
+	e, ok := m.archived[path]
+	if !ok {
+		done(fmt.Errorf("%w: %s is not archived", ErrNotFound, path))
+		return
+	}
+	m.lib.Recall(path, func(data []byte, err error) {
+		if err != nil {
+			done(err)
+			return
+		}
+		if m.srv.Exists(path) {
+			// A crash between the archive's delete and the next
+			// checkpoint can resurrect the disk remnant from the old
+			// name map; the tape copy is authoritative.
+			if err := m.srv.Delete(path); err != nil {
+				done(err)
+				return
+			}
+		}
+		if err := m.srv.Create(path, e.continuous); err != nil {
+			done(err)
+			return
+		}
+		if err := m.srv.Write(path, 0, data); err != nil {
+			done(err)
+			return
+		}
+		delete(m.archived, path)
+		if err := m.lib.Delete(path); err != nil {
+			done(err)
+			return
+		}
+		m.Stats.Recalls++
+		m.Stats.RecallBytes += e.size
+		done(nil)
+	})
+}
+
+// Read is the transparent read path: archived files are recalled on
+// demand (the §5 hierarchy made visible as latency), resident files
+// are read directly.
+func (m *Migrator) Read(path string, off int64, n int, done func([]byte, error)) {
+	if !m.Archived(path) {
+		m.srv.Read(path, off, n, done)
+		return
+	}
+	m.Stats.ReadThroughs++
+	m.Recall(path, func(err error) {
+		if err != nil {
+			done(nil, err)
+			return
+		}
+		m.srv.Read(path, off, n, done)
+	})
+}

@@ -1,0 +1,137 @@
+package fileserver_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/fileserver"
+	"repro/internal/sim"
+)
+
+func vread(t *testing.T, s *sim.Sim, v *fileserver.VNodeLayer, fd int, n int) []byte {
+	t.Helper()
+	buf := make([]byte, n)
+	var got int
+	var err error
+	v.Read(fd, buf, func(m int, e error) { got, err = m, e })
+	s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf[:got]
+}
+
+func TestVNodeOpenWriteReadClose(t *testing.T) {
+	s := sim.New()
+	sv := newServer(s, 32)
+	v := fileserver.NewVNodeLayer(sv)
+	fd, err := v.Open("/etc/motd", fileserver.ORdWr|fileserver.OCreate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("welcome to pegasus")
+	if n, err := v.Write(fd, data); err != nil || n != len(data) {
+		t.Fatalf("write = %d, %v", n, err)
+	}
+	if _, err := v.Seek(fd, 0, fileserver.SeekSet); err != nil {
+		t.Fatal(err)
+	}
+	if got := vread(t, s, v, fd, 64); !bytes.Equal(got, data) {
+		t.Fatalf("read = %q", got)
+	}
+	// Offset is at EOF now: next read returns 0 bytes.
+	if got := vread(t, s, v, fd, 8); len(got) != 0 {
+		t.Fatalf("post-EOF read = %q", got)
+	}
+	if err := v.Close(fd); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Write(fd, []byte("x")); err != fileserver.ErrBadFD {
+		t.Fatalf("write on closed fd: %v", err)
+	}
+}
+
+func TestVNodeSeekWhence(t *testing.T) {
+	s := sim.New()
+	sv := newServer(s, 32)
+	v := fileserver.NewVNodeLayer(sv)
+	fd, _ := v.Open("/f", fileserver.ORdWr|fileserver.OCreate)
+	v.Write(fd, make([]byte, 100))
+	if off, _ := v.Seek(fd, -10, fileserver.SeekEnd); off != 90 {
+		t.Fatalf("SeekEnd-10 = %d", off)
+	}
+	if off, _ := v.Seek(fd, 5, fileserver.SeekCur); off != 95 {
+		t.Fatalf("SeekCur+5 = %d", off)
+	}
+	if _, err := v.Seek(fd, -200, fileserver.SeekCur); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+	_ = s
+}
+
+func TestVNodeReadOnlyEnforced(t *testing.T) {
+	s := sim.New()
+	sv := newServer(s, 32)
+	sv.Create("/ro", false)
+	sv.Write("/ro", 0, []byte("data"))
+	v := fileserver.NewVNodeLayer(sv)
+	fd, err := v.Open("/ro", fileserver.ORdOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Write(fd, []byte("nope")); err != fileserver.ErrReadOnly {
+		t.Fatalf("err = %v, want ErrReadOnly", err)
+	}
+	if got := vread(t, s, v, fd, 4); string(got) != "data" {
+		t.Fatalf("read = %q", got)
+	}
+}
+
+func TestVNodeTruncAndUnlink(t *testing.T) {
+	s := sim.New()
+	sv := newServer(s, 32)
+	v := fileserver.NewVNodeLayer(sv)
+	fd, _ := v.Open("/t", fileserver.ORdWr|fileserver.OCreate)
+	v.Write(fd, make([]byte, 500))
+	v.Close(fd)
+	fd2, err := v.Open("/t", fileserver.ORdWr|fileserver.OTrunc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sz, _ := v.Stat("/t"); sz != 0 {
+		t.Fatalf("size after O_TRUNC = %d", sz)
+	}
+	v.Close(fd2)
+	if err := v.Unlink("/t"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Open("/t", fileserver.ORdOnly); err == nil {
+		t.Fatal("unlinked file opened")
+	}
+	_ = s
+}
+
+func TestVNodeOpenMissingWithoutCreate(t *testing.T) {
+	s := sim.New()
+	sv := newServer(s, 32)
+	v := fileserver.NewVNodeLayer(sv)
+	if _, err := v.Open("/missing", fileserver.ORdOnly); err == nil {
+		t.Fatal("missing file opened")
+	}
+	_ = s
+}
+
+func TestVNodeReaddir(t *testing.T) {
+	s := sim.New()
+	sv := newServer(s, 32)
+	v := fileserver.NewVNodeLayer(sv)
+	for _, n := range []string{"/b", "/a", "/c"} {
+		fd, _ := v.Open(n, fileserver.ORdWr|fileserver.OCreate)
+		v.Close(fd)
+	}
+	got := v.Readdir()
+	if len(got) != 3 || got[0] != "/a" || got[2] != "/c" {
+		t.Fatalf("Readdir = %v", got)
+	}
+	_ = s
+}

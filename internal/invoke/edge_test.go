@@ -1,0 +1,115 @@
+package invoke_test
+
+import (
+	"errors"
+	"sort"
+	"testing"
+
+	"repro/internal/invoke"
+)
+
+func TestInterfaceMethodsListing(t *testing.T) {
+	i := invoke.NewInterface("svc")
+	i.Define("read", func(b []byte) ([]byte, error) { return b, nil })
+	i.Define("write", func(b []byte) ([]byte, error) { return b, nil })
+	ms := i.Methods()
+	sort.Strings(ms)
+	if len(ms) != 2 || ms[0] != "read" || ms[1] != "write" {
+		t.Fatalf("Methods() = %v", ms)
+	}
+}
+
+func TestMaillonRefAndNilResolverPanics(t *testing.T) {
+	ref := invoke.RefOf([]byte("obj-17"))
+	m := invoke.NewMaillon(ref, func(invoke.Ref) (invoke.Binding, error) {
+		return nil, errors.New("unreachable in this test")
+	})
+	if m.Ref() != ref {
+		t.Fatalf("Ref() = %v", m.Ref())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil resolver accepted")
+		}
+	}()
+	invoke.NewMaillon(ref, nil)
+}
+
+func TestBindingClasses(t *testing.T) {
+	i := invoke.NewInterface("x")
+	i.Define("op", func(b []byte) ([]byte, error) { return b, nil })
+	local := &invoke.LocalBinding{Iface: i}
+	if local.Class() != invoke.BindLocal {
+		t.Fatalf("local class = %v", local.Class())
+	}
+	agent := invoke.NewCachingAgent(local)
+	if agent.Class() != invoke.BindLocal {
+		t.Fatalf("agent must report its backing's class, got %v", agent.Class())
+	}
+	if got := invoke.BindClass(42).String(); got != "invalid" {
+		t.Fatalf("unknown class String() = %q", got)
+	}
+}
+
+func TestCachingAgentInvalidate(t *testing.T) {
+	calls := 0
+	i := invoke.NewInterface("kv")
+	i.Define("get", func(b []byte) ([]byte, error) {
+		calls++
+		return []byte("v"), nil
+	})
+	agent := invoke.NewCachingAgent(&invoke.LocalBinding{Iface: i}, "get")
+	for j := 0; j < 3; j++ {
+		if _, err := agent.Invoke(nil, "get", []byte("k")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("backing called %d times, want 1", calls)
+	}
+	agent.Invalidate("get")
+	agent.Invoke(nil, "get", []byte("k"))
+	if calls != 2 {
+		t.Fatalf("invalidate(get) did not force a refetch (calls=%d)", calls)
+	}
+	agent.Invalidate("") // drop everything
+	agent.Invoke(nil, "get", []byte("k"))
+	if calls != 3 {
+		t.Fatalf("invalidate(all) did not force a refetch (calls=%d)", calls)
+	}
+	if agent.Hits != 2 || agent.Misses != 3 {
+		t.Fatalf("hits/misses = %d/%d", agent.Hits, agent.Misses)
+	}
+}
+
+func TestCachingAgentErrorNotCached(t *testing.T) {
+	fail := true
+	i := invoke.NewInterface("flaky")
+	i.Define("get", func(b []byte) ([]byte, error) {
+		if fail {
+			return nil, errors.New("transient")
+		}
+		return []byte("ok"), nil
+	})
+	agent := invoke.NewCachingAgent(&invoke.LocalBinding{Iface: i}, "get")
+	if _, err := agent.Invoke(nil, "get", nil); err == nil {
+		t.Fatal("error swallowed")
+	}
+	fail = false
+	res, err := agent.Invoke(nil, "get", nil)
+	if err != nil || string(res) != "ok" {
+		t.Fatalf("recovery read = %q, %v (errors must not be cached)", res, err)
+	}
+}
+
+func TestMaillonResolverFailurePropagates(t *testing.T) {
+	m := invoke.NewMaillon(invoke.Ref{}, func(invoke.Ref) (invoke.Binding, error) {
+		return nil, errors.New("object not found")
+	})
+	if _, err := m.Invoke(nil, "op", nil); err == nil {
+		t.Fatal("resolution failure swallowed")
+	}
+	if m.Resolutions != 0 {
+		t.Fatalf("failed resolution counted: %d", m.Resolutions)
+	}
+}

@@ -1,0 +1,260 @@
+// Package invoke implements the Pegasus object-invocation model of §4:
+// services are objects (abstract data types accessed through methods);
+// how a method call travels depends on the "domain relation" between
+// invoker and object — a procedure call within a protection domain, a
+// protected call between domains on one machine, and a remote procedure
+// call between machines.
+//
+// Object handles are maillons (Maisonneuve/Shapiro/Collet): an opaque
+// fixed-size reference plus a resolver function returning the interface's
+// address. The indirection lets connections be set up or objects fetched
+// on first use, while the common already-local case pays almost nothing.
+package invoke
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Method is one operation of an object interface. Arguments and results
+// are marshalled bytes so the same method table serves local, protected
+// and remote bindings.
+type Method func(arg []byte) ([]byte, error)
+
+// ErrNoMethod reports an invocation of an undefined method.
+var ErrNoMethod = errors.New("invoke: no such method")
+
+// Interface is an object's method table.
+type Interface struct {
+	Name    string
+	methods map[string]Method
+}
+
+// NewInterface creates an empty interface.
+func NewInterface(name string) *Interface {
+	return &Interface{Name: name, methods: make(map[string]Method)}
+}
+
+// Define installs a method, replacing any previous definition.
+func (i *Interface) Define(name string, m Method) *Interface {
+	i.methods[name] = m
+	return i
+}
+
+// Call invokes a method directly (the procedure-call case).
+func (i *Interface) Call(method string, arg []byte) ([]byte, error) {
+	m, ok := i.methods[method]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s.%s", ErrNoMethod, i.Name, method)
+	}
+	return m(arg)
+}
+
+// Methods lists defined method names (for stub generators and tests).
+func (i *Interface) Methods() []string {
+	out := make([]string, 0, len(i.methods))
+	for n := range i.methods {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Caller abstracts "who is invoking": bindings that cross protection
+// domains or machines need the caller's kernel context to block and be
+// charged for CPU. Local bindings accept a nil Caller.
+type Caller interface {
+	// ConsumeCPU charges d of CPU time to the caller.
+	ConsumeCPU(d sim.Duration)
+}
+
+// BindClass labels how far away the object is.
+type BindClass int
+
+// Invocation classes (§4).
+const (
+	// BindLocal: invoker and object share a protection domain.
+	BindLocal BindClass = iota
+	// BindProtected: same address space, different protection domains.
+	BindProtected
+	// BindRemote: different machines.
+	BindRemote
+)
+
+func (c BindClass) String() string {
+	switch c {
+	case BindLocal:
+		return "local"
+	case BindProtected:
+		return "protected"
+	case BindRemote:
+		return "remote"
+	}
+	return "invalid"
+}
+
+// Binding is the interface-dependent calling code behind a handle: the
+// compiler-generated stub (local), the protected-call trampoline, or the
+// RPC stub.
+type Binding interface {
+	Class() BindClass
+	Invoke(caller Caller, method string, arg []byte) ([]byte, error)
+}
+
+// Ref is the opaque fixed-size object reference inside a maillon.
+type Ref [16]byte
+
+// RefOf builds a Ref from a short byte string.
+func RefOf(b []byte) Ref {
+	var r Ref
+	copy(r[:], b)
+	return r
+}
+
+// Resolver turns an opaque reference into a live binding. Resolution may
+// set up connections or fetch the object; it runs once per maillon.
+type Resolver func(ref Ref) (Binding, error)
+
+// Maillon is an object handle: "an opaque, fixed-size object reference
+// and a pointer to a function that returns the address of the interface
+// when called with the reference as argument". Handles are first-class:
+// passing one to another process creates a connection when resolved
+// there (the resolver embodies the connection setup).
+type Maillon struct {
+	ref     Ref
+	resolve Resolver
+	cached  Binding
+
+	// Resolutions counts resolver invocations (tests assert it is 1).
+	Resolutions int
+}
+
+// NewMaillon builds a handle from a reference and its resolver.
+func NewMaillon(ref Ref, r Resolver) *Maillon {
+	if r == nil {
+		panic("invoke: maillon needs a resolver")
+	}
+	return &Maillon{ref: ref, resolve: r}
+}
+
+// LocalHandle wraps an interface in a handle resolving to a direct
+// procedure-call binding with the given per-call overhead.
+func LocalHandle(i *Interface, perCall sim.Duration) *Maillon {
+	b := &LocalBinding{Iface: i, PerCall: perCall}
+	return NewMaillon(Ref{}, func(Ref) (Binding, error) { return b, nil })
+}
+
+// Ref returns the opaque reference.
+func (m *Maillon) Ref() Ref { return m.ref }
+
+// Binding resolves (once) and returns the live binding.
+func (m *Maillon) Binding() (Binding, error) {
+	if m.cached == nil {
+		b, err := m.resolve(m.ref)
+		if err != nil {
+			return nil, err
+		}
+		m.Resolutions++
+		m.cached = b
+	}
+	return m.cached, nil
+}
+
+// Invoke resolves on first use and calls the method. This is the single
+// invocation point application code uses, regardless of where the object
+// lives.
+func (m *Maillon) Invoke(caller Caller, method string, arg []byte) ([]byte, error) {
+	b, err := m.Binding()
+	if err != nil {
+		return nil, err
+	}
+	return b.Invoke(caller, method, arg)
+}
+
+// LocalBinding is the same-protection-domain case: a direct call with a
+// small modelled overhead.
+type LocalBinding struct {
+	Iface *Interface
+	// PerCall is the modelled call overhead (procedure call + maillon
+	// indirection); zero is allowed.
+	PerCall sim.Duration
+}
+
+// Class reports BindLocal.
+func (b *LocalBinding) Class() BindClass { return BindLocal }
+
+// Invoke calls the method directly.
+func (b *LocalBinding) Invoke(caller Caller, method string, arg []byte) ([]byte, error) {
+	if caller != nil && b.PerCall > 0 {
+		caller.ConsumeCPU(b.PerCall)
+	}
+	return b.Iface.Call(method, arg)
+}
+
+// CachingAgent is an "intelligent stub" (agent/clerk, §4): it interposes
+// on another binding and caches results of idempotent methods, so there
+// is no longer a one-to-one mapping between client calls and calls to
+// the object.
+type CachingAgent struct {
+	Backing Binding
+	// Cacheable lists method names whose results may be cached by
+	// argument.
+	Cacheable map[string]bool
+
+	cache map[string]map[string][]byte
+
+	// Hits and Misses count cache outcomes.
+	Hits, Misses int64
+}
+
+// NewCachingAgent wraps a binding.
+func NewCachingAgent(b Binding, cacheable ...string) *CachingAgent {
+	c := &CachingAgent{
+		Backing:   b,
+		Cacheable: make(map[string]bool),
+		cache:     make(map[string]map[string][]byte),
+	}
+	for _, m := range cacheable {
+		c.Cacheable[m] = true
+	}
+	return c
+}
+
+// Class reports the backing binding's class.
+func (a *CachingAgent) Class() BindClass { return a.Backing.Class() }
+
+// Invoke serves cacheable hits locally and forwards everything else.
+func (a *CachingAgent) Invoke(caller Caller, method string, arg []byte) ([]byte, error) {
+	if a.Cacheable[method] {
+		if byArg, ok := a.cache[method]; ok {
+			if res, ok := byArg[string(arg)]; ok {
+				a.Hits++
+				return append([]byte(nil), res...), nil
+			}
+		}
+	}
+	res, err := a.Backing.Invoke(caller, method, arg)
+	if err != nil {
+		return nil, err
+	}
+	if a.Cacheable[method] {
+		byArg := a.cache[method]
+		if byArg == nil {
+			byArg = make(map[string][]byte)
+			a.cache[method] = byArg
+		}
+		byArg[string(arg)] = append([]byte(nil), res...)
+		a.Misses++
+	}
+	return res, nil
+}
+
+// Invalidate drops cached results for a method (all if method == "").
+func (a *CachingAgent) Invalidate(method string) {
+	if method == "" {
+		a.cache = make(map[string]map[string][]byte)
+		return
+	}
+	delete(a.cache, method)
+}

@@ -1,0 +1,243 @@
+package invoke_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/invoke"
+	"repro/internal/nemesis"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+const us = sim.Microsecond
+
+func echoInterface() *invoke.Interface {
+	i := invoke.NewInterface("echo")
+	i.Define("echo", func(arg []byte) ([]byte, error) {
+		return append([]byte("echo:"), arg...), nil
+	})
+	i.Define("fail", func(arg []byte) ([]byte, error) {
+		return nil, errors.New("deliberate failure")
+	})
+	return i
+}
+
+func TestInterfaceCall(t *testing.T) {
+	i := echoInterface()
+	res, err := i.Call("echo", []byte("hi"))
+	if err != nil || string(res) != "echo:hi" {
+		t.Fatalf("Call = %q, %v", res, err)
+	}
+	if _, err := i.Call("nosuch", nil); !errors.Is(err, invoke.ErrNoMethod) {
+		t.Fatalf("err = %v, want ErrNoMethod", err)
+	}
+}
+
+func TestMaillonResolvesOnceAndLazily(t *testing.T) {
+	i := echoInterface()
+	resolved := 0
+	m := invoke.NewMaillon(invoke.RefOf([]byte("obj")), func(r invoke.Ref) (invoke.Binding, error) {
+		resolved++
+		return &invoke.LocalBinding{Iface: i}, nil
+	})
+	if resolved != 0 {
+		t.Fatal("resolver ran before first invocation")
+	}
+	for n := 0; n < 5; n++ {
+		if _, err := m.Invoke(nil, "echo", []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if resolved != 1 {
+		t.Fatalf("resolver ran %d times, want 1", resolved)
+	}
+}
+
+func TestMaillonResolveError(t *testing.T) {
+	m := invoke.NewMaillon(invoke.Ref{}, func(invoke.Ref) (invoke.Binding, error) {
+		return nil, errors.New("object unreachable")
+	})
+	if _, err := m.Invoke(nil, "echo", nil); err == nil {
+		t.Fatal("expected resolve error")
+	}
+}
+
+func TestLocalBindingChargesCaller(t *testing.T) {
+	s := sim.New()
+	k := nemesis.NewKernel(s, nemesis.Config{SingleAddressSpace: true}, sched.NewRoundRobin())
+	i := echoInterface()
+	var used sim.Duration
+	d := k.Spawn("app", nemesis.SchedParams{BestEffort: true}, func(c *nemesis.Ctx) {
+		caller := &invoke.DomainCaller{Ctx: c}
+		h := invoke.LocalHandle(i, 500*sim.Nanosecond)
+		for n := 0; n < 10; n++ {
+			if _, err := h.Invoke(caller, "echo", []byte("y")); err != nil {
+				panic(err)
+			}
+		}
+	})
+	s.Run()
+	k.Shutdown()
+	used = d.Stats.Used
+	if used != 5*us {
+		t.Fatalf("caller charged %v, want 5µs (10 calls x 500ns)", used)
+	}
+}
+
+func TestProtectedCallCrossesDomains(t *testing.T) {
+	s := sim.New()
+	k := nemesis.NewKernel(s, nemesis.Config{SwitchCost: 5 * us, SingleAddressSpace: true}, sched.NewRoundRobin())
+	srv := invoke.NewProtectedServer(k, "echoServer", nemesis.SchedParams{BestEffort: true}, echoInterface())
+
+	var res []byte
+	var err error
+	var elapsed sim.Duration
+	k.Spawn("client", nemesis.SchedParams{BestEffort: true}, func(c *nemesis.Ctx) {
+		h := srv.Handle(c.Domain())
+		caller := &invoke.DomainCaller{Ctx: c}
+		t0 := c.Now()
+		res, err = h.Invoke(caller, "echo", []byte("cross"))
+		elapsed = c.Now() - t0
+	})
+	s.Run()
+	k.Shutdown()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res) != "echo:cross" {
+		t.Fatalf("res = %q", res)
+	}
+	// Cost: two domain switches (there and back) + server dispatch.
+	if elapsed < 2*5*us {
+		t.Fatalf("elapsed %v below two switch costs; call did not cross domains", elapsed)
+	}
+	if srv.Calls != 1 {
+		t.Fatalf("server calls = %d, want 1", srv.Calls)
+	}
+}
+
+func TestProtectedCallPropagatesErrors(t *testing.T) {
+	s := sim.New()
+	k := nemesis.NewKernel(s, nemesis.Config{SingleAddressSpace: true}, sched.NewRoundRobin())
+	srv := invoke.NewProtectedServer(k, "srv", nemesis.SchedParams{BestEffort: true}, echoInterface())
+	var err error
+	k.Spawn("client", nemesis.SchedParams{BestEffort: true}, func(c *nemesis.Ctx) {
+		b := srv.Connect(c.Domain())
+		_, err = b.Invoke(&invoke.DomainCaller{Ctx: c}, "fail", nil)
+	})
+	s.Run()
+	k.Shutdown()
+	if err == nil || err.Error() != "deliberate failure" {
+		t.Fatalf("err = %v, want deliberate failure", err)
+	}
+}
+
+func TestProtectedCallManySequential(t *testing.T) {
+	s := sim.New()
+	k := nemesis.NewKernel(s, nemesis.Config{SingleAddressSpace: true}, sched.NewRoundRobin())
+	srv := invoke.NewProtectedServer(k, "srv", nemesis.SchedParams{BestEffort: true}, echoInterface())
+	ok := 0
+	k.Spawn("client", nemesis.SchedParams{BestEffort: true}, func(c *nemesis.Ctx) {
+		b := srv.Connect(c.Domain())
+		caller := &invoke.DomainCaller{Ctx: c}
+		for n := 0; n < 100; n++ {
+			res, err := b.Invoke(caller, "echo", []byte{byte(n)})
+			if err == nil && len(res) == 6 && res[5] == byte(n) {
+				ok++
+			}
+		}
+	})
+	s.Run()
+	k.Shutdown()
+	if ok != 100 {
+		t.Fatalf("ok = %d, want 100", ok)
+	}
+	if srv.Calls != 100 {
+		t.Fatalf("server calls = %d", srv.Calls)
+	}
+}
+
+func TestProtectedCallTwoClients(t *testing.T) {
+	s := sim.New()
+	k := nemesis.NewKernel(s, nemesis.Config{SingleAddressSpace: true}, sched.NewRoundRobin())
+	srv := invoke.NewProtectedServer(k, "srv", nemesis.SchedParams{BestEffort: true}, echoInterface())
+	results := make(map[string]string)
+	for _, name := range []string{"alice", "bob"} {
+		name := name
+		k.Spawn(name, nemesis.SchedParams{BestEffort: true}, func(c *nemesis.Ctx) {
+			b := srv.Connect(c.Domain())
+			caller := &invoke.DomainCaller{Ctx: c}
+			for n := 0; n < 10; n++ {
+				res, err := b.Invoke(caller, "echo", []byte(name))
+				if err != nil {
+					panic(err)
+				}
+				results[name] = string(res)
+				c.Sleep(sim.Millisecond)
+			}
+		})
+	}
+	s.Run()
+	k.Shutdown()
+	if results["alice"] != "echo:alice" || results["bob"] != "echo:bob" {
+		t.Fatalf("results = %v; connections interfered", results)
+	}
+}
+
+func TestProtectedBindingRejectsWrongDomain(t *testing.T) {
+	s := sim.New()
+	k := nemesis.NewKernel(s, nemesis.Config{SingleAddressSpace: true}, sched.NewRoundRobin())
+	srv := invoke.NewProtectedServer(k, "srv", nemesis.SchedParams{BestEffort: true}, echoInterface())
+	var aliceDom *nemesis.Domain
+	var err error
+	aliceDom = k.Spawn("alice", nemesis.SchedParams{BestEffort: true}, func(c *nemesis.Ctx) {
+		c.Sleep(sim.Millisecond)
+	})
+	b := srv.Connect(aliceDom)
+	k.Spawn("mallory", nemesis.SchedParams{BestEffort: true}, func(c *nemesis.Ctx) {
+		_, err = b.Invoke(&invoke.DomainCaller{Ctx: c}, "echo", nil)
+	})
+	s.Run()
+	k.Shutdown()
+	if err == nil {
+		t.Fatal("foreign domain used another's binding")
+	}
+}
+
+func TestCachingAgent(t *testing.T) {
+	i := invoke.NewInterface("kv")
+	calls := 0
+	i.Define("get", func(arg []byte) ([]byte, error) {
+		calls++
+		return append([]byte("val-"), arg...), nil
+	})
+	agent := invoke.NewCachingAgent(&invoke.LocalBinding{Iface: i}, "get")
+	for n := 0; n < 5; n++ {
+		res, err := agent.Invoke(nil, "get", []byte("k1"))
+		if err != nil || string(res) != "val-k1" {
+			t.Fatalf("get = %q, %v", res, err)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("backing called %d times, want 1 (cached)", calls)
+	}
+	if agent.Hits != 4 || agent.Misses != 1 {
+		t.Fatalf("hits=%d misses=%d", agent.Hits, agent.Misses)
+	}
+	agent.Invalidate("get")
+	if _, err := agent.Invoke(nil, "get", []byte("k1")); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Fatalf("invalidate did not reach backing: calls=%d", calls)
+	}
+}
+
+func TestBindClassString(t *testing.T) {
+	if invoke.BindLocal.String() != "local" ||
+		invoke.BindProtected.String() != "protected" ||
+		invoke.BindRemote.String() != "remote" {
+		t.Fatal("BindClass strings wrong")
+	}
+}

@@ -1,0 +1,267 @@
+package invoke
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/nemesis"
+	"repro/internal/sim"
+)
+
+// This file implements the protected call ("local remote procedure
+// call"): invoker and object share the single address space but live in
+// different protection domains. The mechanism is the one §3.4 sketches —
+// a pair of message areas in shared memory plus a pair of synchronous
+// event channels, so a call is two processor donations with no scheduler
+// queueing on the critical path.
+
+// DomainCaller adapts a Nemesis domain context to the Caller interface
+// and carries the state protected/remote stubs need.
+type DomainCaller struct {
+	Ctx *nemesis.Ctx
+	// Stray collects events that arrived while a stub was blocked
+	// waiting for its reply and that belong to other channels. The
+	// application may drain them; a domain mixing protected calls with
+	// heavy unrelated event traffic should dedicate a domain per role.
+	Stray []nemesis.Pending
+}
+
+// ConsumeCPU charges CPU to the calling domain.
+func (d *DomainCaller) ConsumeCPU(dur sim.Duration) { d.Ctx.Consume(dur) }
+
+// waitFor blocks until ch has a pending event, stashing others.
+func (d *DomainCaller) waitFor(ch *nemesis.EventChannel) {
+	for {
+		for _, p := range d.Ctx.Wait() {
+			if p.Ch == ch {
+				return
+			}
+			d.Stray = append(d.Stray, p)
+		}
+	}
+}
+
+// Segment layout for one connection: a request area writable by the
+// client and read-only to the server would be two segments in hardware;
+// we model exactly that with two segments per connection.
+const (
+	connAreaSize = 64 << 10
+	hdrLen       = 4
+)
+
+// ErrBadCall reports a malformed marshalled call.
+var ErrBadCall = errors.New("invoke: malformed protected call")
+
+// marshalCall packs method+arg into a message area image.
+func marshalCall(method string, arg []byte) ([]byte, error) {
+	if len(method) > 255 {
+		return nil, fmt.Errorf("%w: method name too long", ErrBadCall)
+	}
+	n := 1 + len(method) + len(arg)
+	if hdrLen+n > connAreaSize {
+		return nil, fmt.Errorf("%w: argument too large", ErrBadCall)
+	}
+	buf := make([]byte, hdrLen+n)
+	binary.BigEndian.PutUint32(buf, uint32(n))
+	buf[hdrLen] = byte(len(method))
+	copy(buf[hdrLen+1:], method)
+	copy(buf[hdrLen+1+len(method):], arg)
+	return buf, nil
+}
+
+func unmarshalCall(b []byte) (method string, arg []byte, err error) {
+	if len(b) < 1 {
+		return "", nil, ErrBadCall
+	}
+	ml := int(b[0])
+	if len(b) < 1+ml {
+		return "", nil, ErrBadCall
+	}
+	return string(b[1 : 1+ml]), b[1+ml:], nil
+}
+
+// marshalReply packs a result or error.
+func marshalReply(res []byte, callErr error) []byte {
+	var body []byte
+	status := byte(0)
+	if callErr != nil {
+		status = 1
+		body = []byte(callErr.Error())
+	} else {
+		body = res
+	}
+	buf := make([]byte, hdrLen+1+len(body))
+	binary.BigEndian.PutUint32(buf, uint32(1+len(body)))
+	buf[hdrLen] = status
+	copy(buf[hdrLen+1:], body)
+	return buf
+}
+
+func unmarshalReply(b []byte) ([]byte, error) {
+	if len(b) < 1 {
+		return nil, ErrBadCall
+	}
+	if b[0] == 1 {
+		return nil, errors.New(string(b[1:]))
+	}
+	return b[1:], nil
+}
+
+// pconn is one client connection to a protected server.
+type pconn struct {
+	client *nemesis.Domain
+	reqSeg *nemesis.Segment // client writes, server reads
+	repSeg *nemesis.Segment // server writes, client reads
+	reqCh  *nemesis.EventChannel
+	repCh  *nemesis.EventChannel
+}
+
+// ProtectedServer exports an interface from its own domain. Clients
+// connect once (creating shared areas and event channels) and then
+// invoke through the returned binding.
+type ProtectedServer struct {
+	k     *nemesis.Kernel
+	name  string
+	iface *Interface
+	dom   *nemesis.Domain
+	conns []*pconn
+
+	// PerCall is the modelled server-side dispatch cost.
+	PerCall sim.Duration
+
+	// Calls counts served invocations.
+	Calls int64
+}
+
+// NewProtectedServer spawns the server domain and starts its dispatch
+// loop.
+func NewProtectedServer(k *nemesis.Kernel, name string, params nemesis.SchedParams, iface *Interface) *ProtectedServer {
+	s := &ProtectedServer{k: k, name: name, iface: iface, PerCall: 2 * sim.Microsecond}
+	s.dom = k.Spawn(name, params, s.serve)
+	return s
+}
+
+// Domain returns the server's domain.
+func (s *ProtectedServer) Domain() *nemesis.Domain { return s.dom }
+
+func (s *ProtectedServer) serve(c *nemesis.Ctx) {
+	for {
+		for _, p := range c.Wait() {
+			conn := s.connFor(p.Ch)
+			if conn == nil {
+				continue
+			}
+			for i := int64(0); i < p.Count; i++ {
+				s.handle(c, conn)
+			}
+		}
+	}
+}
+
+func (s *ProtectedServer) connFor(ch *nemesis.EventChannel) *pconn {
+	for _, c := range s.conns {
+		if c.reqCh == ch {
+			return c
+		}
+	}
+	return nil
+}
+
+func (s *ProtectedServer) handle(c *nemesis.Ctx, conn *pconn) {
+	hdr, err := c.Load(conn.reqSeg, 0, hdrLen)
+	if err != nil {
+		return
+	}
+	n := int(binary.BigEndian.Uint32(hdr))
+	body, err := c.Load(conn.reqSeg, hdrLen, n)
+	if err != nil {
+		return
+	}
+	method, arg, err := unmarshalCall(body)
+	var res []byte
+	if err == nil {
+		if s.PerCall > 0 {
+			c.Consume(s.PerCall)
+		}
+		res, err = s.iface.Call(method, arg)
+	}
+	s.Calls++
+	reply := marshalReply(res, err)
+	if serr := c.Store(conn.repSeg, 0, reply); serr != nil {
+		return
+	}
+	c.Send(conn.repCh, 1)
+}
+
+// Connect builds a binding for the given client domain: two shared
+// message areas (request writable only by the client, reply writable
+// only by the server) and two synchronous event channels.
+func (s *ProtectedServer) Connect(client *nemesis.Domain) *ProtectedBinding {
+	id := len(s.conns)
+	conn := &pconn{
+		client: client,
+		reqSeg: s.k.NewSegment(fmt.Sprintf("%s.req%d", s.name, id), connAreaSize),
+		repSeg: s.k.NewSegment(fmt.Sprintf("%s.rep%d", s.name, id), connAreaSize),
+	}
+	// Rights mirror §3.1's channel example: read/write at the source,
+	// read-only at the sink.
+	s.k.Map(client, conn.reqSeg, nemesis.Read|nemesis.Write)
+	s.k.Map(s.dom, conn.reqSeg, nemesis.Read)
+	s.k.Map(s.dom, conn.repSeg, nemesis.Read|nemesis.Write)
+	s.k.Map(client, conn.repSeg, nemesis.Read)
+	conn.reqCh = s.k.NewChannel(fmt.Sprintf("%s.req%d", s.name, id), client, s.dom, true)
+	conn.repCh = s.k.NewChannel(fmt.Sprintf("%s.rep%d", s.name, id), s.dom, client, true)
+	s.conns = append(s.conns, conn)
+	return &ProtectedBinding{srv: s, conn: conn}
+}
+
+// Handle wraps Connect in a maillon, deferring connection setup to the
+// first invocation — the maillon's purpose.
+func (s *ProtectedServer) Handle(client *nemesis.Domain) *Maillon {
+	return NewMaillon(RefOf([]byte(s.name)), func(Ref) (Binding, error) {
+		return s.Connect(client), nil
+	})
+}
+
+// ProtectedBinding is the client-side trampoline of a protected call.
+type ProtectedBinding struct {
+	srv  *ProtectedServer
+	conn *pconn
+}
+
+// Class reports BindProtected.
+func (b *ProtectedBinding) Class() BindClass { return BindProtected }
+
+// Invoke performs the protected call: marshal into the request area,
+// synchronous event to the server (processor donation), block for the
+// reply event, unmarshal from the reply area.
+func (b *ProtectedBinding) Invoke(caller Caller, method string, arg []byte) ([]byte, error) {
+	dc, ok := caller.(*DomainCaller)
+	if !ok {
+		return nil, errors.New("invoke: protected call requires a DomainCaller")
+	}
+	if dc.Ctx.Domain() != b.conn.client {
+		return nil, fmt.Errorf("invoke: binding belongs to %v, caller is %v",
+			b.conn.client, dc.Ctx.Domain())
+	}
+	msg, err := marshalCall(method, arg)
+	if err != nil {
+		return nil, err
+	}
+	if err := dc.Ctx.Store(b.conn.reqSeg, 0, msg); err != nil {
+		return nil, err
+	}
+	dc.Ctx.Send(b.conn.reqCh, 1)
+	dc.waitFor(b.conn.repCh)
+	hdr, err := dc.Ctx.Load(b.conn.repSeg, 0, hdrLen)
+	if err != nil {
+		return nil, err
+	}
+	n := int(binary.BigEndian.Uint32(hdr))
+	body, err := dc.Ctx.Load(b.conn.repSeg, hdrLen, n)
+	if err != nil {
+		return nil, err
+	}
+	return unmarshalReply(body)
+}

@@ -1,0 +1,145 @@
+package lfs
+
+import "container/list"
+
+// blockCache is a block-granular LRU over *file* space: keys are
+// (pnode, block index within the file), not disk addresses. Keying by
+// file offset keeps the cache effective however the log packs extents
+// on disk (log appends are rarely block-aligned), and lets the cleaner
+// relocate live data without invalidating anything — the bytes a file
+// offset names do not change when their segment moves.
+//
+// It is used for ordinary file data only: "caching video and audio is
+// usually not a good idea ... by the time a user has seen a video to
+// the end, the beginning has already been evicted" (§5). Continuous
+// files bypass it unless Config.CacheContinuous (the E15 ablation).
+type blockCache struct {
+	capacity int
+	files    map[Pnode]map[int64]*list.Element // pn -> block index -> lru element
+	count    int
+	lru      *list.List // front = most recent
+}
+
+type cacheBlock struct {
+	pn   Pnode
+	blk  int64
+	data []byte // BlockSize bytes
+}
+
+func newBlockCache(capacity int) *blockCache {
+	return &blockCache{
+		capacity: capacity,
+		files:    make(map[Pnode]map[int64]*list.Element),
+		lru:      list.New(),
+	}
+}
+
+// lookup returns the element for (pn, blk), if cached.
+func (c *blockCache) lookup(pn Pnode, blk int64) (*list.Element, bool) {
+	f, ok := c.files[pn]
+	if !ok {
+		return nil, false
+	}
+	el, ok := f[blk]
+	return el, ok
+}
+
+// read copies [off, off+len(dst)) of file pn into dst if every covering
+// block is cached; it reports whether it did.
+func (c *blockCache) read(pn Pnode, off int64, dst []byte) bool {
+	if len(dst) == 0 {
+		return false
+	}
+	end := off + int64(len(dst))
+	// First pass: verify residency without touching LRU order.
+	for b := off / BlockSize; b*BlockSize < end; b++ {
+		if _, ok := c.lookup(pn, b); !ok {
+			return false
+		}
+	}
+	for b := off / BlockSize; b*BlockSize < end; b++ {
+		el, _ := c.lookup(pn, b)
+		c.lru.MoveToFront(el)
+		cb := el.Value.(*cacheBlock)
+		lo := max64(b*BlockSize, off)
+		hi := min64((b+1)*BlockSize, end)
+		copy(dst[lo-off:hi-off], cb.data[lo-b*BlockSize:hi-b*BlockSize])
+	}
+	return true
+}
+
+// fill inserts the file blocks fully covered by [off, off+len(data)).
+func (c *blockCache) fill(pn Pnode, off int64, data []byte) {
+	end := off + int64(len(data))
+	for b := (off + BlockSize - 1) / BlockSize; (b+1)*BlockSize <= end; b++ {
+		src := data[b*BlockSize-off : (b+1)*BlockSize-off]
+		if el, ok := c.lookup(pn, b); ok {
+			copy(el.Value.(*cacheBlock).data, src)
+			c.lru.MoveToFront(el)
+			continue
+		}
+		cb := &cacheBlock{pn: pn, blk: b, data: append([]byte(nil), src...)}
+		f := c.files[pn]
+		if f == nil {
+			f = make(map[int64]*list.Element)
+			c.files[pn] = f
+		}
+		f[b] = c.lru.PushFront(cb)
+		c.count++
+		if c.count > c.capacity {
+			c.evict()
+		}
+	}
+}
+
+// evict drops the least recently used block.
+func (c *blockCache) evict() {
+	old := c.lru.Back()
+	if old == nil {
+		return
+	}
+	c.remove(old.Value.(*cacheBlock))
+}
+
+func (c *blockCache) remove(cb *cacheBlock) {
+	f := c.files[cb.pn]
+	el, ok := f[cb.blk]
+	if !ok {
+		return
+	}
+	c.lru.Remove(el)
+	delete(f, cb.blk)
+	if len(f) == 0 {
+		delete(c.files, cb.pn)
+	}
+	c.count--
+}
+
+// invalidate drops blocks of pn overlapping [off, off+n).
+func (c *blockCache) invalidate(pn Pnode, off, n int64) {
+	f, ok := c.files[pn]
+	if !ok {
+		return
+	}
+	for b := off / BlockSize; b*BlockSize < off+n; b++ {
+		if el, ok := f[b]; ok {
+			c.remove(el.Value.(*cacheBlock))
+		}
+	}
+}
+
+// invalidateFile drops every cached block of pn.
+func (c *blockCache) invalidateFile(pn Pnode) {
+	f, ok := c.files[pn]
+	if !ok {
+		return
+	}
+	for _, el := range f {
+		c.lru.Remove(el)
+		c.count--
+	}
+	delete(c.files, pn)
+}
+
+// len reports resident blocks (tests).
+func (c *blockCache) len() int { return c.count }

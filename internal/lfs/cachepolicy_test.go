@@ -1,0 +1,123 @@
+package lfs_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/lfs"
+	"repro/internal/raid"
+	"repro/internal/sim"
+)
+
+// newFSWithCfg builds a store with a caller-tuned config.
+func newFSWithCfg(s *sim.Sim, nseg int64, tune func(*lfs.Config)) *lfs.FS {
+	arr := raid.New(s, disk.DefaultParams(), segSize, nseg)
+	cfg := lfs.DefaultConfig(segSize)
+	tune(&cfg)
+	return lfs.New(s, arr, cfg)
+}
+
+func TestCacheContinuousAblationCountsMediaHits(t *testing.T) {
+	s := sim.New()
+	fs := newFSWithCfg(s, 32, func(c *lfs.Config) { c.CacheContinuous = true })
+	pn := fs.Create(true)
+	data := pattern(3, lfs.BlockSize*4)
+	write(t, fs, pn, 0, data)
+	syncFS(t, s, fs)
+	read(t, s, fs, pn, 0, len(data))
+	if fs.Stats.MediaCacheMiss == 0 {
+		t.Fatal("first CM read under the ablation did not count a media miss")
+	}
+	read(t, s, fs, pn, 0, len(data))
+	if fs.Stats.MediaCacheHits == 0 {
+		t.Fatal("second CM read under the ablation did not hit")
+	}
+	if fs.Stats.CacheHits != 0 || fs.Stats.CacheMisses != 0 {
+		t.Fatal("CM traffic leaked into the ordinary-file counters")
+	}
+}
+
+func TestCacheSurvivesCleanerRelocation(t *testing.T) {
+	// The cache keys on (file, offset): live data the cleaner moves must
+	// stay cached and stay correct.
+	s := sim.New()
+	fs := newFS(s, 32)
+	keeper := fs.Create(false)
+	victim := fs.Create(false)
+	keep := pattern(1, lfs.BlockSize*2)
+	write(t, fs, keeper, 0, keep)
+	write(t, fs, victim, 0, pattern(2, segSize)) // spills into more segments
+	syncFS(t, s, fs)
+
+	// Warm the cache with keeper's data.
+	read(t, s, fs, keeper, 0, len(keep))
+	read(t, s, fs, keeper, 0, len(keep))
+	hits := fs.Stats.CacheHits
+	if hits == 0 {
+		t.Fatal("cache never warmed")
+	}
+
+	// Delete the victim and clean: keeper's blocks relocate.
+	if err := fs.Delete(victim); err != nil {
+		t.Fatal(err)
+	}
+	syncFS(t, s, fs)
+	var cleaned lfs.CleanStats
+	fs.CleanPegasus(func(c lfs.CleanStats, err error) {
+		if err != nil {
+			t.Errorf("clean: %v", err)
+		}
+		cleaned = c
+	})
+	s.Run()
+	if cleaned.SegmentsCleaned == 0 {
+		t.Fatal("cleaner did nothing; the scenario is broken")
+	}
+
+	// Keeper reads still hit and still return the right bytes.
+	got := read(t, s, fs, keeper, 0, len(keep))
+	if !bytes.Equal(got, keep) {
+		t.Fatal("relocated data corrupted")
+	}
+	if fs.Stats.CacheHits == hits {
+		t.Fatal("cache was invalidated by relocation; file-space keys should survive")
+	}
+}
+
+func TestCacheWriteInvalidatesStaleBlock(t *testing.T) {
+	s := sim.New()
+	fs := newFS(s, 32)
+	pn := fs.Create(false)
+	write(t, fs, pn, 0, pattern(1, lfs.BlockSize*2))
+	syncFS(t, s, fs)
+	read(t, s, fs, pn, 0, lfs.BlockSize*2) // warm
+
+	fresh := pattern(9, lfs.BlockSize)
+	write(t, fs, pn, 0, fresh) // overwrite block 0 (still in open segment)
+	got := read(t, s, fs, pn, 0, lfs.BlockSize)
+	if !bytes.Equal(got, fresh) {
+		t.Fatal("read returned stale cached data after overwrite")
+	}
+}
+
+func TestCacheDeleteDropsFileBlocks(t *testing.T) {
+	s := sim.New()
+	fs := newFS(s, 32)
+	a := fs.Create(false)
+	write(t, fs, a, 0, pattern(1, lfs.BlockSize))
+	syncFS(t, s, fs)
+	read(t, s, fs, a, 0, lfs.BlockSize) // cached
+	if err := fs.Delete(a); err != nil {
+		t.Fatal(err)
+	}
+	// A new file may reuse the pnode number; its reads must not see the
+	// dead file's blocks. (CreateAt lets us force the reuse.)
+	if err := fs.CreateAt(a, false); err != nil {
+		t.Fatalf("CreateAt: %v", err)
+	}
+	got := read(t, s, fs, a, 0, lfs.BlockSize)
+	if bytes.Equal(got, pattern(1, lfs.BlockSize)) {
+		t.Fatal("reused pnode read the deleted file's cached blocks")
+	}
+}

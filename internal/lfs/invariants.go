@@ -1,0 +1,54 @@
+package lfs
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CheckInvariants verifies the cross-structure consistency of the store:
+// every extent points into an allocated segment, no two extents overlap
+// in the address space, and the live-byte accounting matches the extent
+// maps. Tests call it after every mutation batch.
+func (fs *FS) CheckInvariants() error {
+	type span struct {
+		addr, end int64
+		pn        Pnode
+	}
+	var spans []span
+	var live int64
+	for pn, pi := range fs.pnodes {
+		var prevEnd int64 = -1
+		for _, e := range pi.extents {
+			if e.Len <= 0 {
+				return fmt.Errorf("lfs: pnode %d has non-positive extent %+v", pn, e)
+			}
+			if e.FileOff < prevEnd {
+				return fmt.Errorf("lfs: pnode %d extents overlap in file space", pn)
+			}
+			prevEnd = e.FileOff + e.Len
+			seg := fs.segOf(e.Addr)
+			endSeg := fs.segOf(e.Addr + e.Len - 1)
+			if seg != endSeg {
+				return fmt.Errorf("lfs: pnode %d extent %+v crosses segments", pn, e)
+			}
+			_, sealed := fs.segs[seg]
+			_, open := fs.open[seg]
+			if !sealed && !open {
+				return fmt.Errorf("lfs: pnode %d extent %+v points into free segment %d", pn, e, seg)
+			}
+			spans = append(spans, span{addr: e.Addr, end: e.Addr + e.Len, pn: pn})
+			live += e.Len
+		}
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].addr < spans[j].addr })
+	for i := 1; i < len(spans); i++ {
+		if spans[i].addr < spans[i-1].end {
+			return fmt.Errorf("lfs: address overlap between pnode %d and %d at %d",
+				spans[i-1].pn, spans[i].pn, spans[i].addr)
+		}
+	}
+	if live != fs.Stats.LiveBytes {
+		return fmt.Errorf("lfs: LiveBytes=%d but extents sum to %d", fs.Stats.LiveBytes, live)
+	}
+	return nil
+}

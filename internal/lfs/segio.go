@@ -1,0 +1,206 @@
+package lfs
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"sort"
+)
+
+// On-disk summary layout, at the tail of every sealed segment:
+//
+//	entries: kind(1) media(1) pn(4) fileOff(8) segOff(4) len(4)  = 22 B
+//	trailer: magic "PGSS"(4) seq(8) count(4) fill(4) crc(4)      = 24 B
+//
+// crc covers the entries and the trailer up to the crc field.
+const (
+	entrySize   = 22
+	trailerSize = 24
+)
+
+var summaryMagic = [4]byte{'P', 'G', 'S', 'S'}
+
+// roomIn reports how many payload bytes fit in the open segment,
+// reserving space for one more summary entry and the trailer.
+func (fs *FS) roomIn(seg *openSeg) int {
+	reserved := (len(seg.entries)+1)*entrySize + trailerSize
+	return fs.cfg.SegSize - reserved - seg.fill
+}
+
+// openFor returns (allocating if needed) the open segment for a file:
+// the shared log-head segment for ordinary data and metadata, or the
+// file's private segment for continuous-media data.
+func (fs *FS) openFor(pi *pnodeInfo) (*openSeg, error) {
+	if pi.continuous {
+		if seg, ok := fs.mediaCur[pi.pn]; ok {
+			return seg, nil
+		}
+	} else if fs.cur != nil {
+		return fs.cur, nil
+	}
+	if len(fs.freeSegs) == 0 {
+		return nil, ErrNoSpace
+	}
+	id := fs.freeSegs[len(fs.freeSegs)-1]
+	fs.freeSegs = fs.freeSegs[:len(fs.freeSegs)-1]
+	seg := &openSeg{id: id, media: pi.continuous, owner: pi.pn, buf: make([]byte, fs.cfg.SegSize)}
+	fs.open[id] = seg
+	if pi.continuous {
+		fs.mediaCur[pi.pn] = seg
+	} else {
+		fs.cur = seg
+	}
+	return seg, nil
+}
+
+// seal serialises the summary, hands the segment to the array and
+// retires it from the open set.
+func (fs *FS) seal(seg *openSeg) error {
+	if seg.fill == 0 && len(seg.entries) == 0 {
+		// Nothing in it: give the segment back.
+		delete(fs.open, seg.id)
+		fs.freeSegs = append(fs.freeSegs, seg.id)
+		fs.clearCur(seg)
+		return nil
+	}
+	fs.nextSeq++
+	seq := fs.nextSeq
+
+	// Serialise entries + trailer at the very end of the buffer.
+	total := len(seg.entries)*entrySize + trailerSize
+	base := fs.cfg.SegSize - total
+	p := base
+	for _, e := range seg.entries {
+		b := seg.buf[p : p+entrySize]
+		b[0] = e.kind
+		if e.media {
+			b[1] = 1
+		}
+		binary.BigEndian.PutUint32(b[2:], uint32(e.pn))
+		binary.BigEndian.PutUint64(b[6:], uint64(e.fileOff))
+		binary.BigEndian.PutUint32(b[14:], uint32(e.segOff))
+		binary.BigEndian.PutUint32(b[18:], uint32(e.length))
+		p += entrySize
+	}
+	tr := seg.buf[p : p+trailerSize]
+	copy(tr, summaryMagic[:])
+	binary.BigEndian.PutUint64(tr[4:], seq)
+	binary.BigEndian.PutUint32(tr[12:], uint32(len(seg.entries)))
+	binary.BigEndian.PutUint32(tr[16:], uint32(seg.fill))
+	crc := crc32.ChecksumIEEE(seg.buf[base : p+20])
+	binary.BigEndian.PutUint32(tr[20:], crc)
+
+	live := int64(0)
+	for _, e := range seg.entries {
+		if e.kind == entData {
+			live += int64(e.length)
+		}
+	}
+	live -= seg.dead
+
+	st := &segState{
+		id:        seg.id,
+		seq:       seq,
+		live:      live,
+		dataBytes: int64(seg.fill),
+		media:     seg.media,
+		entries:   append([]summaryEntry(nil), seg.entries...),
+	}
+	fs.segs[seg.id] = st
+	delete(fs.open, seg.id)
+	fs.clearCur(seg)
+
+	fs.pendingIO++
+	fs.arr.WriteSegment(seg.id, seg.buf, func(err error) {
+		st.onDisk = err == nil
+		fs.Stats.SegmentsSealed++
+		fs.ioDone()
+	})
+	return nil
+}
+
+func (fs *FS) clearCur(seg *openSeg) {
+	if fs.cur == seg {
+		fs.cur = nil
+	}
+	if seg.media && fs.mediaCur[seg.owner] == seg {
+		delete(fs.mediaCur, seg.owner)
+	}
+}
+
+func (fs *FS) ioDone() {
+	fs.pendingIO--
+	if fs.pendingIO == 0 {
+		ws := fs.ioWaiters
+		fs.ioWaiters = nil
+		for _, w := range ws {
+			w()
+		}
+	}
+}
+
+// Sync seals every open segment and calls done once every outstanding
+// segment write has reached the array.
+func (fs *FS) Sync(done func(error)) {
+	var err error
+	if fs.cur != nil {
+		if e := fs.seal(fs.cur); e != nil && err == nil {
+			err = e
+		}
+	}
+	pns := make([]Pnode, 0, len(fs.mediaCur))
+	for pn := range fs.mediaCur {
+		pns = append(pns, pn)
+	}
+	sort.Slice(pns, func(i, j int) bool { return pns[i] < pns[j] })
+	for _, pn := range pns {
+		if e := fs.seal(fs.mediaCur[pn]); e != nil && err == nil {
+			err = e
+		}
+	}
+	if fs.pendingIO == 0 {
+		fin := err
+		fs.sim.At(fs.sim.Now(), func() { done(fin) })
+		return
+	}
+	fin := err
+	fs.ioWaiters = append(fs.ioWaiters, func() { done(fin) })
+}
+
+// parseSummary decodes a segment's summary from its full contents.
+func parseSummary(buf []byte) (entries []summaryEntry, seq uint64, fill int, ok bool) {
+	n := len(buf)
+	if n < trailerSize {
+		return nil, 0, 0, false
+	}
+	tr := buf[n-trailerSize:]
+	if [4]byte(tr[:4]) != summaryMagic {
+		return nil, 0, 0, false
+	}
+	seq = binary.BigEndian.Uint64(tr[4:])
+	count := int(binary.BigEndian.Uint32(tr[12:]))
+	fill = int(binary.BigEndian.Uint32(tr[16:]))
+	wantCRC := binary.BigEndian.Uint32(tr[20:])
+	total := count*entrySize + trailerSize
+	if total > n {
+		return nil, 0, 0, false
+	}
+	base := n - total
+	if crc32.ChecksumIEEE(buf[base:n-4]) != wantCRC {
+		return nil, 0, 0, false
+	}
+	entries = make([]summaryEntry, count)
+	p := base
+	for i := range entries {
+		b := buf[p : p+entrySize]
+		entries[i] = summaryEntry{
+			kind:    b[0],
+			media:   b[1] == 1,
+			pn:      Pnode(binary.BigEndian.Uint32(b[2:])),
+			fileOff: int64(binary.BigEndian.Uint64(b[6:])),
+			segOff:  int32(binary.BigEndian.Uint32(b[14:])),
+			length:  int32(binary.BigEndian.Uint32(b[18:])),
+		}
+		p += entrySize
+	}
+	return entries, seq, fill, true
+}

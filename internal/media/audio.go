@@ -1,0 +1,72 @@
+package media
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// Audio format: the DSP node packs samples into single ATM cells, each
+// cell carrying its own timestamp (§2.1). One 48-byte cell payload holds
+// a 12-byte header and 18 16-bit samples.
+const (
+	// AudioSamplesPerBlock is the number of samples in one cell payload.
+	AudioSamplesPerBlock = 18
+	// AudioBlockBytes is the encoded size: exactly one ATM cell payload.
+	AudioBlockBytes = 48
+	// DefaultAudioRate is the sample rate used by the audio experiments
+	// (8 kHz telephony mono keeps the arithmetic transparent; the format
+	// supports any rate).
+	DefaultAudioRate = 8000
+)
+
+// AudioBlock is one cell's worth of audio with capture metadata.
+type AudioBlock struct {
+	Timestamp uint64 // capture time of the first sample, virtual ns
+	Seq       uint32 // block sequence number within the stream
+	Samples   [AudioSamplesPerBlock]int16
+}
+
+// ErrBadAudio reports a malformed audio block.
+var ErrBadAudio = errors.New("media: malformed audio block")
+
+// Encode packs the block into a 48-byte cell payload.
+func (a *AudioBlock) Encode() [AudioBlockBytes]byte {
+	var b [AudioBlockBytes]byte
+	binary.BigEndian.PutUint64(b[0:], a.Timestamp)
+	binary.BigEndian.PutUint32(b[8:], a.Seq)
+	for i, s := range a.Samples {
+		binary.BigEndian.PutUint16(b[12+2*i:], uint16(s))
+	}
+	return b
+}
+
+// DecodeAudioBlock parses a 48-byte cell payload.
+func DecodeAudioBlock(b []byte) (AudioBlock, error) {
+	var a AudioBlock
+	if len(b) != AudioBlockBytes {
+		return a, ErrBadAudio
+	}
+	a.Timestamp = binary.BigEndian.Uint64(b[0:])
+	a.Seq = binary.BigEndian.Uint32(b[8:])
+	for i := range a.Samples {
+		a.Samples[i] = int16(binary.BigEndian.Uint16(b[12+2*i:]))
+	}
+	return a, nil
+}
+
+// Tone fills sample blocks with a deterministic triangle wave, used by the
+// audio-path experiments. phase advances across calls.
+func Tone(blocks []AudioBlock, startSeq uint32, phase int) int {
+	for i := range blocks {
+		blocks[i].Seq = startSeq + uint32(i)
+		for j := range blocks[i].Samples {
+			v := phase % 400
+			if v > 200 {
+				v = 400 - v
+			}
+			blocks[i].Samples[j] = int16((v - 100) * 300)
+			phase++
+		}
+	}
+	return phase
+}

@@ -1,0 +1,171 @@
+package media
+
+import "errors"
+
+// The tile codec stands in for the paper's motion-JPEG hardware. It is a
+// genuine lossy codec: pixels are quantised by right-shifting `quality`
+// bits, then the quantised tile is encoded in whichever of three modes is
+// smallest:
+//
+//	raw    — the 64 quantised bytes (worst case, bounds every tile)
+//	rle    — (count, delta) run-length pairs over raster-order differences
+//	packed — 2-bit packed deltas when every difference lies in [-2, 1]
+//
+// Smooth content (the common case for camera video) lands in packed or
+// rle and compresses several times; noise falls back to raw — exactly the
+// data-dependence that matters for the bandwidth experiments.
+// Reconstruction error is bounded by 2^quality - 1 per pixel.
+
+// ErrBadTile reports a malformed compressed tile.
+var ErrBadTile = errors.New("media: malformed compressed tile")
+
+const (
+	modeRaw     = 0
+	modeRLE     = 1
+	modePacked2 = 2 // first pixel + 2-bit deltas in [-2, 1]
+	modePacked4 = 3 // first pixel + 4-bit deltas in [-8, 7]
+)
+
+// CompressTile encodes a raw 64-byte tile. quality is the number of bits
+// of precision discarded (0 = lossless, 7 = 1-bit pixels).
+func CompressTile(pix []byte, quality uint8) []byte {
+	if quality > 7 {
+		quality = 7
+	}
+	q := make([]byte, len(pix))
+	for i, p := range pix {
+		q[i] = p >> quality
+	}
+
+	best := append([]byte{modeRaw}, q...)
+	if rle := encodeRLE(q); len(rle)+1 < len(best) {
+		best = append([]byte{modeRLE}, rle...)
+	}
+	if p := tryPacked(q, 2); p != nil && len(p)+1 < len(best) {
+		best = append([]byte{modePacked2}, p...)
+	}
+	if p := tryPacked(q, 4); p != nil && len(p)+1 < len(best) {
+		best = append([]byte{modePacked4}, p...)
+	}
+	return best
+}
+
+// tryPacked encodes q as its first value followed by `bits`-bit signed
+// deltas, or nil if any delta is out of range.
+func tryPacked(q []byte, bits uint) []byte {
+	if len(q) == 0 {
+		return nil
+	}
+	lo, hi := -(1 << (bits - 1)), 1<<(bits-1)-1
+	codes := make([]byte, 0, len(q)-1)
+	prev := int(q[0])
+	for _, v := range q[1:] {
+		d := int(v) - prev
+		if d < lo || d > hi {
+			return nil
+		}
+		codes = append(codes, byte(d-lo))
+		prev = int(v)
+	}
+	per := 8 / bits
+	out := make([]byte, 1+(len(codes)+int(per)-1)/int(per))
+	out[0] = q[0]
+	for i, c := range codes {
+		out[1+i/int(per)] |= c << (bits * uint(i%int(per)))
+	}
+	return out
+}
+
+func encodeRLE(q []byte) []byte {
+	out := make([]byte, 0, len(q))
+	prev := byte(0)
+	i := 0
+	for i < len(q) {
+		d := q[i] - prev
+		run := 1
+		for i+run < len(q) && q[i+run]-q[i+run-1] == d && run < 255 {
+			run++
+		}
+		out = append(out, byte(run), d)
+		prev = q[i+run-1]
+		i += run
+	}
+	return out
+}
+
+// DecompressTile decodes a compressed tile back to TileBytes pixels.
+func DecompressTile(b []byte, quality uint8) ([]byte, error) {
+	if quality > 7 {
+		quality = 7
+	}
+	if len(b) < 1 {
+		return nil, ErrBadTile
+	}
+	mode, body := b[0], b[1:]
+	var q []byte
+	switch mode {
+	case modeRaw:
+		if len(body) != TileBytes {
+			return nil, ErrBadTile
+		}
+		q = body
+	case modeRLE:
+		if len(body)%2 != 0 {
+			return nil, ErrBadTile
+		}
+		q = make([]byte, 0, TileBytes)
+		prev := byte(0)
+		for i := 0; i < len(body); i += 2 {
+			run, d := int(body[i]), body[i+1]
+			if run == 0 || len(q)+run > TileBytes {
+				return nil, ErrBadTile
+			}
+			for j := 0; j < run; j++ {
+				prev += d
+				q = append(q, prev)
+			}
+		}
+		if len(q) != TileBytes {
+			return nil, ErrBadTile
+		}
+	case modePacked2, modePacked4:
+		bits := uint(2)
+		if mode == modePacked4 {
+			bits = 4
+		}
+		per := int(8 / bits)
+		lo := -(1 << (bits - 1))
+		mask := byte(1<<bits - 1)
+		if len(body) != 1+(TileBytes-1+per-1)/per {
+			return nil, ErrBadTile
+		}
+		q = make([]byte, 0, TileBytes)
+		prev := int(body[0])
+		q = append(q, byte(prev))
+		for i := 0; i < TileBytes-1; i++ {
+			code := body[1+i/per] >> (bits * uint(i%per)) & mask
+			prev = (prev + int(code) + lo) & 0xFF
+			q = append(q, byte(prev))
+		}
+	default:
+		return nil, ErrBadTile
+	}
+	out := make([]byte, len(q))
+	for i, v := range q {
+		out[i] = v << quality
+	}
+	return out, nil
+}
+
+// CompressFrame compresses every tile of a frame and reports total
+// compressed bytes; it is used by bandwidth experiments to derive the
+// stream's bit rate at a given quality.
+func CompressFrame(f *Frame, quality uint8) int {
+	total := 0
+	for y := 0; y < f.H; y += TileH {
+		for _, t := range f.Band(y) {
+			total += len(CompressTile(t.Pix[:], quality))
+		}
+	}
+	return total
+}

@@ -1,0 +1,237 @@
+// Package media defines the video and audio data formats produced and
+// consumed by the Pegasus ATM devices (§2.1 of the paper).
+//
+// Video is carried as tiles: the camera digitises scan lines, buffers
+// eight of them, and cuts the band into 8×8-pixel tiles. Groups of tiles
+// from one band are packed into an AAL5 frame together with a trailer
+// giving the x and y coordinates of the tiles and a timestamp identifying
+// the video frame. Audio is carried as fixed-size sample blocks, one per
+// ATM cell, each with its own timestamp.
+//
+// The paper's cameras optionally compress tiles with motion JPEG. JPEG
+// itself is out of scope (and irrelevant to the systems behaviour); the
+// substitute is a real, lossy quantise+delta+RLE codec with a quality
+// knob, which produces genuine data-dependent compression ratios.
+package media
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Tile geometry. The ATM camera buffers 8 scan lines and cuts them into
+// 8×8 tiles (§2.1, Fig 2).
+const (
+	TileW = 8
+	TileH = 8
+	// TileBytes is the raw size of one 8-bit-per-pixel tile.
+	TileBytes = TileW * TileH
+)
+
+// Frame is a raw video frame, 8-bit luma per pixel.
+type Frame struct {
+	W, H int
+	ID   uint32
+	Pix  []byte // row-major, len = W*H
+}
+
+// NewFrame allocates a zeroed frame. Width and height must be multiples
+// of the tile size, as they are for the camera's scan geometry.
+func NewFrame(w, h int, id uint32) *Frame {
+	if w <= 0 || h <= 0 || w%TileW != 0 || h%TileH != 0 {
+		panic(fmt.Sprintf("media: frame %dx%d not a multiple of tile size", w, h))
+	}
+	return &Frame{W: w, H: h, ID: id, Pix: make([]byte, w*h)}
+}
+
+// SyntheticFrame fills a frame with a smoothly moving gradient pattern so
+// that compression ratios and visual checks are meaningful and
+// deterministic. id shifts the pattern, emulating motion.
+func SyntheticFrame(w, h int, id uint32) *Frame {
+	f := NewFrame(w, h, id)
+	off := int(id) * 3
+	for y := 0; y < h; y++ {
+		row := f.Pix[y*w : (y+1)*w]
+		for x := 0; x < w; x++ {
+			row[x] = byte((x + y + off) >> 2)
+		}
+	}
+	return f
+}
+
+// Tile is one 8×8 block with its position in the frame.
+type Tile struct {
+	X, Y int // pixel coordinates of the top-left corner
+	Pix  [TileBytes]byte
+}
+
+// TilesPerBand reports the number of tiles in one 8-line band.
+func (f *Frame) TilesPerBand() int { return f.W / TileW }
+
+// Bands reports the number of 8-line bands in the frame.
+func (f *Frame) Bands() int { return f.H / TileH }
+
+// Band extracts the tiles of the 8-line band starting at row y (which
+// must be a multiple of TileH). This is exactly what the camera does as
+// scan lines arrive.
+func (f *Frame) Band(y int) []Tile {
+	if y%TileH != 0 || y < 0 || y+TileH > f.H {
+		panic(fmt.Sprintf("media: bad band row %d", y))
+	}
+	tiles := make([]Tile, f.TilesPerBand())
+	for i := range tiles {
+		t := &tiles[i]
+		t.X, t.Y = i*TileW, y
+		for r := 0; r < TileH; r++ {
+			copy(t.Pix[r*TileW:(r+1)*TileW], f.Pix[(y+r)*f.W+t.X:])
+		}
+	}
+	return tiles
+}
+
+// SetTile blits a tile into the frame (what the display does per tile).
+// Tiles falling outside the frame are clipped.
+func (f *Frame) SetTile(t Tile) {
+	for r := 0; r < TileH; r++ {
+		y := t.Y + r
+		if y < 0 || y >= f.H {
+			continue
+		}
+		for c := 0; c < TileW; c++ {
+			x := t.X + c
+			if x < 0 || x >= f.W {
+				continue
+			}
+			f.Pix[y*f.W+x] = t.Pix[r*TileW+c]
+		}
+	}
+}
+
+// Equal reports whether two frames have identical geometry and pixels.
+func (f *Frame) Equal(g *Frame) bool {
+	if f.W != g.W || f.H != g.H {
+		return false
+	}
+	for i := range f.Pix {
+		if f.Pix[i] != g.Pix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxAbsDiff returns the largest per-pixel absolute difference between
+// two frames of identical geometry (used to bound lossy-codec error).
+func (f *Frame) MaxAbsDiff(g *Frame) int {
+	if f.W != g.W || f.H != g.H {
+		panic("media: MaxAbsDiff on mismatched frames")
+	}
+	max := 0
+	for i := range f.Pix {
+		d := int(f.Pix[i]) - int(g.Pix[i])
+		if d < 0 {
+			d = -d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// TileGroup is the unit the camera packs into one AAL5 frame: a run of
+// tiles from one band plus the trailer metadata (§2.1).
+type TileGroup struct {
+	FrameID    uint32
+	Timestamp  uint64 // capture time, virtual ns
+	Quality    uint8  // codec quality (0 = lossless)
+	Compressed bool
+	Tiles      []Tile
+}
+
+// Group wire format:
+//
+//	magic 'T' (1) | flags (1) | quality (1) | count (2) | frameID (4) |
+//	timestamp (8) | per tile: x(2) y(2) len(2) data(len)
+//
+// For uncompressed tiles len is always TileBytes.
+const groupHeader = 1 + 1 + 1 + 2 + 4 + 8
+
+// ErrBadGroup reports a malformed tile-group encoding.
+var ErrBadGroup = errors.New("media: malformed tile group")
+
+// EncodeGroup serialises a tile group, compressing each tile when
+// g.Compressed is set.
+func EncodeGroup(g *TileGroup) []byte {
+	buf := make([]byte, groupHeader, groupHeader+len(g.Tiles)*(6+TileBytes))
+	buf[0] = 'T'
+	if g.Compressed {
+		buf[1] = 1
+	}
+	buf[2] = g.Quality
+	binary.BigEndian.PutUint16(buf[3:], uint16(len(g.Tiles)))
+	binary.BigEndian.PutUint32(buf[5:], g.FrameID)
+	binary.BigEndian.PutUint64(buf[9:], g.Timestamp)
+	var scratch [6]byte
+	for i := range g.Tiles {
+		t := &g.Tiles[i]
+		var data []byte
+		if g.Compressed {
+			data = CompressTile(t.Pix[:], g.Quality)
+		} else {
+			data = t.Pix[:]
+		}
+		binary.BigEndian.PutUint16(scratch[0:], uint16(t.X))
+		binary.BigEndian.PutUint16(scratch[2:], uint16(t.Y))
+		binary.BigEndian.PutUint16(scratch[4:], uint16(len(data)))
+		buf = append(buf, scratch[:]...)
+		buf = append(buf, data...)
+	}
+	return buf
+}
+
+// DecodeGroup parses a tile group, decompressing tiles as needed.
+func DecodeGroup(b []byte) (*TileGroup, error) {
+	if len(b) < groupHeader || b[0] != 'T' {
+		return nil, ErrBadGroup
+	}
+	g := &TileGroup{
+		Compressed: b[1]&1 == 1,
+		Quality:    b[2],
+		FrameID:    binary.BigEndian.Uint32(b[5:]),
+		Timestamp:  binary.BigEndian.Uint64(b[9:]),
+	}
+	count := int(binary.BigEndian.Uint16(b[3:]))
+	p := groupHeader
+	g.Tiles = make([]Tile, 0, count)
+	for i := 0; i < count; i++ {
+		if len(b)-p < 6 {
+			return nil, ErrBadGroup
+		}
+		x := int(binary.BigEndian.Uint16(b[p:]))
+		y := int(binary.BigEndian.Uint16(b[p+2:]))
+		n := int(binary.BigEndian.Uint16(b[p+4:]))
+		p += 6
+		if len(b)-p < n {
+			return nil, ErrBadGroup
+		}
+		var t Tile
+		t.X, t.Y = x, y
+		if g.Compressed {
+			pix, err := DecompressTile(b[p:p+n], g.Quality)
+			if err != nil {
+				return nil, err
+			}
+			copy(t.Pix[:], pix)
+		} else {
+			if n != TileBytes {
+				return nil, ErrBadGroup
+			}
+			copy(t.Pix[:], b[p:p+n])
+		}
+		p += n
+		g.Tiles = append(g.Tiles, t)
+	}
+	return g, nil
+}

@@ -1,0 +1,93 @@
+package names_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/invoke"
+	"repro/internal/names"
+)
+
+func testHandle() *invoke.Maillon {
+	i := invoke.NewInterface("obj")
+	i.Define("op", func(b []byte) ([]byte, error) { return b, nil })
+	return invoke.LocalHandle(i, 0)
+}
+
+func TestMountErrorPaths(t *testing.T) {
+	ns := names.New()
+	remote := names.New()
+	if err := remote.Bind("/x", testHandle()); err != nil {
+		t.Fatal(err)
+	}
+	svc := remote // a NameSpace is itself a mountable Service
+
+	if err := ns.Mount("", svc); err == nil {
+		t.Fatal("mounting the root accepted")
+	}
+	if err := ns.Mount("/srv/store", svc); err != nil {
+		t.Fatal(err)
+	}
+	if err := ns.Mount("/srv/store", svc); !errors.Is(err, names.ErrExists) {
+		t.Fatalf("duplicate mount: %v", err)
+	}
+	if err := ns.Mount("/srv/store/deeper", svc); err == nil {
+		t.Fatal("mount through a mount accepted")
+	}
+	// Resolution descends through the mount.
+	if _, err := ns.Resolve("/srv/store/x"); err != nil {
+		t.Fatalf("resolve through mount: %v", err)
+	}
+}
+
+func TestUnbindErrorPaths(t *testing.T) {
+	ns := names.New()
+	if err := ns.Bind("/a/b", testHandle()); err != nil {
+		t.Fatal(err)
+	}
+	if err := ns.Unbind(""); err == nil {
+		t.Fatal("unbinding the root accepted")
+	}
+	if err := ns.Unbind("/a/ghost"); !errors.Is(err, names.ErrNotFound) {
+		t.Fatalf("unbind missing: %v", err)
+	}
+	if err := ns.Unbind("/a/b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ns.Resolve("/a/b"); err == nil {
+		t.Fatal("unbound name still resolves")
+	}
+	// Unbinding a directory removes the whole subtree.
+	if err := ns.Bind("/a/c", testHandle()); err != nil {
+		t.Fatal(err)
+	}
+	if err := ns.Unbind("/a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ns.Resolve("/a/c"); err == nil {
+		t.Fatal("subtree survived directory unbind")
+	}
+}
+
+func TestUnbindMountDetaches(t *testing.T) {
+	ns := names.New()
+	remote := names.New()
+	if err := remote.Bind("/x", testHandle()); err != nil {
+		t.Fatal(err)
+	}
+	if err := ns.Mount("/srv", remote); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ns.Resolve("/srv/x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ns.Unbind("/srv"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ns.Resolve("/srv/x"); err == nil {
+		t.Fatal("detached mount still resolves")
+	}
+	if err := ns.Unbind("/srv/x"); err == nil {
+		t.Fatal("unbind through a gone mount accepted")
+	}
+}

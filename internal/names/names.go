@@ -1,0 +1,294 @@
+// Package names implements the Pegasus naming model of §4, heavily
+// inspired by Plan 9: every process starts with a built-in name space,
+// usually inherited from its parent and partly shared. The name space is
+// a local tree naming nearby objects with short names, plus mounted name
+// spaces reached through connections to name servers elsewhere. There is
+// no single root: the same object may have different names in different
+// processes, and conventions (such as a subtree named /global) do the
+// work a global root would.
+//
+// Resolution of a name yields an object handle (an invoke.Maillon);
+// resolution inside mounted name spaces is forwarded through the mount's
+// connection.
+package names
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/invoke"
+)
+
+// Resolution errors.
+var (
+	ErrNotFound = errors.New("names: not found")
+	ErrNotDir   = errors.New("names: not a directory")
+	ErrExists   = errors.New("names: already exists")
+	ErrBadName  = errors.New("names: bad name")
+)
+
+// Service is a name server reachable through a connection: a mounted
+// name space forwards lookups to it. A *NameSpace is itself a Service,
+// so name spaces mount into each other; RPC-backed implementations make
+// the connection cross machines.
+type Service interface {
+	// Lookup resolves a path (already split) to a handle.
+	Lookup(path []string) (*invoke.Maillon, error)
+	// List enumerates the names directly under a path.
+	List(path []string) ([]string, error)
+}
+
+// entry is a node in the local tree.
+type entry struct {
+	children map[string]*entry // non-nil => directory
+	handle   *invoke.Maillon   // non-nil => object
+	mount    Service           // non-nil => mounted name space
+}
+
+func newDir() *entry { return &entry{children: make(map[string]*entry)} }
+
+// Trace reports what a resolution cost: the numbers behind experiment E8
+// (local names should be shortest and cheapest).
+type Trace struct {
+	// Components is the number of path components walked locally.
+	Components int
+	// RemoteHops is the number of mount connections crossed.
+	RemoteHops int
+}
+
+// NameSpace is one process's view of the object world.
+type NameSpace struct {
+	root *entry
+}
+
+// New returns an empty name space.
+func New() *NameSpace { return &NameSpace{root: newDir()} }
+
+// split normalises a path into components.
+func split(path string) ([]string, error) {
+	if path == "" {
+		return nil, ErrBadName
+	}
+	parts := strings.Split(strings.Trim(path, "/"), "/")
+	if len(parts) == 1 && parts[0] == "" {
+		return nil, nil // the root itself
+	}
+	for _, p := range parts {
+		if p == "" || p == "." || p == ".." {
+			return nil, fmt.Errorf("%w: %q", ErrBadName, path)
+		}
+	}
+	return parts, nil
+}
+
+// walkDir descends to the directory containing the last component,
+// creating intermediate directories if mkdirs is set. It stops early at
+// a mount, returning the mount and the remaining components.
+func (ns *NameSpace) walkDir(parts []string, mkdirs bool) (dir *entry, rest []string, mnt Service, mntRest []string, err error) {
+	cur := ns.root
+	for i := 0; i < len(parts)-1; i++ {
+		name := parts[i]
+		next, ok := cur.children[name]
+		if !ok {
+			if !mkdirs {
+				return nil, nil, nil, nil, fmt.Errorf("%w: %s", ErrNotFound, strings.Join(parts[:i+1], "/"))
+			}
+			next = newDir()
+			cur.children[name] = next
+		}
+		if next.mount != nil {
+			return nil, nil, next.mount, parts[i+1:], nil
+		}
+		if next.children == nil {
+			return nil, nil, nil, nil, fmt.Errorf("%w: %s", ErrNotDir, strings.Join(parts[:i+1], "/"))
+		}
+		cur = next
+	}
+	return cur, parts[len(parts)-1:], nil, nil, nil
+}
+
+// Bind installs an object handle at path, creating directories as
+// needed.
+func (ns *NameSpace) Bind(path string, h *invoke.Maillon) error {
+	parts, err := split(path)
+	if err != nil {
+		return err
+	}
+	if len(parts) == 0 {
+		return fmt.Errorf("%w: cannot bind the root", ErrBadName)
+	}
+	dir, rest, mnt, _, err := ns.walkDir(parts, true)
+	if err != nil {
+		return err
+	}
+	if mnt != nil {
+		return fmt.Errorf("names: cannot bind through a mount: %s", path)
+	}
+	name := rest[0]
+	if _, dup := dir.children[name]; dup {
+		return fmt.Errorf("%w: %s", ErrExists, path)
+	}
+	dir.children[name] = &entry{handle: h}
+	return nil
+}
+
+// Mount attaches a name server at path; lookups descending past it are
+// forwarded through the connection.
+func (ns *NameSpace) Mount(path string, svc Service) error {
+	parts, err := split(path)
+	if err != nil {
+		return err
+	}
+	if len(parts) == 0 {
+		return fmt.Errorf("%w: cannot mount over the root", ErrBadName)
+	}
+	dir, rest, mnt, _, err := ns.walkDir(parts, true)
+	if err != nil {
+		return err
+	}
+	if mnt != nil {
+		return fmt.Errorf("names: cannot mount through a mount: %s", path)
+	}
+	name := rest[0]
+	if _, dup := dir.children[name]; dup {
+		return fmt.Errorf("%w: %s", ErrExists, path)
+	}
+	dir.children[name] = &entry{mount: svc}
+	return nil
+}
+
+// Unbind removes the entry (object, directory or mount) at path.
+func (ns *NameSpace) Unbind(path string) error {
+	parts, err := split(path)
+	if err != nil {
+		return err
+	}
+	if len(parts) == 0 {
+		return fmt.Errorf("%w: cannot unbind the root", ErrBadName)
+	}
+	dir, rest, mnt, _, err := ns.walkDir(parts, false)
+	if err != nil {
+		return err
+	}
+	if mnt != nil {
+		return fmt.Errorf("names: cannot unbind through a mount: %s", path)
+	}
+	if _, ok := dir.children[rest[0]]; !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	delete(dir.children, rest[0])
+	return nil
+}
+
+// Resolve looks a path up to an object handle.
+func (ns *NameSpace) Resolve(path string) (*invoke.Maillon, error) {
+	h, _, err := ns.ResolveTrace(path)
+	return h, err
+}
+
+// ResolveTrace resolves and reports the cost trace.
+func (ns *NameSpace) ResolveTrace(path string) (*invoke.Maillon, Trace, error) {
+	parts, err := split(path)
+	if err != nil {
+		return nil, Trace{}, err
+	}
+	return ns.resolve(parts)
+}
+
+func (ns *NameSpace) resolve(parts []string) (*invoke.Maillon, Trace, error) {
+	var tr Trace
+	cur := ns.root
+	for i, name := range parts {
+		tr.Components++
+		next, ok := cur.children[name]
+		if !ok {
+			return nil, tr, fmt.Errorf("%w: %s", ErrNotFound, strings.Join(parts[:i+1], "/"))
+		}
+		if next.mount != nil {
+			h, err := next.mount.Lookup(parts[i+1:])
+			tr.RemoteHops++
+			if sub, ok := next.mount.(*NameSpace); ok {
+				// Local-to-local mounts expose their inner trace.
+				_, subTr, _ := sub.resolve(parts[i+1:])
+				tr.Components += subTr.Components
+				tr.RemoteHops += subTr.RemoteHops
+			}
+			return h, tr, err
+		}
+		if next.handle != nil {
+			if i != len(parts)-1 {
+				return nil, tr, fmt.Errorf("%w: %s", ErrNotDir, strings.Join(parts[:i+1], "/"))
+			}
+			return next.handle, tr, nil
+		}
+		cur = next
+	}
+	return nil, tr, fmt.Errorf("%w: %s is a directory", ErrNotFound, strings.Join(parts, "/"))
+}
+
+// Lookup implements Service, so a NameSpace can be mounted elsewhere.
+func (ns *NameSpace) Lookup(path []string) (*invoke.Maillon, error) {
+	if len(path) == 0 {
+		return nil, ErrNotFound
+	}
+	h, _, err := ns.resolve(path)
+	return h, err
+}
+
+// List implements Service: the names directly under path, sorted.
+func (ns *NameSpace) List(path []string) ([]string, error) {
+	cur := ns.root
+	for i, name := range path {
+		next, ok := cur.children[name]
+		if !ok {
+			return nil, fmt.Errorf("%w: %s", ErrNotFound, strings.Join(path[:i+1], "/"))
+		}
+		if next.mount != nil {
+			return next.mount.List(path[i+1:])
+		}
+		if next.children == nil {
+			return nil, fmt.Errorf("%w: %s", ErrNotDir, strings.Join(path[:i+1], "/"))
+		}
+		cur = next
+	}
+	out := make([]string, 0, len(cur.children))
+	for n := range cur.children {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// ListPath is List with a string path.
+func (ns *NameSpace) ListPath(path string) ([]string, error) {
+	parts, err := split(path)
+	if err != nil {
+		return nil, err
+	}
+	return ns.List(parts)
+}
+
+// Fork creates a child name space. With share set, parent and child use
+// the same tree (names added in one appear in the other — the "at least
+// partly shared" inheritance of §4); otherwise the tree structure is
+// copied while handles and mounts are shared by reference, so the child
+// can rearrange its view without disturbing the parent.
+func (ns *NameSpace) Fork(share bool) *NameSpace {
+	if share {
+		return &NameSpace{root: ns.root}
+	}
+	return &NameSpace{root: copyEntry(ns.root)}
+}
+
+func copyEntry(e *entry) *entry {
+	out := &entry{handle: e.handle, mount: e.mount}
+	if e.children != nil {
+		out.children = make(map[string]*entry, len(e.children))
+		for n, c := range e.children {
+			out.children[n] = copyEntry(c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+package nemesis_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/nemesis"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+func TestDomainStateStrings(t *testing.T) {
+	cases := map[nemesis.DomainState]string{
+		nemesis.Runnable:        "runnable",
+		nemesis.Running:         "running",
+		nemesis.Blocked:         "blocked",
+		nemesis.Dead:            "dead",
+		nemesis.DomainState(42): "invalid",
+	}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Fatalf("%d.String() = %q, want %q", s, got, want)
+		}
+	}
+}
+
+func TestKernelAndDomainAccessors(t *testing.T) {
+	s := sim.New()
+	edf := sched.NewEDFShares()
+	k := nemesis.NewKernel(s, nemesis.Config{SingleAddressSpace: true}, edf)
+	if k.Sim() != s {
+		t.Fatal("Sim() lost the simulator")
+	}
+	if k.Scheduler() != nemesis.Scheduler(edf) {
+		t.Fatal("Scheduler() lost the policy")
+	}
+	var inKPSDuring, inKPSAfter bool
+	var ctxDomain *nemesis.Domain
+	d := k.Spawn("probe", nemesis.SchedParams{BestEffort: true}, func(c *nemesis.Ctx) {
+		ctxDomain = c.Domain()
+		c.KPS(func() {
+			inKPSDuring = c.InKPS()
+			c.Consume(sim.Microsecond)
+		})
+		inKPSAfter = c.InKPS()
+		c.Consume(sim.Microsecond)
+	})
+	s.RunUntil(10 * sim.Millisecond)
+	k.Shutdown()
+	if ctxDomain != d {
+		t.Fatal("Ctx.Domain() is not the spawned domain")
+	}
+	if !inKPSDuring || inKPSAfter {
+		t.Fatalf("InKPS during/after = %v/%v, want true/false", inKPSDuring, inKPSAfter)
+	}
+	if !strings.Contains(d.String(), "probe") {
+		t.Fatalf("Domain.String() = %q", d.String())
+	}
+}
+
+func TestEventChannelAccessors(t *testing.T) {
+	s := sim.New()
+	k := nemesis.NewKernel(s, nemesis.Config{SingleAddressSpace: true}, sched.NewEDFShares())
+	recv := k.Spawn("recv", nemesis.SchedParams{BestEffort: true}, func(c *nemesis.Ctx) {
+		for {
+			c.Wait()
+			c.Consume(sim.Microsecond)
+		}
+	})
+	ch := k.NewChannel("ticks", nil, recv, false)
+	if !strings.Contains(ch.String(), "ticks") || !strings.Contains(ch.String(), "async") {
+		t.Fatalf("channel String() = %q", ch.String())
+	}
+	k.Interrupt(ch, 3)
+	if ch.Pending() > 3 {
+		t.Fatalf("pending = %d", ch.Pending())
+	}
+	s.RunUntil(10 * sim.Millisecond)
+	k.Shutdown()
+	if ch.Sent != 3 {
+		t.Fatalf("sent = %d", ch.Sent)
+	}
+	if ch.Pending() != 0 {
+		t.Fatalf("pending after delivery = %d", ch.Pending())
+	}
+}
+
+func TestSegmentUnmapRevokesAccess(t *testing.T) {
+	s := sim.New()
+	k := nemesis.NewKernel(s, nemesis.Config{SingleAddressSpace: true}, sched.NewEDFShares())
+	seg := k.NewSegment("shared", 4096)
+	var before, after error
+	d := k.Spawn("app", nemesis.SchedParams{BestEffort: true}, func(c *nemesis.Ctx) {
+		_, before = c.Load(seg, 0, 16)
+		c.Consume(sim.Millisecond)
+		_, after = c.Load(seg, 0, 16)
+	})
+	k.Map(d, seg, nemesis.Read)
+	s.At(500*sim.Microsecond, func() { k.Unmap(d, seg) })
+	s.RunUntil(10 * sim.Millisecond)
+	k.Shutdown()
+	if before != nil {
+		t.Fatalf("mapped read failed: %v", before)
+	}
+	if after == nil {
+		t.Fatal("read succeeded after Unmap")
+	}
+}
+
+func TestLoaderLoadedCount(t *testing.T) {
+	l := nemesis.NewLoader(nemesis.LoaderConfig{MapCost: 1, RelocCost: 1})
+	if l.Loaded() != 0 {
+		t.Fatalf("fresh loader has %d images", l.Loaded())
+	}
+	l.Load(nemesis.Image{Name: "a"})
+	l.Load(nemesis.Image{Name: "b"})
+	if l.Loaded() != 2 {
+		t.Fatalf("loaded = %d", l.Loaded())
+	}
+	l.Unload("a")
+	if l.Loaded() != 1 {
+		t.Fatalf("loaded after unload = %d", l.Loaded())
+	}
+}

@@ -1,0 +1,176 @@
+package nemesis_test
+
+import (
+	"testing"
+
+	"repro/internal/nemesis"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+func TestSleepZeroReturnsImmediately(t *testing.T) {
+	s := sim.New()
+	k := newRRKernel(s)
+	var at sim.Time = -1
+	k.Spawn("d", nemesis.SchedParams{BestEffort: true}, func(c *nemesis.Ctx) {
+		c.Sleep(0)
+		at = c.Now()
+	})
+	s.Run()
+	k.Shutdown()
+	if at != 0 {
+		t.Fatalf("Sleep(0) returned at %v", at)
+	}
+}
+
+func TestSendToRunnableReceiverAccumulates(t *testing.T) {
+	// Receiver is runnable (not blocked in Wait): the event must not be
+	// lost; its next Wait returns it immediately.
+	s := sim.New()
+	k := newRRKernel(s)
+	var got int64
+	recv := k.Spawn("recv", nemesis.SchedParams{BestEffort: true}, func(c *nemesis.Ctx) {
+		c.Consume(10 * ms) // busy while the event arrives
+		for _, p := range c.Wait() {
+			got += p.Count
+		}
+	})
+	var ch *nemesis.EventChannel
+	sender := k.Spawn("send", nemesis.SchedParams{BestEffort: true}, func(c *nemesis.Ctx) {
+		c.Send(ch, 4)
+	})
+	ch = k.NewChannel("x", sender, recv, false)
+	s.Run()
+	k.Shutdown()
+	if got != 4 {
+		t.Fatalf("got %d, want 4", got)
+	}
+}
+
+func TestSyncSendToBusyReceiverStillDelivers(t *testing.T) {
+	// Sync send while the receiver is mid-computation: no donation is
+	// possible into a non-waiting domain's Wait, but nothing is lost.
+	s := sim.New()
+	k := newRRKernel(s)
+	var got int64
+	recv := k.Spawn("recv", nemesis.SchedParams{BestEffort: true}, func(c *nemesis.Ctx) {
+		c.Consume(20 * ms)
+		for _, p := range c.Wait() {
+			got += p.Count
+		}
+	})
+	var ch *nemesis.EventChannel
+	sender := k.Spawn("send", nemesis.SchedParams{BestEffort: true}, func(c *nemesis.Ctx) {
+		c.Consume(ms)
+		c.Send(ch, 1)
+	})
+	ch = k.NewChannel("x", sender, recv, true)
+	s.Run()
+	k.Shutdown()
+	if got != 1 {
+		t.Fatalf("got %d, want 1", got)
+	}
+}
+
+func TestSendToDeadDomainIsSafe(t *testing.T) {
+	s := sim.New()
+	k := newRRKernel(s)
+	recv := k.Spawn("shortlived", nemesis.SchedParams{BestEffort: true}, func(c *nemesis.Ctx) {})
+	var ch *nemesis.EventChannel
+	k.Spawn("send", nemesis.SchedParams{BestEffort: true}, func(c *nemesis.Ctx) {
+		c.Sleep(5 * ms) // let the receiver exit first
+		c.Send(ch, 1)   // must not wedge the kernel
+		c.Consume(ms)
+	})
+	ch = k.NewChannel("x", k.Domains()[1], recv, true)
+	s.Run()
+	k.Shutdown()
+	if recv.State() != nemesis.Dead {
+		t.Fatal("receiver should be dead")
+	}
+}
+
+func TestNestedKPS(t *testing.T) {
+	s := sim.New()
+	p := sched.NewPriority()
+	k := nemesis.NewKernel(s, nemesis.Config{SingleAddressSpace: true}, p)
+	var hiRan sim.Time = -1
+	k.Spawn("lo", nemesis.SchedParams{BestEffort: true, Weight: 1}, func(c *nemesis.Ctx) {
+		c.KPS(func() {
+			c.Consume(2 * ms)
+			c.KPS(func() { // nesting must not exit kernel mode early
+				c.Consume(2 * ms)
+			})
+			c.Consume(2 * ms) // still privileged here
+		})
+	})
+	s.At(ms, func() {
+		k.Spawn("hi", nemesis.SchedParams{BestEffort: true, Weight: 9}, func(c *nemesis.Ctx) {
+			hiRan = c.Now()
+		})
+	})
+	s.Run()
+	k.Shutdown()
+	if hiRan < 6*ms {
+		t.Fatalf("hi ran at %v, inside the nested KPS", hiRan)
+	}
+}
+
+func TestGuaranteeHoldsUnderManyDomains(t *testing.T) {
+	// Stress: 10 guaranteed domains at 5% each plus 5 hogs; every
+	// guaranteed domain receives its contract over a second.
+	s := sim.New()
+	edf := sched.NewEDFShares()
+	k := nemesis.NewKernel(s, nemesis.Config{SingleAddressSpace: true}, edf)
+	var doms []*nemesis.Domain
+	for i := 0; i < 10; i++ {
+		doms = append(doms, k.Spawn("g", nemesis.SchedParams{Slice: 2 * ms, Period: 40 * ms},
+			func(c *nemesis.Ctx) { sched.RunHog(c, ms, 0) }))
+	}
+	for i := 0; i < 5; i++ {
+		k.Spawn("hog", nemesis.SchedParams{BestEffort: true},
+			func(c *nemesis.Ctx) { sched.RunHog(c, ms, 0) })
+	}
+	s.RunUntil(sim.Second)
+	k.Shutdown()
+	for i, d := range doms {
+		// 2ms per 40ms = 50ms per second guaranteed; slack adds more.
+		if got := edf.GuaranteedUsedOf(d); got < 48*ms {
+			t.Fatalf("domain %d got %v guaranteed, want >= 48ms", i, got)
+		}
+	}
+}
+
+func TestDomainExitReleasesContract(t *testing.T) {
+	s := sim.New()
+	edf := sched.NewEDFShares()
+	k := nemesis.NewKernel(s, nemesis.Config{SingleAddressSpace: true}, edf)
+	k.Spawn("brief", nemesis.SchedParams{Slice: 20 * ms, Period: 40 * ms}, func(c *nemesis.Ctx) {
+		c.Consume(5 * ms) // then exits: its 50% must return to the pool
+	})
+	hog := k.Spawn("hog", nemesis.SchedParams{BestEffort: true},
+		func(c *nemesis.Ctx) { sched.RunHog(c, ms, 0) })
+	s.RunUntil(sim.Second)
+	k.Shutdown()
+	if hog.Stats.Used < 900*ms {
+		t.Fatalf("hog got %v; dead domain's contract not released", hog.Stats.Used)
+	}
+}
+
+func TestChannelPendingVisible(t *testing.T) {
+	s := sim.New()
+	k := newRRKernel(s)
+	recv := k.Spawn("recv", nemesis.SchedParams{BestEffort: true}, func(c *nemesis.Ctx) {
+		c.Sleep(10 * ms)
+		if got := c.Poll(); len(got) != 1 || got[0].Count != 2 {
+			panic("poll did not see pending events")
+		}
+	})
+	ch := k.NewChannel("irq", nil, recv, false)
+	s.At(ms, func() { k.Interrupt(ch, 2) })
+	s.Run()
+	k.Shutdown()
+	if recv.State() != nemesis.Dead {
+		t.Fatal("receiver panicked: Poll lost events")
+	}
+}

@@ -1,0 +1,69 @@
+package nemesis
+
+import "fmt"
+
+// EventChannel is Nemesis's single inter-domain communication mechanism
+// (§3.4): a counted event from one domain (or an interrupt source) to
+// another. Events carry no values — shared-memory segments carry the
+// data; the event only announces that something happened.
+type EventChannel struct {
+	ID   int
+	Name string
+	// From is the transmitting domain; nil for interrupt-source channels
+	// signalled via Kernel.Interrupt.
+	From *Domain
+	// To is the receiving domain.
+	To *Domain
+	// Sync selects synchronous signalling: the sender's processor is
+	// handed to the receiver at the send. Async sends let the sender
+	// continue (best for a demultiplexing domain, per the paper).
+	Sync bool
+
+	pending int64
+
+	// Sent counts total events ever signalled on the channel.
+	Sent int64
+}
+
+// String identifies the channel in traces.
+func (ch *EventChannel) String() string {
+	mode := "async"
+	if ch.Sync {
+		mode = "sync"
+	}
+	return fmt.Sprintf("ev%d(%s,%s)", ch.ID, ch.Name, mode)
+}
+
+// Pending reports undelivered events (receiver side).
+func (ch *EventChannel) Pending() int64 { return ch.pending }
+
+// NewChannel creates an event channel from one domain to another. Pass
+// from == nil for an interrupt-source channel (signalled with
+// Kernel.Interrupt rather than Ctx.Send).
+func (k *Kernel) NewChannel(name string, from, to *Domain, sync bool) *EventChannel {
+	if to == nil {
+		panic("nemesis: event channel needs a receiving domain")
+	}
+	if from == nil && sync {
+		panic("nemesis: interrupt channels must be asynchronous")
+	}
+	k.nextChan++
+	ch := &EventChannel{ID: k.nextChan, Name: name, From: from, To: to, Sync: sync}
+	to.channels = append(to.channels, ch)
+	return ch
+}
+
+// Interrupt signals n events on an interrupt-source channel from outside
+// any domain — the "indications from interrupt handlers" of §3.4. It is
+// the bridge by which simulated devices wake driver domains.
+func (k *Kernel) Interrupt(ch *EventChannel, n int64) {
+	if ch.From != nil {
+		panic("nemesis: Interrupt on a domain-owned channel; use Ctx.Send")
+	}
+	if n <= 0 {
+		panic("nemesis: event count must be positive")
+	}
+	ch.pending += n
+	ch.Sent += n
+	k.wake(ch.To)
+}

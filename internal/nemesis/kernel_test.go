@@ -1,0 +1,466 @@
+package nemesis_test
+
+import (
+	"testing"
+
+	"repro/internal/nemesis"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+const ms = sim.Millisecond
+
+func newRRKernel(s *sim.Sim) *nemesis.Kernel {
+	return nemesis.NewKernel(s, nemesis.Config{SingleAddressSpace: true}, sched.NewRoundRobin())
+}
+
+func TestSingleDomainConsumesAndExits(t *testing.T) {
+	s := sim.New()
+	k := newRRKernel(s)
+	d := k.Spawn("worker", nemesis.SchedParams{BestEffort: true}, func(c *nemesis.Ctx) {
+		c.Consume(10 * ms)
+	})
+	s.Run()
+	defer k.Shutdown()
+	if d.State() != nemesis.Dead {
+		t.Fatalf("state = %v, want Dead", d.State())
+	}
+	if d.Stats.Used != 10*ms {
+		t.Fatalf("Used = %v, want 10ms", d.Stats.Used)
+	}
+	if s.Now() != 10*ms {
+		t.Fatalf("clock = %v, want 10ms", s.Now())
+	}
+}
+
+func TestRoundRobinInterleavesDomains(t *testing.T) {
+	s := sim.New()
+	k := newRRKernel(s)
+	var doneA, doneB sim.Time
+	k.Spawn("a", nemesis.SchedParams{BestEffort: true}, func(c *nemesis.Ctx) {
+		c.Consume(50 * ms)
+		doneA = c.Now()
+	})
+	k.Spawn("b", nemesis.SchedParams{BestEffort: true}, func(c *nemesis.Ctx) {
+		c.Consume(50 * ms)
+		doneB = c.Now()
+	})
+	s.Run()
+	defer k.Shutdown()
+	if s.Now() != 100*ms {
+		t.Fatalf("total time = %v, want 100ms", s.Now())
+	}
+	// With a 10ms quantum both finish within one quantum of each other.
+	gap := doneA - doneB
+	if gap < 0 {
+		gap = -gap
+	}
+	if gap > 10*ms {
+		t.Fatalf("completion gap %v, want <= 10ms (interleaved)", gap)
+	}
+}
+
+func TestYieldAlternates(t *testing.T) {
+	s := sim.New()
+	k := newRRKernel(s)
+	var order []string
+	mk := func(name string) func(*nemesis.Ctx) {
+		return func(c *nemesis.Ctx) {
+			for i := 0; i < 3; i++ {
+				order = append(order, name)
+				c.Consume(ms)
+				c.Yield()
+			}
+		}
+	}
+	k.Spawn("a", nemesis.SchedParams{BestEffort: true}, mk("a"))
+	k.Spawn("b", nemesis.SchedParams{BestEffort: true}, mk("b"))
+	s.Run()
+	defer k.Shutdown()
+	want := []string{"a", "b", "a", "b", "a", "b"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSleepAdvancesTime(t *testing.T) {
+	s := sim.New()
+	k := newRRKernel(s)
+	var woke sim.Time
+	k.Spawn("sleeper", nemesis.SchedParams{BestEffort: true}, func(c *nemesis.Ctx) {
+		c.Sleep(25 * ms)
+		woke = c.Now()
+	})
+	s.Run()
+	defer k.Shutdown()
+	if woke != 25*ms {
+		t.Fatalf("woke at %v, want 25ms", woke)
+	}
+}
+
+func TestEventWaitAndSend(t *testing.T) {
+	s := sim.New()
+	k := newRRKernel(s)
+	var got int64
+	var recvAt sim.Time
+	recv := k.Spawn("recv", nemesis.SchedParams{BestEffort: true}, func(c *nemesis.Ctx) {
+		evs := c.Wait()
+		for _, e := range evs {
+			got += e.Count
+		}
+		recvAt = c.Now()
+	})
+	var ch *nemesis.EventChannel
+	k.Spawn("send", nemesis.SchedParams{BestEffort: true}, func(c *nemesis.Ctx) {
+		c.Consume(5 * ms)
+		c.Send(ch, 3)
+	})
+	ch = k.NewChannel("test", k.Domains()[1], recv, false)
+	s.Run()
+	defer k.Shutdown()
+	if got != 3 {
+		t.Fatalf("received %d events, want 3", got)
+	}
+	if recvAt != 5*ms {
+		t.Fatalf("received at %v, want 5ms", recvAt)
+	}
+}
+
+func TestEventCountsAccumulate(t *testing.T) {
+	s := sim.New()
+	k := newRRKernel(s)
+	var counts []int64
+	recv := k.Spawn("recv", nemesis.SchedParams{BestEffort: true}, func(c *nemesis.Ctx) {
+		// Sleep so the sender's three sends accumulate, then wait.
+		c.Sleep(10 * ms)
+		for _, e := range c.Wait() {
+			counts = append(counts, e.Count)
+		}
+	})
+	var ch *nemesis.EventChannel
+	sender := k.Spawn("send", nemesis.SchedParams{BestEffort: true}, func(c *nemesis.Ctx) {
+		for i := 0; i < 3; i++ {
+			c.Send(ch, 1)
+			c.Consume(ms)
+		}
+	})
+	ch = k.NewChannel("acc", sender, recv, false)
+	s.Run()
+	defer k.Shutdown()
+	if len(counts) != 1 || counts[0] != 3 {
+		t.Fatalf("counts = %v, want [3] (events batched)", counts)
+	}
+}
+
+func TestInterruptChannelWakesDomain(t *testing.T) {
+	s := sim.New()
+	k := newRRKernel(s)
+	var woke sim.Time = -1
+	d := k.Spawn("driver", nemesis.SchedParams{BestEffort: true}, func(c *nemesis.Ctx) {
+		c.Wait()
+		woke = c.Now()
+	})
+	ch := k.NewChannel("irq", nil, d, false)
+	s.At(7*ms, func() { k.Interrupt(ch, 1) })
+	s.Run()
+	defer k.Shutdown()
+	if woke != 7*ms {
+		t.Fatalf("driver woke at %v, want 7ms", woke)
+	}
+}
+
+func TestSyncSendDonatesProcessor(t *testing.T) {
+	// Client/server ping-pong over a sync channel: the server must run
+	// immediately at the send (same virtual instant, CPU donated), and
+	// the work it does must be charged against the client's contract.
+	s := sim.New()
+	edf := sched.NewEDFShares()
+	k := nemesis.NewKernel(s, nemesis.Config{SingleAddressSpace: true}, edf)
+
+	var serverRan sim.Time = -1
+	var sentAt sim.Time = -1
+	server := k.Spawn("server", nemesis.SchedParams{Slice: ms, Period: 100 * ms}, func(c *nemesis.Ctx) {
+		c.Wait()
+		serverRan = c.Now()
+		c.Consume(2 * ms) // server work on donated time
+	})
+	var ch *nemesis.EventChannel
+	client := k.Spawn("client", nemesis.SchedParams{Slice: 50 * ms, Period: 100 * ms}, func(c *nemesis.Ctx) {
+		c.Consume(ms)
+		sentAt = c.Now()
+		c.Send(ch, 1)
+		c.Consume(ms)
+	})
+	ch = k.NewChannel("call", client, server, true)
+	s.Run()
+	defer k.Shutdown()
+
+	if serverRan != sentAt {
+		t.Fatalf("server ran at %v, send was at %v: no immediate handover", serverRan, sentAt)
+	}
+	if k.Stats.Donations != 1 {
+		t.Fatalf("donations = %d, want 1", k.Stats.Donations)
+	}
+	// Server's 2ms ran against the client's contract.
+	if got := edf.GuaranteedUsedOf(client); got < 3*ms {
+		t.Fatalf("client charged %v, want >= 3ms (its own 1ms + donated 2ms)", got)
+	}
+	if got := edf.GuaranteedUsedOf(server); got != 0 {
+		t.Fatalf("server charged %v, want 0 (ran on donated time)", got)
+	}
+}
+
+func TestAsyncSendSenderContinues(t *testing.T) {
+	s := sim.New()
+	k := newRRKernel(s)
+	var senderDone, recvRan sim.Time = -1, -1
+	recv := k.Spawn("recv", nemesis.SchedParams{BestEffort: true}, func(c *nemesis.Ctx) {
+		c.Wait()
+		recvRan = c.Now()
+	})
+	var ch *nemesis.EventChannel
+	sender := k.Spawn("send", nemesis.SchedParams{BestEffort: true}, func(c *nemesis.Ctx) {
+		c.Send(ch, 1)
+		c.Consume(5 * ms)
+		senderDone = c.Now()
+	})
+	ch = k.NewChannel("note", sender, recv, false)
+	s.Run()
+	defer k.Shutdown()
+	if recvRan < senderDone {
+		t.Fatalf("async receiver ran at %v before sender finished at %v", recvRan, senderDone)
+	}
+}
+
+func TestKPSDefersPreemption(t *testing.T) {
+	s := sim.New()
+	p := sched.NewPriority()
+	k := nemesis.NewKernel(s, nemesis.Config{SingleAddressSpace: true}, p)
+
+	var hiRan sim.Time = -1
+	var kpsEnd sim.Time = -1
+	k.Spawn("lo", nemesis.SchedParams{BestEffort: true, Weight: 1}, func(c *nemesis.Ctx) {
+		c.KPS(func() {
+			c.Consume(10 * ms) // holding privileged section across the wake
+		})
+		kpsEnd = c.Now()
+		c.Consume(5 * ms)
+	})
+	k.Spawn("hi-spawner", nemesis.SchedParams{BestEffort: true, Weight: 0}, func(c *nemesis.Ctx) {})
+	s.At(2*ms, func() {
+		k.Spawn("hi", nemesis.SchedParams{BestEffort: true, Weight: 10}, func(c *nemesis.Ctx) {
+			hiRan = c.Now()
+			c.Consume(ms)
+		})
+	})
+	s.Run()
+	defer k.Shutdown()
+	if hiRan != 10*ms {
+		t.Fatalf("high-priority domain ran at %v, want 10ms (deferred to KPS exit)", hiRan)
+	}
+	// lo resumes after the deferred preemption let hi run its 1ms.
+	if kpsEnd != 11*ms {
+		t.Fatalf("KPS returned at %v, want 11ms (preempted exactly at section exit)", kpsEnd)
+	}
+}
+
+func TestPriorityPreemptsMidGrant(t *testing.T) {
+	s := sim.New()
+	p := sched.NewPriority()
+	k := nemesis.NewKernel(s, nemesis.Config{SingleAddressSpace: true}, p)
+	var hiRan sim.Time = -1
+	k.Spawn("lo", nemesis.SchedParams{BestEffort: true, Weight: 1}, func(c *nemesis.Ctx) {
+		c.Consume(10 * ms) // no KPS: preemptible
+	})
+	s.At(2*ms, func() {
+		k.Spawn("hi", nemesis.SchedParams{BestEffort: true, Weight: 10}, func(c *nemesis.Ctx) {
+			hiRan = c.Now()
+			c.Consume(ms)
+		})
+	})
+	s.Run()
+	defer k.Shutdown()
+	if hiRan != 2*ms {
+		t.Fatalf("high-priority ran at %v, want 2ms (immediate preemption)", hiRan)
+	}
+	if k.Stats.Preemptions == 0 {
+		t.Fatal("no preemption recorded")
+	}
+}
+
+func TestKPSPanicStillLeavesKernelMode(t *testing.T) {
+	s := sim.New()
+	k := newRRKernel(s)
+	var after sim.Time = -1
+	d := k.Spawn("buggy", nemesis.SchedParams{BestEffort: true}, func(c *nemesis.Ctx) {
+		c.KPS(func() {
+			c.Consume(ms)
+			panic("driver bug")
+		})
+	})
+	k.Spawn("other", nemesis.SchedParams{BestEffort: true}, func(c *nemesis.Ctx) {
+		c.Consume(2 * ms)
+		after = c.Now()
+	})
+	s.Run()
+	defer k.Shutdown()
+	if d.State() != nemesis.Dead {
+		t.Fatalf("buggy domain state = %v, want Dead", d.State())
+	}
+	if after < 0 {
+		t.Fatal("other domain never ran after the panic")
+	}
+}
+
+func TestMemoryProtection(t *testing.T) {
+	s := sim.New()
+	k := newRRKernel(s)
+	seg := k.NewSegment("shared", 128)
+	var writeErr, readErr, roWriteErr error
+	var got []byte
+	writer := k.Spawn("writer", nemesis.SchedParams{BestEffort: true}, func(c *nemesis.Ctx) {
+		writeErr = c.Store(seg, 0, []byte("hello"))
+		c.Consume(ms)
+	})
+	reader := k.Spawn("reader", nemesis.SchedParams{BestEffort: true}, func(c *nemesis.Ctx) {
+		c.Sleep(5 * ms)
+		got, readErr = c.Load(seg, 0, 5)
+		roWriteErr = c.Store(seg, 0, []byte("nope"))
+	})
+	k.Map(writer, seg, nemesis.Read|nemesis.Write)
+	k.Map(reader, seg, nemesis.Read)
+	s.Run()
+	defer k.Shutdown()
+	if writeErr != nil || readErr != nil {
+		t.Fatalf("write err %v, read err %v", writeErr, readErr)
+	}
+	if string(got) != "hello" {
+		t.Fatalf("reader saw %q, want hello", got)
+	}
+	if roWriteErr == nil {
+		t.Fatal("read-only domain wrote successfully")
+	}
+}
+
+func TestUnmappedSegmentDenied(t *testing.T) {
+	s := sim.New()
+	k := newRRKernel(s)
+	seg := k.NewSegment("private", 64)
+	var err error
+	k.Spawn("outsider", nemesis.SchedParams{BestEffort: true}, func(c *nemesis.Ctx) {
+		_, err = c.Load(seg, 0, 1)
+	})
+	s.Run()
+	defer k.Shutdown()
+	if err == nil {
+		t.Fatal("unmapped access succeeded")
+	}
+}
+
+func TestSegmentsShareAddressesAcrossDomains(t *testing.T) {
+	s := sim.New()
+	k := newRRKernel(s)
+	a := k.NewSegment("a", 1024)
+	b := k.NewSegment("b", 1<<21)
+	c := k.NewSegment("c", 64)
+	if a.Base == b.Base || b.Base == c.Base {
+		t.Fatal("segments share virtual addresses")
+	}
+	if !(a.Base < b.Base && b.Base < c.Base) {
+		t.Fatal("virtual address allocation not monotonic")
+	}
+	// The single address space means Base is domain-independent by
+	// construction; this documents the invariant.
+	if c.Base-b.Base < uint64(b.Size()) {
+		t.Fatal("segment c overlaps b")
+	}
+}
+
+func TestSegmentBounds(t *testing.T) {
+	s := sim.New()
+	k := newRRKernel(s)
+	seg := k.NewSegment("s", 16)
+	var loadErr, storeErr error
+	d := k.Spawn("d", nemesis.SchedParams{BestEffort: true}, func(c *nemesis.Ctx) {
+		_, loadErr = c.Load(seg, 10, 10)
+		storeErr = c.Store(seg, 15, []byte{1, 2})
+	})
+	k.Map(d, seg, nemesis.Read|nemesis.Write)
+	s.Run()
+	defer k.Shutdown()
+	if loadErr != nemesis.ErrBounds || storeErr != nemesis.ErrBounds {
+		t.Fatalf("errors = %v, %v; want ErrBounds", loadErr, storeErr)
+	}
+}
+
+func TestContextSwitchCostsAccrue(t *testing.T) {
+	run := func(single bool) sim.Duration {
+		s := sim.New()
+		cfg := nemesis.Config{
+			SwitchCost:         10 * sim.Microsecond,
+			FlushCost:          90 * sim.Microsecond,
+			SingleAddressSpace: single,
+		}
+		k := nemesis.NewKernel(s, cfg, sched.NewRoundRobin())
+		for i := 0; i < 2; i++ {
+			k.Spawn("d", nemesis.SchedParams{BestEffort: true}, func(c *nemesis.Ctx) {
+				for j := 0; j < 5; j++ {
+					c.Consume(ms)
+					c.Yield()
+				}
+			})
+		}
+		s.Run()
+		defer k.Shutdown()
+		return k.Stats.SwitchNS
+	}
+	sas := run(true)
+	multi := run(false)
+	if sas == 0 {
+		t.Fatal("no switch cost recorded")
+	}
+	if multi <= sas {
+		t.Fatalf("multi-AS switch cost %v not above single-AS %v", multi, sas)
+	}
+	// Flush is 9x the base cost, so total should be 10x.
+	if multi != 10*sas {
+		t.Fatalf("multi = %v, want exactly 10x single = %v", multi, 10*sas)
+	}
+}
+
+func TestShutdownKillsParkedDomains(t *testing.T) {
+	s := sim.New()
+	k := newRRKernel(s)
+	d := k.Spawn("waiter", nemesis.SchedParams{BestEffort: true}, func(c *nemesis.Ctx) {
+		c.Wait() // never signalled
+	})
+	s.Run()
+	k.Shutdown()
+	if d.State() != nemesis.Dead {
+		t.Fatalf("state after shutdown = %v, want Dead", d.State())
+	}
+	// Idempotent.
+	k.Shutdown()
+}
+
+func TestSendOnForeignChannelPanics(t *testing.T) {
+	s := sim.New()
+	k := newRRKernel(s)
+	a := k.Spawn("a", nemesis.SchedParams{BestEffort: true}, func(c *nemesis.Ctx) { c.Sleep(ms) })
+	b := k.Spawn("b", nemesis.SchedParams{BestEffort: true}, func(c *nemesis.Ctx) {
+		defer func() { recover() }()
+		// Channel owned by a, not b: must panic (recovered; domain exits).
+		ch := c.Kernel().NewChannel("x", a, a, false)
+		c.Send(ch, 1)
+	})
+	s.Run()
+	defer k.Shutdown()
+	if b.State() != nemesis.Dead {
+		t.Fatalf("b state = %v", b.State())
+	}
+}

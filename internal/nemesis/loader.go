@@ -1,0 +1,223 @@
+package nemesis
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/sim"
+)
+
+// This file models §3.1's load-time relocation machinery:
+//
+//	"The cost of using a single address space is the penalty of
+//	 load-time relocation. We try to amortise this cost by caching the
+//	 results of such relocations and then aim to reload an application
+//	 at the same virtual address at which it was last executed. In this
+//	 we are helped by the use of 64-bit VM architectures, which allow a
+//	 sparse allocation of addresses so that we can arrange reuse with
+//	 high probability. Consider for example allocating the top 32
+//	 address bits of a 64 bit virtual address based on a 32-bit hash
+//	 function of the code to be executed."
+//
+// The Loader allocates each image's preferred base from a hash of its
+// code, caches relocation results per (image, base), and falls back to
+// linear probing when two different images hash to the same slot.
+
+// Image is an executable image to be loaded into the single address
+// space. Version stands in for the code contents: recompiling an image
+// changes its Version, hence its hash, hence its preferred address.
+type Image struct {
+	Name    string
+	Version int
+	Size    int64 // text+data bytes
+	Relocs  int   // relocation entries patched when the base changes
+}
+
+// CodeHash is the 32-bit hash of the image's code (here: name and
+// version; the real system hashes the text segment itself).
+func (im Image) CodeHash() uint32 {
+	h := fnv.New32a()
+	fmt.Fprintf(h, "%s\x00%d", im.Name, im.Version)
+	return h.Sum32()
+}
+
+// LoaderConfig carries the relocation cost model.
+type LoaderConfig struct {
+	// MapCost is the fixed per-load cost: installing translations and
+	// opening the domain's protection view of the image.
+	MapCost sim.Duration
+	// RelocCost is the cost of patching one relocation entry. Paid only
+	// when the image has not been relocated for the chosen base before.
+	RelocCost sim.Duration
+	// HashBits is the width of the code hash used for the top address
+	// bits (default 32, per the paper). Tests shrink it to make
+	// collisions observable.
+	HashBits uint
+}
+
+func (c *LoaderConfig) setDefaults() {
+	if c.HashBits == 0 {
+		c.HashBits = 32
+	}
+	if c.HashBits > 32 {
+		panic("nemesis: loader hash wider than 32 bits")
+	}
+}
+
+// LoadResult describes one completed load.
+type LoadResult struct {
+	Base      uint64       // virtual address the image runs at
+	Cost      sim.Duration // load-time cost actually paid
+	CacheHit  bool         // relocation result was reused
+	Collision bool         // preferred slot held by a different image
+}
+
+// LoaderStats aggregates loader activity.
+type LoaderStats struct {
+	Loads         int64
+	CacheHits     int64
+	Collisions    int64
+	RelocsPatched int64
+	CostTotal     sim.Duration
+}
+
+// Loader places images in the single address space.
+type Loader struct {
+	cfg LoaderConfig
+
+	// loaded maps base address -> image identity currently occupying it.
+	loaded map[uint64]string
+	// byName maps image name -> base, for Unload.
+	byName map[string]uint64
+	// relocated remembers (image identity, base) pairs whose relocation
+	// results are cached; reloading such a pair pays only MapCost.
+	relocated map[relocKey]bool
+
+	Stats LoaderStats
+}
+
+type relocKey struct {
+	ident string // name + version
+	base  uint64
+}
+
+// Loader errors.
+var (
+	ErrLoaded    = errors.New("nemesis: image already loaded")
+	ErrNotLoaded = errors.New("nemesis: image not loaded")
+	ErrFull      = errors.New("nemesis: no free load address")
+)
+
+// NewLoader builds a loader with the given cost model.
+func NewLoader(cfg LoaderConfig) *Loader {
+	cfg.setDefaults()
+	return &Loader{
+		cfg:       cfg,
+		loaded:    make(map[uint64]string),
+		byName:    make(map[string]uint64),
+		relocated: make(map[relocKey]bool),
+	}
+}
+
+// slotSize is the spacing between hash-derived bases: the low bits of
+// the 64-bit address are left to the image itself.
+func (l *Loader) slotSize() uint64 { return 1 << (64 - l.cfg.HashBits) }
+
+// ident is the identity key of an image's exact code.
+func ident(im Image) string { return fmt.Sprintf("%s\x00%d", im.Name, im.Version) }
+
+// PreferredBase is the address the hash function assigns to the image.
+func (l *Loader) PreferredBase(im Image) uint64 {
+	h := uint64(im.CodeHash())
+	h &= (1 << l.cfg.HashBits) - 1
+	return h << (64 - l.cfg.HashBits)
+}
+
+// Load places the image, reusing a cached relocation when it lands at
+// an address it has run at before. A second load of the same name
+// fails; reload requires Unload first (domains share one mapping in a
+// single address space — that is its point).
+func (l *Loader) Load(im Image) (LoadResult, error) {
+	if _, dup := l.byName[im.Name]; dup {
+		return LoadResult{}, fmt.Errorf("%w: %s", ErrLoaded, im.Name)
+	}
+	base := l.PreferredBase(im)
+	id := ident(im)
+	var res LoadResult
+	slots := uint64(1) << l.cfg.HashBits
+	for probe := uint64(0); probe < slots; probe++ {
+		occupant, taken := l.loaded[base]
+		if !taken {
+			res.Base = base
+			res.Cost = l.cfg.MapCost
+			key := relocKey{ident: id, base: base}
+			if l.relocated[key] {
+				res.CacheHit = true
+				l.Stats.CacheHits++
+			} else {
+				res.Cost += sim.Duration(im.Relocs) * l.cfg.RelocCost
+				l.Stats.RelocsPatched += int64(im.Relocs)
+				l.relocated[key] = true
+			}
+			l.loaded[base] = id
+			l.byName[im.Name] = base
+			l.Stats.Loads++
+			l.Stats.CostTotal += res.Cost
+			return res, nil
+		}
+		if occupant == id {
+			// Same code already mapped at its own address; in a single
+			// address space that is a sharing opportunity, not an error,
+			// but this loader tracks one mapping per name.
+			return LoadResult{}, fmt.Errorf("%w: code of %s", ErrLoaded, im.Name)
+		}
+		// Hash collision with a different image: probe the next slot.
+		res.Collision = true
+		if probe == 0 {
+			l.Stats.Collisions++
+		}
+		base += l.slotSize() // wraps at 2^64, which is slot 0 again
+	}
+	return LoadResult{}, ErrFull
+}
+
+// Unload removes the image's mapping. The relocation cache survives —
+// that is the amortisation the paper describes.
+func (l *Loader) Unload(name string) error {
+	base, ok := l.byName[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotLoaded, name)
+	}
+	delete(l.byName, name)
+	delete(l.loaded, base)
+	return nil
+}
+
+// BaseOf reports where a loaded image sits.
+func (l *Loader) BaseOf(name string) (uint64, bool) {
+	b, ok := l.byName[name]
+	return b, ok
+}
+
+// Loaded reports the number of mapped images.
+func (l *Loader) Loaded() int { return len(l.byName) }
+
+// CachedRelocations reports distinct (image, base) relocation results
+// retained.
+func (l *Loader) CachedRelocations() int { return len(l.relocated) }
+
+// InvalidateCache drops cached relocation results for one image name
+// (all versions, all bases) — e.g. when the binary is garbage-collected
+// from the relocation store.
+func (l *Loader) InvalidateCache(name string) int {
+	n := 0
+	prefix := name + "\x00"
+	for k := range l.relocated {
+		if len(k.ident) >= len(prefix) && k.ident[:len(prefix)] == prefix {
+			delete(l.relocated, k)
+			n++
+		}
+	}
+	return n
+}

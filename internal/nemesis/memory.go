@@ -1,0 +1,94 @@
+package nemesis
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Rights are per-domain access rights to a segment (§3.1): protection in
+// the single address space comes from per-domain translations, not from
+// separate address spaces.
+type Rights uint8
+
+// Access rights.
+const (
+	Read Rights = 1 << iota
+	Write
+	Execute
+)
+
+// ErrNoAccess reports a protection violation.
+var ErrNoAccess = errors.New("nemesis: access denied")
+
+// ErrBounds reports an out-of-range segment access.
+var ErrBounds = errors.New("nemesis: segment access out of bounds")
+
+// Segment is a region of the single virtual address space. Every domain
+// that maps the segment sees it at the same virtual address (that is the
+// point of the single address space: pointers can be shared), but each
+// domain has its own access rights.
+type Segment struct {
+	Name string
+	Base uint64 // virtual address, identical in every domain
+	data []byte
+}
+
+// Size reports the segment length in bytes.
+func (s *Segment) Size() int { return len(s.data) }
+
+// NewSegment allocates a segment in the shared virtual address space.
+// Addresses are allocated sparsely, mimicking the paper's 64-bit layout
+// where the top bits are derived from a hash so reloads land at the same
+// address.
+func (k *Kernel) NewSegment(name string, size int) *Segment {
+	if size <= 0 {
+		panic("nemesis: segment size must be positive")
+	}
+	s := &Segment{Name: name, Base: k.nextVA, data: make([]byte, size)}
+	// Sparse allocation: jump to the next 1 MiB boundary past the segment.
+	k.nextVA += (uint64(size)/(1<<20) + 1) * (1 << 20)
+	return s
+}
+
+// Map grants domain d the given rights on segment s (both domains of a
+// communication channel map the same segment, e.g. read/write at the
+// source and read-only at the sink).
+func (k *Kernel) Map(d *Domain, s *Segment, r Rights) {
+	if d.segs == nil {
+		d.segs = make(map[*Segment]Rights)
+	}
+	d.segs[s] = r
+}
+
+// Unmap removes d's rights on s.
+func (k *Kernel) Unmap(d *Domain, s *Segment) {
+	delete(d.segs, s)
+}
+
+// rightsOf returns the domain's rights on a segment (zero if unmapped).
+func (d *Domain) rightsOf(s *Segment) Rights { return d.segs[s] }
+
+// Load copies n bytes at offset off from segment s, checking Read rights.
+func (c *Ctx) Load(s *Segment, off, n int) ([]byte, error) {
+	if c.d.rightsOf(s)&Read == 0 {
+		return nil, fmt.Errorf("%w: %v reading %q", ErrNoAccess, c.d, s.Name)
+	}
+	if off < 0 || n < 0 || off+n > len(s.data) {
+		return nil, ErrBounds
+	}
+	out := make([]byte, n)
+	copy(out, s.data[off:off+n])
+	return out, nil
+}
+
+// Store writes p into segment s at offset off, checking Write rights.
+func (c *Ctx) Store(s *Segment, off int, p []byte) error {
+	if c.d.rightsOf(s)&Write == 0 {
+		return fmt.Errorf("%w: %v writing %q", ErrNoAccess, c.d, s.Name)
+	}
+	if off < 0 || off+len(p) > len(s.data) {
+		return ErrBounds
+	}
+	copy(s.data[off:], p)
+	return nil
+}

@@ -1,0 +1,171 @@
+// Package netsig implements the connection-management half of §2.2: the
+// "normal mechanism of ATM signalling", performed for most Pegasus
+// devices by a management process on the attached workstation rather
+// than by the device itself.
+//
+// Establishing a virtual circuit means: admission-control the requested
+// peak cell rate against every output link on the path, allocate a VCI,
+// and write the switch routing tables. Tearing it down releases both.
+// Admission is what lets the ATM network "provide latency guarantees
+// for interactive multimedia data": a link is never committed beyond
+// its capacity, so queueing stays bounded.
+package netsig
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/atm"
+	"repro/internal/fabric"
+)
+
+// Signalling errors.
+var (
+	// ErrAdmission reports a circuit refused for lack of link capacity.
+	ErrAdmission = errors.New("netsig: peak rate exceeds link capacity")
+	// ErrNoCircuit reports an unknown circuit id.
+	ErrNoCircuit = errors.New("netsig: no such circuit")
+)
+
+// Circuit is one established virtual circuit (data or control).
+type Circuit struct {
+	ID       int
+	VCI      atm.VCI
+	InPort   int
+	OutPorts []int // point-to-multipoint leaves
+	PeakRate int64 // bits per second, admission-controlled
+	Ctrl     bool
+}
+
+// Manager is the management process: it owns a switch's routing tables
+// and the per-output-port committed rates.
+type Manager struct {
+	sw        *fabric.Switch
+	committed []int64 // per output port, bits/s
+	capacity  []int64 // per output port, bits/s
+
+	nextVCI atm.VCI
+	nextID  int
+	open    map[int]*Circuit
+
+	// Stats
+	Established int64
+	Refused     int64
+	TornDown    int64
+}
+
+// NewManager takes control of a switch. linkRate is the capacity of
+// every attached output link (per-port overrides via SetPortCapacity).
+func NewManager(sw *fabric.Switch, linkRate int64) *Manager {
+	m := &Manager{
+		sw:        sw,
+		committed: make([]int64, sw.Ports()),
+		capacity:  make([]int64, sw.Ports()),
+		nextVCI:   1000,
+		open:      make(map[int]*Circuit),
+	}
+	for i := range m.capacity {
+		m.capacity[i] = linkRate
+	}
+	return m
+}
+
+// SetPortCapacity overrides one output port's admission capacity.
+func (m *Manager) SetPortCapacity(port int, bits int64) {
+	m.capacity[port] = bits
+}
+
+// Committed reports the admitted peak rate on an output port.
+func (m *Manager) Committed(port int) int64 { return m.committed[port] }
+
+// Establish sets up a circuit from inPort to one or more output ports
+// at the given peak rate, allocating a fresh VCI. With zero peakRate
+// the circuit is best-effort (no admission, no guarantee) — the class
+// ordinary data travels in.
+func (m *Manager) Establish(inPort int, outPorts []int, peakRate int64, ctrl bool) (*Circuit, error) {
+	if len(outPorts) == 0 {
+		return nil, errors.New("netsig: circuit needs at least one leaf")
+	}
+	// Admission: every leaf's output link must have headroom.
+	if peakRate > 0 {
+		for _, p := range outPorts {
+			if m.committed[p]+peakRate > m.capacity[p] {
+				m.Refused++
+				return nil, fmt.Errorf("%w: port %d committed %d + %d > %d",
+					ErrAdmission, p, m.committed[p], peakRate, m.capacity[p])
+			}
+		}
+		for _, p := range outPorts {
+			m.committed[p] += peakRate
+		}
+	}
+	m.nextVCI++
+	vci := m.nextVCI
+	for _, p := range outPorts {
+		m.sw.Route(inPort, vci, p, vci)
+	}
+	m.nextID++
+	c := &Circuit{
+		ID: m.nextID, VCI: vci, InPort: inPort,
+		OutPorts: append([]int(nil), outPorts...),
+		PeakRate: peakRate, Ctrl: ctrl,
+	}
+	m.open[c.ID] = c
+	m.Established++
+	return c, nil
+}
+
+// EstablishPair sets up the §2.2 device pattern: a data circuit plus
+// its low-bandwidth control circuit between the same ports. ctrlRate
+// is nominal (control streams are tiny); it is admitted too.
+func (m *Manager) EstablishPair(inPort int, outPorts []int, dataRate, ctrlRate int64) (data, ctrl *Circuit, err error) {
+	data, err = m.Establish(inPort, outPorts, dataRate, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	ctrl, err = m.Establish(inPort, outPorts, ctrlRate, true)
+	if err != nil {
+		m.TearDown(data.ID)
+		return nil, nil, err
+	}
+	return data, ctrl, nil
+}
+
+// AddLeaf extends a circuit point-to-multipoint (the TV-director fan
+// out), admitting the new leaf's rate.
+func (m *Manager) AddLeaf(id, outPort int) error {
+	c, ok := m.open[id]
+	if !ok {
+		return ErrNoCircuit
+	}
+	if c.PeakRate > 0 {
+		if m.committed[outPort]+c.PeakRate > m.capacity[outPort] {
+			m.Refused++
+			return ErrAdmission
+		}
+		m.committed[outPort] += c.PeakRate
+	}
+	m.sw.Route(c.InPort, c.VCI, outPort, c.VCI)
+	c.OutPorts = append(c.OutPorts, outPort)
+	return nil
+}
+
+// TearDown removes a circuit and releases its admitted rate.
+func (m *Manager) TearDown(id int) error {
+	c, ok := m.open[id]
+	if !ok {
+		return ErrNoCircuit
+	}
+	delete(m.open, id)
+	m.sw.Unroute(c.InPort, c.VCI)
+	if c.PeakRate > 0 {
+		for _, p := range c.OutPorts {
+			m.committed[p] -= c.PeakRate
+		}
+	}
+	m.TornDown++
+	return nil
+}
+
+// Open reports currently established circuits.
+func (m *Manager) Open() int { return len(m.open) }

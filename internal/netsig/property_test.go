@@ -1,0 +1,75 @@
+package netsig_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fabric"
+	"repro/internal/netsig"
+	"repro/internal/sim"
+)
+
+// Property: under any sequence of establishes, leaf additions and
+// teardowns, no output port is ever committed beyond its capacity or
+// below zero, and tearing every circuit down returns every port to
+// zero — the invariant that lets the network promise latency bounds.
+func TestAdmissionInvariantProperty(t *testing.T) {
+	const ports = 8
+	const linkRate = 100_000_000
+	prop := func(seed int64, nOps uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := sim.New()
+		sw := fabric.NewSwitch(s, "prop", ports, 0)
+		m := netsig.NewManager(sw, linkRate)
+		var ids []int
+		check := func() bool {
+			for p := 0; p < ports; p++ {
+				if m.Committed(p) < 0 || m.Committed(p) > linkRate {
+					return false
+				}
+			}
+			return true
+		}
+		for i := 0; i < int(nOps); i++ {
+			switch rng.Intn(4) {
+			case 0, 1: // establish (weighted: the common op)
+				in := rng.Intn(ports)
+				out := []int{rng.Intn(ports)}
+				rate := int64(rng.Intn(linkRate * 3 / 4))
+				if c, err := m.Establish(in, out, rate, false); err == nil {
+					ids = append(ids, c.ID)
+				}
+			case 2:
+				if len(ids) > 0 {
+					_ = m.AddLeaf(ids[rng.Intn(len(ids))], rng.Intn(ports))
+				}
+			case 3:
+				if len(ids) > 0 {
+					k := rng.Intn(len(ids))
+					if m.TearDown(ids[k]) != nil {
+						return false
+					}
+					ids = append(ids[:k], ids[k+1:]...)
+				}
+			}
+			if !check() {
+				return false
+			}
+		}
+		for _, id := range ids {
+			if m.TearDown(id) != nil {
+				return false
+			}
+		}
+		for p := 0; p < ports; p++ {
+			if m.Committed(p) != 0 {
+				return false
+			}
+		}
+		return m.Open() == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

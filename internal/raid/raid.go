@@ -1,0 +1,373 @@
+// Package raid implements the Pegasus storage array of §5: log segments
+// striped across four data disks with a fifth parity disk (RAID-4).
+//
+// Because the log-structured layer above always writes whole segments,
+// every write is a full-stripe write: parity is computed from the fresh
+// data with no read-modify-write — the synergy of log structure and RAID
+// the paper highlights. Partial writes are supported (with the RMW
+// penalty) so experiments can quantify exactly what the log layout
+// avoids. A single failed disk is transparent to readers: missing chunks
+// are reconstructed from parity.
+package raid
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/disk"
+	"repro/internal/sim"
+)
+
+// Geometry constants from the paper: megabyte segments striped over
+// four disks plus one parity disk.
+const (
+	DataDisks  = 4
+	TotalDisks = DataDisks + 1
+)
+
+// ErrTooManyFailures reports an unrecoverable array.
+var ErrTooManyFailures = errors.New("raid: more than one disk failed")
+
+// Stats accumulates array-level accounting.
+type Stats struct {
+	SegmentWrites   int64
+	SegmentReads    int64
+	PartialWrites   int64 // writes requiring read-modify-write of parity
+	Reconstructions int64 // chunk reads served via parity
+	RebuildBytes    int64
+}
+
+// Array is a RAID-4 set of five disks holding fixed-size segments.
+type Array struct {
+	sim     *sim.Sim
+	disks   [TotalDisks]*disk.Disk // 0..3 data, 4 parity
+	segSize int
+	chunk   int // segSize / DataDisks
+	nseg    int64
+
+	Stats Stats
+}
+
+// New builds an array of five identical disks sized to hold nseg
+// segments of segSize bytes.
+func New(s *sim.Sim, p disk.Params, segSize int, nseg int64) *Array {
+	if segSize%DataDisks != 0 {
+		panic("raid: segment size must divide by the data-disk count")
+	}
+	a := &Array{sim: s, segSize: segSize, chunk: segSize / DataDisks, nseg: nseg}
+	perDisk := nseg * int64(a.chunk)
+	for i := range a.disks {
+		a.disks[i] = disk.New(s, p, perDisk)
+	}
+	return a
+}
+
+// SegmentSize reports the segment size in bytes.
+func (a *Array) SegmentSize() int { return a.segSize }
+
+// Segments reports the array capacity in segments.
+func (a *Array) Segments() int64 { return a.nseg }
+
+// Disk exposes one member disk (tests, fault injection).
+func (a *Array) Disk(i int) *disk.Disk { return a.disks[i] }
+
+// failedCount counts failed members.
+func (a *Array) failedCount() (n, which int) {
+	which = -1
+	for i, d := range a.disks {
+		if d.Failed() {
+			n++
+			which = i
+		}
+	}
+	return n, which
+}
+
+func xorInto(dst, src []byte) {
+	for i := range src {
+		dst[i] ^= src[i]
+	}
+}
+
+// WriteSegment writes a whole segment as a full stripe: four data chunks
+// and freshly computed parity, all in parallel.
+func (a *Array) WriteSegment(seg int64, data []byte, done func(error)) {
+	if seg < 0 || seg >= a.nseg {
+		a.sim.At(a.sim.Now(), func() { done(fmt.Errorf("raid: segment %d out of range", seg)) })
+		return
+	}
+	if len(data) != a.segSize {
+		a.sim.At(a.sim.Now(), func() { done(fmt.Errorf("raid: segment write of %d bytes, want %d", len(data), a.segSize)) })
+		return
+	}
+	if n, _ := a.failedCount(); n > 1 {
+		a.sim.At(a.sim.Now(), func() { done(ErrTooManyFailures) })
+		return
+	}
+	a.Stats.SegmentWrites++
+	off := seg * int64(a.chunk)
+	parity := make([]byte, a.chunk)
+	remaining := 0
+	var firstErr error
+	finish := func(err error) {
+		if err != nil && firstErr == nil && !errors.Is(err, disk.ErrFailed) {
+			firstErr = err
+		}
+		remaining--
+		if remaining == 0 {
+			done(firstErr)
+		}
+	}
+	for i := 0; i < DataDisks; i++ {
+		chunk := data[i*a.chunk : (i+1)*a.chunk]
+		xorInto(parity, chunk)
+		if a.disks[i].Failed() {
+			continue // degraded write: parity covers the lost chunk
+		}
+		remaining++
+	}
+	if !a.disks[DataDisks].Failed() {
+		remaining++
+	}
+	if remaining == 0 {
+		a.sim.At(a.sim.Now(), func() { done(ErrTooManyFailures) })
+		return
+	}
+	for i := 0; i < DataDisks; i++ {
+		if a.disks[i].Failed() {
+			continue
+		}
+		chunk := data[i*a.chunk : (i+1)*a.chunk]
+		a.disks[i].Write(off, chunk, finish)
+	}
+	if !a.disks[DataDisks].Failed() {
+		a.disks[DataDisks].Write(off, parity, finish)
+	}
+}
+
+// ReadSegment reads a whole segment, reconstructing through parity if
+// one data disk is down.
+func (a *Array) ReadSegment(seg int64, done func([]byte, error)) {
+	if seg < 0 || seg >= a.nseg {
+		a.sim.At(a.sim.Now(), func() { done(nil, fmt.Errorf("raid: segment %d out of range", seg)) })
+		return
+	}
+	nf, failed := a.failedCount()
+	if nf > 1 {
+		a.sim.At(a.sim.Now(), func() { done(nil, ErrTooManyFailures) })
+		return
+	}
+	a.Stats.SegmentReads++
+	off := seg * int64(a.chunk)
+	out := make([]byte, a.segSize)
+	chunks := make([][]byte, TotalDisks)
+	remaining := 0
+	var firstErr error
+	needParity := nf == 1 && failed < DataDisks
+	finish := func() {
+		remaining--
+		if remaining != 0 {
+			return
+		}
+		if firstErr != nil {
+			done(nil, firstErr)
+			return
+		}
+		if needParity {
+			a.Stats.Reconstructions++
+			rec := make([]byte, a.chunk)
+			copy(rec, chunks[DataDisks])
+			for i := 0; i < DataDisks; i++ {
+				if i != failed {
+					xorInto(rec, chunks[i])
+				}
+			}
+			chunks[failed] = rec
+		}
+		for i := 0; i < DataDisks; i++ {
+			copy(out[i*a.chunk:], chunks[i])
+		}
+		done(out, nil)
+	}
+	read := func(i int) {
+		remaining++
+		a.disks[i].Read(off, a.chunk, func(b []byte, err error) {
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			chunks[i] = b
+			finish()
+		})
+	}
+	for i := 0; i < DataDisks; i++ {
+		if i == failed {
+			continue
+		}
+		read(i)
+	}
+	if needParity {
+		read(DataDisks)
+	}
+}
+
+// addrOf maps a linear byte address onto (disk, offset).
+func (a *Array) addrOf(off int64) (diskIdx int, diskOff int64) {
+	seg := off / int64(a.segSize)
+	within := off % int64(a.segSize)
+	diskIdx = int(within) / a.chunk
+	diskOff = seg*int64(a.chunk) + within%int64(a.chunk)
+	return
+}
+
+// Read fetches an arbitrary extent from the array's linear address
+// space (segment-major), reconstructing via parity as needed. It issues
+// one disk read per touched chunk.
+func (a *Array) Read(off int64, n int, done func([]byte, error)) {
+	if n == 0 {
+		a.sim.At(a.sim.Now(), func() { done(nil, nil) })
+		return
+	}
+	if off < 0 || off+int64(n) > a.nseg*int64(a.segSize) {
+		a.sim.At(a.sim.Now(), func() { done(nil, disk.ErrBounds) })
+		return
+	}
+	out := make([]byte, n)
+	remaining := 0
+	var firstErr error
+	issued := false
+	finish := func() {
+		remaining--
+		if remaining == 0 && issued {
+			if firstErr != nil {
+				done(nil, firstErr)
+			} else {
+				done(out, nil)
+			}
+		}
+	}
+	pos := 0
+	for pos < n {
+		cur := off + int64(pos)
+		diskIdx, diskOff := a.addrOf(cur)
+		// Bytes until the end of this chunk.
+		inChunk := a.chunk - int(diskOff%int64(a.chunk))
+		take := n - pos
+		if take > inChunk {
+			take = inChunk
+		}
+		dst := out[pos : pos+take]
+		remaining++
+		a.readChunkRange(diskIdx, diskOff, take, func(b []byte, err error) {
+			if err != nil && firstErr == nil {
+				firstErr = err
+			} else if err == nil {
+				copy(dst, b)
+			}
+			finish()
+		})
+		pos += take
+	}
+	issued = true
+	if remaining == 0 {
+		done(out, nil)
+	}
+}
+
+// readChunkRange reads from one disk, falling back to parity
+// reconstruction when that disk is failed.
+func (a *Array) readChunkRange(diskIdx int, off int64, n int, done func([]byte, error)) {
+	if !a.disks[diskIdx].Failed() {
+		a.disks[diskIdx].Read(off, n, done)
+		return
+	}
+	if nf, _ := a.failedCount(); nf > 1 {
+		a.sim.At(a.sim.Now(), func() { done(nil, ErrTooManyFailures) })
+		return
+	}
+	// Reconstruct: XOR of the other three data disks and parity over
+	// the same range.
+	a.Stats.Reconstructions++
+	rec := make([]byte, n)
+	remaining := 0
+	var firstErr error
+	finish := func() {
+		remaining--
+		if remaining == 0 {
+			if firstErr != nil {
+				done(nil, firstErr)
+			} else {
+				done(rec, nil)
+			}
+		}
+	}
+	for i := 0; i < TotalDisks; i++ {
+		if i == diskIdx {
+			continue
+		}
+		remaining++
+		a.disks[i].Read(off, n, func(b []byte, err error) {
+			if err != nil && firstErr == nil {
+				firstErr = err
+			} else if err == nil {
+				xorInto(rec, b)
+			}
+			finish()
+		})
+	}
+}
+
+// FailDisk fails one member.
+func (a *Array) FailDisk(i int) { a.disks[i].Fail() }
+
+// Rebuild reconstructs a repaired disk's contents from the surviving
+// members, stripe by stripe.
+func (a *Array) Rebuild(i int, done func(error)) {
+	a.disks[i].Repair()
+	var seg int64
+	var step func()
+	step = func() {
+		if seg >= a.nseg {
+			done(nil)
+			return
+		}
+		s := seg
+		seg++
+		off := s * int64(a.chunk)
+		rec := make([]byte, a.chunk)
+		remaining := 0
+		var firstErr error
+		finish := func() {
+			remaining--
+			if remaining != 0 {
+				return
+			}
+			if firstErr != nil {
+				done(firstErr)
+				return
+			}
+			a.Stats.RebuildBytes += int64(a.chunk)
+			a.disks[i].Write(off, rec, func(err error) {
+				if err != nil {
+					done(err)
+					return
+				}
+				step()
+			})
+		}
+		for j := 0; j < TotalDisks; j++ {
+			if j == i {
+				continue
+			}
+			remaining++
+			a.disks[j].Read(off, a.chunk, func(b []byte, err error) {
+				if err != nil && firstErr == nil {
+					firstErr = err
+				} else if err == nil {
+					xorInto(rec, b)
+				}
+				finish()
+			})
+		}
+	}
+	step()
+}

@@ -1,0 +1,71 @@
+package rpc
+
+import (
+	"errors"
+
+	"repro/internal/invoke"
+	"repro/internal/nemesis"
+)
+
+// DomainClient lets a Nemesis domain make synchronous RPCs: the call is
+// issued on the transport, the domain blocks on an interrupt-source
+// event channel, and the transport's completion callback signals it —
+// the same structure a real Nemesis protocol stack would use.
+type DomainClient struct {
+	c      *Client
+	k      *nemesis.Kernel
+	notify *nemesis.EventChannel
+
+	res []byte
+	err error
+	set bool
+}
+
+// NewDomainClient builds a synchronous RPC endpoint for one domain.
+func NewDomainClient(c *Client, k *nemesis.Kernel, dom *nemesis.Domain) *DomainClient {
+	return &DomainClient{
+		c:      c,
+		k:      k,
+		notify: k.NewChannel("rpc.reply", nil, dom, false),
+	}
+}
+
+// Call performs a blocking RPC from inside the domain.
+func (dc *DomainClient) Call(ctx *nemesis.Ctx, method string, arg []byte) ([]byte, error) {
+	dc.set = false
+	dc.c.Go(method, arg, func(res []byte, err error) {
+		dc.res, dc.err = res, err
+		dc.set = true
+		dc.k.Interrupt(dc.notify, 1)
+	})
+	for !dc.set {
+		ctx.Wait()
+	}
+	return dc.res, dc.err
+}
+
+// RemoteBinding adapts a DomainClient to the invoke.Binding interface,
+// completing the §4 invocation ladder.
+type RemoteBinding struct {
+	DC *DomainClient
+}
+
+// Class reports BindRemote.
+func (b *RemoteBinding) Class() invoke.BindClass { return invoke.BindRemote }
+
+// Invoke performs the remote call on behalf of the domain caller.
+func (b *RemoteBinding) Invoke(caller invoke.Caller, method string, arg []byte) ([]byte, error) {
+	dc, ok := caller.(*invoke.DomainCaller)
+	if !ok {
+		return nil, errors.New("rpc: remote invocation requires a DomainCaller")
+	}
+	return b.DC.Call(dc.Ctx, method, arg)
+}
+
+// RemoteHandle wraps the binding in a maillon so that resolution — and
+// hence connection setup — happens on first invocation.
+func RemoteHandle(name string, dc *DomainClient) *invoke.Maillon {
+	return invoke.NewMaillon(invoke.RefOf([]byte(name)), func(invoke.Ref) (invoke.Binding, error) {
+		return &RemoteBinding{DC: dc}, nil
+	})
+}

@@ -1,0 +1,123 @@
+package rpc_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/atm"
+	"repro/internal/invoke"
+	"repro/internal/rpc"
+	"repro/internal/sim"
+)
+
+func TestRPCLargePayloadRoundTrip(t *testing.T) {
+	// A 48 KB argument spans ~1000 cells each way; the AAL5 transport
+	// must carry it intact.
+	s := sim.New()
+	ta, tb := pair(s)
+	iface := invoke.NewInterface("blob")
+	iface.Define("rev", func(arg []byte) ([]byte, error) {
+		out := make([]byte, len(arg))
+		for i, b := range arg {
+			out[len(arg)-1-i] = b
+		}
+		return out, nil
+	})
+	rpc.NewServer(tb, 300, iface)
+	client := rpc.NewClient(ta, 300)
+	client.RetransmitAfter = 100 * ms // large frames take a while
+
+	arg := make([]byte, 48<<10)
+	for i := range arg {
+		arg[i] = byte(i * 7)
+	}
+	var res []byte
+	var err error
+	client.Go("rev", arg, func(b []byte, e error) { res, err = b, e })
+	s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != len(arg) {
+		t.Fatalf("len = %d", len(res))
+	}
+	for i := range arg {
+		if res[i] != arg[len(arg)-1-i] {
+			t.Fatalf("byte %d wrong", i)
+		}
+	}
+	if client.Stats.Retransmits != 0 {
+		t.Fatalf("spurious retransmits: %d", client.Stats.Retransmits)
+	}
+}
+
+func TestRPCOversizeFrameRejected(t *testing.T) {
+	s := sim.New()
+	ta, _ := pair(s)
+	client := rpc.NewClient(ta, 300)
+	var err error
+	client.Go("x", make([]byte, 70_000), func(b []byte, e error) { err = e })
+	s.Run()
+	if err == nil {
+		t.Fatal("oversize argument accepted")
+	}
+}
+
+func TestAgentStyleManyClients(t *testing.T) {
+	// Several clients on distinct circuits to one server transport.
+	s := sim.New()
+	ta, tb := pair(s)
+	iface := invoke.NewInterface("id")
+	iface.Define("id", func(arg []byte) ([]byte, error) { return arg, nil })
+	for vci := 400; vci < 404; vci++ {
+		rpc.NewServer(tb, atm.VCI(vci), iface)
+	}
+	results := map[int]byte{}
+	for i := 0; i < 4; i++ {
+		i := i
+		c := rpc.NewClient(ta, atm.VCI(400+i))
+		c.Go("id", []byte{byte(10 + i)}, func(b []byte, e error) {
+			if e == nil {
+				results[i] = b[0]
+			}
+		})
+	}
+	s.Run()
+	for i := 0; i < 4; i++ {
+		if results[i] != byte(10+i) {
+			t.Fatalf("client %d got %d", i, results[i])
+		}
+	}
+}
+
+func TestLargePayloadContention(t *testing.T) {
+	// Two large calls on separate circuits share the link; both finish
+	// correctly despite interleaved cells.
+	s := sim.New()
+	ta, tb := pair(s)
+	iface := invoke.NewInterface("sum")
+	iface.Define("sum", func(arg []byte) ([]byte, error) {
+		var sum byte
+		for _, b := range arg {
+			sum += b
+		}
+		return []byte{sum}, nil
+	})
+	rpc.NewServer(tb, 500, iface)
+	rpc.NewServer(tb, 501, iface)
+	c1 := rpc.NewClient(ta, 500)
+	c2 := rpc.NewClient(ta, 501)
+	c1.RetransmitAfter, c2.RetransmitAfter = 100*ms, 100*ms
+	a1 := bytes.Repeat([]byte{1}, 20000)
+	a2 := bytes.Repeat([]byte{2}, 20000)
+	var r1, r2 []byte
+	c1.Go("sum", a1, func(b []byte, e error) { r1 = b })
+	c2.Go("sum", a2, func(b []byte, e error) { r2 = b })
+	s.Run()
+	if len(r1) != 1 || r1[0] != byte(20000%256) {
+		t.Fatalf("r1 = %v", r1)
+	}
+	if len(r2) != 1 || r2[0] != byte(40000%256) {
+		t.Fatalf("r2 = %v", r2)
+	}
+}

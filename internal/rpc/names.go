@@ -1,0 +1,87 @@
+package rpc
+
+import (
+	"strings"
+
+	"repro/internal/atm"
+	"repro/internal/invoke"
+	"repro/internal/names"
+	"repro/internal/nemesis"
+	"repro/internal/sim"
+)
+
+// This file bridges the naming system across machines: a name server
+// exports its name space over RPC; a remote client's local name server
+// forwards lookups through the connection (§4: "The name space consists
+// of a local name space ... and mounted name spaces which name objects
+// external to the process. ... Name resolution in mounted name spaces
+// takes place by making name-lookup requests through the connection to
+// the other process.").
+//
+// A lookup reply carries the object's opaque reference, not the binding:
+// the client wraps it in a maillon whose resolver sets up the actual
+// connection on first invocation — handles are first-class and crossing
+// the machine boundary creates a connection lazily.
+
+// NamesVCI is the conventional circuit for a machine's name service.
+const NamesVCI atm.VCI = 900
+
+// ServeNames exports a name space over RPC on the given circuit.
+func ServeNames(tr *Transport, vci atm.VCI, ns *names.NameSpace, serviceTime sim.Duration) *Server {
+	iface := invoke.NewInterface("names")
+	iface.Define("lookup", func(arg []byte) ([]byte, error) {
+		h, err := ns.Resolve(string(arg))
+		if err != nil {
+			return nil, err
+		}
+		ref := h.Ref()
+		return ref[:], nil
+	})
+	iface.Define("list", func(arg []byte) ([]byte, error) {
+		entries, err := ns.ListPath(string(arg))
+		if err != nil {
+			return nil, err
+		}
+		return []byte(strings.Join(entries, "\n")), nil
+	})
+	s := NewServer(tr, vci, iface)
+	s.ServiceTime = serviceTime
+	return s
+}
+
+// RemoteNames is the client half: a connection from one machine's name
+// server to another's.
+type RemoteNames struct {
+	dc *DomainClient
+}
+
+// NewRemoteNames builds the client side of a names connection for a
+// domain.
+func NewRemoteNames(c *Client, k *nemesis.Kernel, dom *nemesis.Domain) *RemoteNames {
+	return &RemoteNames{dc: NewDomainClient(c, k, dom)}
+}
+
+// Lookup resolves a remote path to an opaque reference, wrapped in a
+// maillon built with the supplied resolver (which typically opens an RPC
+// binding to the object's home machine).
+func (r *RemoteNames) Lookup(ctx *nemesis.Ctx, path string, resolve invoke.Resolver) (*invoke.Maillon, error) {
+	res, err := r.dc.Call(ctx, "lookup", []byte(path))
+	if err != nil {
+		return nil, err
+	}
+	var ref invoke.Ref
+	copy(ref[:], res)
+	return invoke.NewMaillon(ref, resolve), nil
+}
+
+// List enumerates a remote directory.
+func (r *RemoteNames) List(ctx *nemesis.Ctx, path string) ([]string, error) {
+	res, err := r.dc.Call(ctx, "list", []byte(path))
+	if err != nil {
+		return nil, err
+	}
+	if len(res) == 0 {
+		return nil, nil
+	}
+	return strings.Split(string(res), "\n"), nil
+}

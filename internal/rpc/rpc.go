@@ -1,0 +1,300 @@
+// Package rpc implements the Pegasus remote-procedure-call mechanism of
+// §4: ANSA-style request/response RPC layered on an MSNA-like transport
+// that carries AAL5 frames over ATM virtual circuits.
+//
+// The transport is deliberately thin — a frame multiplexer over the cell
+// fabric — because ATM virtual circuits already provide in-order
+// delivery; the RPC layer adds call matching, retransmission and
+// at-most-once execution.
+package rpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/atm"
+	"repro/internal/fabric"
+	"repro/internal/invoke"
+	"repro/internal/sim"
+)
+
+// TransportStats counts transport activity.
+type TransportStats struct {
+	FramesIn   int64
+	FramesOut  int64
+	CellErrors int64
+	Unbound    int64 // frames for circuits nobody listens on
+	Dropped    int64 // frames discarded by fault injection
+}
+
+// Transport is one machine's frame layer: it segments outgoing frames
+// onto its network link and reassembles incoming cells, dispatching
+// completed frames to per-circuit handlers.
+type Transport struct {
+	sim *sim.Sim
+	out *fabric.Link
+	ras *atm.Reassembler
+
+	handlers map[atm.VCI]func(payload []byte)
+
+	// DropFrames, when positive, discards that many incoming frames —
+	// deterministic fault injection for loss/retransmission tests.
+	DropFrames int
+
+	Stats TransportStats
+}
+
+// NewTransport builds a transport; attach its output link before sending.
+func NewTransport(s *sim.Sim) *Transport {
+	return &Transport{
+		sim:      s,
+		ras:      atm.NewReassembler(),
+		handlers: make(map[atm.VCI]func([]byte)),
+	}
+}
+
+// SetOutput attaches the transmit link.
+func (t *Transport) SetOutput(l *fabric.Link) { t.out = l }
+
+// Bind installs the frame handler for a circuit.
+func (t *Transport) Bind(vci atm.VCI, fn func(payload []byte)) { t.handlers[vci] = fn }
+
+// Unbind removes a circuit's handler.
+func (t *Transport) Unbind(vci atm.VCI) { delete(t.handlers, vci) }
+
+// SendFrame segments a frame onto the given circuit.
+func (t *Transport) SendFrame(vci atm.VCI, payload []byte) error {
+	if t.out == nil {
+		return errors.New("rpc: transport has no output link")
+	}
+	cells, err := atm.Segment(vci, 0, payload)
+	if err != nil {
+		return err
+	}
+	for _, c := range cells {
+		t.out.Send(c)
+	}
+	t.Stats.FramesOut++
+	return nil
+}
+
+// HandleCell is the transport's network input (a fabric.Handler).
+func (t *Transport) HandleCell(c atm.Cell) {
+	f, err := t.ras.Push(c)
+	if err != nil {
+		t.Stats.CellErrors++
+		return
+	}
+	if f == nil {
+		return
+	}
+	if t.DropFrames > 0 {
+		t.DropFrames--
+		t.Stats.Dropped++
+		return
+	}
+	h, ok := t.handlers[f.VCI]
+	if !ok {
+		t.Stats.Unbound++
+		return
+	}
+	t.Stats.FramesIn++
+	h(f.Payload)
+}
+
+// Wire format:
+//
+//	request:  0x01 | id(4) | mlen(1) | method | arg
+//	response: 0x02 | id(4) | status(1) | body
+const (
+	tagRequest  = 0x01
+	tagResponse = 0x02
+)
+
+// ErrBadFrame reports a malformed RPC frame.
+var ErrBadFrame = errors.New("rpc: malformed frame")
+
+// ErrTimeout reports an exhausted retransmission budget.
+var ErrTimeout = errors.New("rpc: call timed out")
+
+type call struct {
+	id      uint32
+	payload []byte
+	done    func([]byte, error)
+	timer   *sim.Event
+	tries   int
+}
+
+// ClientStats counts client-side RPC events.
+type ClientStats struct {
+	Calls       int64
+	Retransmits int64
+	Timeouts    int64
+	DupReplies  int64
+}
+
+// Client issues calls to one remote object over one circuit pair.
+type Client struct {
+	tr  *Transport
+	vci atm.VCI
+
+	// RetransmitAfter is the reply timeout before a resend.
+	RetransmitAfter sim.Duration
+	// MaxTries bounds total transmissions per call.
+	MaxTries int
+
+	nextID      uint32
+	outstanding map[uint32]*call
+
+	Stats ClientStats
+}
+
+// NewClient binds a client to a circuit on its transport.
+func NewClient(tr *Transport, vci atm.VCI) *Client {
+	c := &Client{
+		tr:              tr,
+		vci:             vci,
+		RetransmitAfter: 10 * sim.Millisecond,
+		MaxTries:        4,
+		outstanding:     make(map[uint32]*call),
+	}
+	tr.Bind(vci, c.handleFrame)
+	return c
+}
+
+// Go issues an asynchronous call; done fires exactly once with the reply
+// or an error.
+func (c *Client) Go(method string, arg []byte, done func([]byte, error)) {
+	if len(method) > 255 {
+		done(nil, fmt.Errorf("%w: method name too long", ErrBadFrame))
+		return
+	}
+	c.nextID++
+	id := c.nextID
+	payload := make([]byte, 0, 6+len(method)+len(arg))
+	payload = append(payload, tagRequest)
+	payload = binary.BigEndian.AppendUint32(payload, id)
+	payload = append(payload, byte(len(method)))
+	payload = append(payload, method...)
+	payload = append(payload, arg...)
+	cl := &call{id: id, payload: payload, done: done, tries: 0}
+	c.outstanding[id] = cl
+	c.Stats.Calls++
+	c.transmit(cl)
+}
+
+func (c *Client) transmit(cl *call) {
+	cl.tries++
+	if err := c.tr.SendFrame(c.vci, cl.payload); err != nil {
+		delete(c.outstanding, cl.id)
+		cl.done(nil, err)
+		return
+	}
+	cl.timer = c.tr.sim.After(c.RetransmitAfter, func() {
+		if _, live := c.outstanding[cl.id]; !live {
+			return
+		}
+		if cl.tries >= c.MaxTries {
+			delete(c.outstanding, cl.id)
+			c.Stats.Timeouts++
+			cl.done(nil, ErrTimeout)
+			return
+		}
+		c.Stats.Retransmits++
+		c.transmit(cl)
+	})
+}
+
+func (c *Client) handleFrame(b []byte) {
+	if len(b) < 6 || b[0] != tagResponse {
+		return
+	}
+	id := binary.BigEndian.Uint32(b[1:])
+	cl, ok := c.outstanding[id]
+	if !ok {
+		c.Stats.DupReplies++
+		return
+	}
+	delete(c.outstanding, id)
+	if cl.timer != nil {
+		c.tr.sim.Cancel(cl.timer)
+	}
+	status := b[5]
+	body := append([]byte(nil), b[6:]...)
+	if status != 0 {
+		cl.done(nil, errors.New(string(body)))
+		return
+	}
+	cl.done(body, nil)
+}
+
+// ServerStats counts server-side RPC events.
+type ServerStats struct {
+	Requests int64
+	Dups     int64
+	Errors   int64
+}
+
+// Server exports an interface on a circuit with at-most-once execution:
+// duplicate requests (retransmissions that crossed a reply) are answered
+// from a reply cache without re-executing the method.
+type Server struct {
+	tr    *Transport
+	vci   atm.VCI
+	iface *invoke.Interface
+
+	// ServiceTime models per-call compute on the server machine.
+	ServiceTime sim.Duration
+
+	seen map[uint32][]byte // id -> cached reply frame
+
+	Stats ServerStats
+}
+
+// NewServer binds an interface to a circuit on the transport.
+func NewServer(tr *Transport, vci atm.VCI, iface *invoke.Interface) *Server {
+	s := &Server{tr: tr, vci: vci, iface: iface, seen: make(map[uint32][]byte)}
+	tr.Bind(vci, s.handleFrame)
+	return s
+}
+
+func (s *Server) handleFrame(b []byte) {
+	if len(b) < 6 || b[0] != tagRequest {
+		return
+	}
+	id := binary.BigEndian.Uint32(b[1:])
+	if reply, dup := s.seen[id]; dup {
+		s.Stats.Dups++
+		_ = s.tr.SendFrame(s.vci, reply)
+		return
+	}
+	ml := int(b[5])
+	if len(b) < 6+ml {
+		return
+	}
+	method := string(b[6 : 6+ml])
+	arg := append([]byte(nil), b[6+ml:]...)
+	run := func() {
+		res, err := s.iface.Call(method, arg)
+		reply := make([]byte, 0, 6+len(res))
+		reply = append(reply, tagResponse)
+		reply = binary.BigEndian.AppendUint32(reply, id)
+		if err != nil {
+			s.Stats.Errors++
+			reply = append(reply, 1)
+			reply = append(reply, err.Error()...)
+		} else {
+			reply = append(reply, 0)
+			reply = append(reply, res...)
+		}
+		s.seen[id] = reply
+		s.Stats.Requests++
+		_ = s.tr.SendFrame(s.vci, reply)
+	}
+	if s.ServiceTime > 0 {
+		s.tr.sim.After(s.ServiceTime, run)
+	} else {
+		run()
+	}
+}

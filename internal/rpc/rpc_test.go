@@ -1,0 +1,285 @@
+package rpc_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/invoke"
+	"repro/internal/names"
+	"repro/internal/nemesis"
+	"repro/internal/rpc"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+const (
+	ms = sim.Millisecond
+	us = sim.Microsecond
+)
+
+// pair wires two transports with direct 100 Mb/s links.
+func pair(s *sim.Sim) (*rpc.Transport, *rpc.Transport) {
+	a := rpc.NewTransport(s)
+	b := rpc.NewTransport(s)
+	a.SetOutput(fabric.NewLink(s, fabric.Rate100M, 5*us, 0, b))
+	b.SetOutput(fabric.NewLink(s, fabric.Rate100M, 5*us, 0, a))
+	return a, b
+}
+
+func addIface() *invoke.Interface {
+	i := invoke.NewInterface("calc")
+	i.Define("add", func(arg []byte) ([]byte, error) {
+		if len(arg) != 2 {
+			return nil, errors.New("need two bytes")
+		}
+		return []byte{arg[0] + arg[1]}, nil
+	})
+	return i
+}
+
+func TestRPCBasicCall(t *testing.T) {
+	s := sim.New()
+	ta, tb := pair(s)
+	rpc.NewServer(tb, 100, addIface())
+	client := rpc.NewClient(ta, 100)
+	var res []byte
+	var err error
+	client.Go("add", []byte{2, 3}, func(r []byte, e error) { res, err = r, e })
+	s.Run()
+	if err != nil || len(res) != 1 || res[0] != 5 {
+		t.Fatalf("add = %v, %v", res, err)
+	}
+}
+
+func TestRPCServerError(t *testing.T) {
+	s := sim.New()
+	ta, tb := pair(s)
+	rpc.NewServer(tb, 100, addIface())
+	client := rpc.NewClient(ta, 100)
+	var err error
+	client.Go("add", []byte{1}, func(r []byte, e error) { err = e })
+	s.Run()
+	if err == nil || err.Error() != "need two bytes" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRPCUnknownMethod(t *testing.T) {
+	s := sim.New()
+	ta, tb := pair(s)
+	rpc.NewServer(tb, 100, addIface())
+	client := rpc.NewClient(ta, 100)
+	var err error
+	client.Go("mul", nil, func(r []byte, e error) { err = e })
+	s.Run()
+	if err == nil {
+		t.Fatal("unknown method succeeded")
+	}
+}
+
+func TestRPCRetransmitOnRequestLoss(t *testing.T) {
+	s := sim.New()
+	ta, tb := pair(s)
+	srv := rpc.NewServer(tb, 100, addIface())
+	client := rpc.NewClient(ta, 100)
+	tb.DropFrames = 1 // lose the first request
+	var res []byte
+	var err error
+	client.Go("add", []byte{7, 8}, func(r []byte, e error) { res, err = r, e })
+	s.Run()
+	if err != nil || res[0] != 15 {
+		t.Fatalf("res = %v, %v", res, err)
+	}
+	if client.Stats.Retransmits != 1 {
+		t.Fatalf("retransmits = %d, want 1", client.Stats.Retransmits)
+	}
+	if srv.Stats.Requests != 1 {
+		t.Fatalf("server executed %d times, want 1", srv.Stats.Requests)
+	}
+}
+
+func TestRPCAtMostOnceOnReplyLoss(t *testing.T) {
+	// Reply is lost: the client retransmits, the server recognises the
+	// duplicate and answers from its reply cache without re-executing.
+	s := sim.New()
+	ta, tb := pair(s)
+	execCount := 0
+	iface := invoke.NewInterface("counter")
+	iface.Define("inc", func(arg []byte) ([]byte, error) {
+		execCount++
+		return []byte{byte(execCount)}, nil
+	})
+	srv := rpc.NewServer(tb, 100, iface)
+	client := rpc.NewClient(ta, 100)
+	ta.DropFrames = 1 // lose the first reply (client side inbound)
+	var res []byte
+	var err error
+	client.Go("inc", nil, func(r []byte, e error) { res, err = r, e })
+	s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if execCount != 1 {
+		t.Fatalf("method executed %d times, want 1 (at-most-once)", execCount)
+	}
+	if res[0] != 1 {
+		t.Fatalf("res = %v", res)
+	}
+	if srv.Stats.Dups != 1 {
+		t.Fatalf("server dups = %d, want 1", srv.Stats.Dups)
+	}
+}
+
+func TestRPCTimeoutAfterMaxTries(t *testing.T) {
+	s := sim.New()
+	ta, tb := pair(s)
+	// No server bound on 100: requests vanish.
+	_ = tb
+	client := rpc.NewClient(ta, 100)
+	client.MaxTries = 3
+	var err error
+	client.Go("add", []byte{1, 2}, func(r []byte, e error) { err = e })
+	s.Run()
+	if !errors.Is(err, rpc.ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if client.Stats.Retransmits != 2 {
+		t.Fatalf("retransmits = %d, want 2", client.Stats.Retransmits)
+	}
+}
+
+func TestRPCConcurrentCallsMatchReplies(t *testing.T) {
+	s := sim.New()
+	ta, tb := pair(s)
+	iface := invoke.NewInterface("id")
+	iface.Define("id", func(arg []byte) ([]byte, error) { return arg, nil })
+	rpc.NewServer(tb, 100, iface)
+	client := rpc.NewClient(ta, 100)
+	results := make(map[byte]byte)
+	for i := 0; i < 20; i++ {
+		i := byte(i)
+		client.Go("id", []byte{i}, func(r []byte, e error) {
+			if e == nil {
+				results[i] = r[0]
+			}
+		})
+	}
+	s.Run()
+	if len(results) != 20 {
+		t.Fatalf("completed %d calls, want 20", len(results))
+	}
+	for k, v := range results {
+		if k != v {
+			t.Fatalf("call %d got reply %d: replies mismatched", k, v)
+		}
+	}
+}
+
+func TestRPCServiceTimeAddsLatency(t *testing.T) {
+	s := sim.New()
+	ta, tb := pair(s)
+	srv := rpc.NewServer(tb, 100, addIface())
+	srv.ServiceTime = 3 * ms
+	client := rpc.NewClient(ta, 100)
+	var done sim.Time
+	client.Go("add", []byte{1, 1}, func(r []byte, e error) { done = s.Now() })
+	s.Run()
+	if done < 3*ms {
+		t.Fatalf("reply at %v, want >= 3ms service time", done)
+	}
+}
+
+func TestDomainClientBlocksAndResumes(t *testing.T) {
+	s := sim.New()
+	k := nemesis.NewKernel(s, nemesis.Config{SingleAddressSpace: true}, sched.NewRoundRobin())
+	ta, tb := pair(s)
+	srv := rpc.NewServer(tb, 100, addIface())
+	srv.ServiceTime = 2 * ms
+	client := rpc.NewClient(ta, 100)
+	var res []byte
+	var err error
+	var elapsed sim.Duration
+	dom := k.Spawn("app", nemesis.SchedParams{BestEffort: true}, func(c *nemesis.Ctx) {
+		dc := rpc.NewDomainClient(client, k, c.Domain())
+		t0 := c.Now()
+		res, err = dc.Call(c, "add", []byte{10, 20})
+		elapsed = c.Now() - t0
+	})
+	_ = dom
+	s.Run()
+	k.Shutdown()
+	if err != nil || res[0] != 30 {
+		t.Fatalf("res = %v, %v", res, err)
+	}
+	if elapsed < 2*ms {
+		t.Fatalf("elapsed = %v, want >= service time", elapsed)
+	}
+}
+
+func TestRemoteBindingViaMaillon(t *testing.T) {
+	s := sim.New()
+	k := nemesis.NewKernel(s, nemesis.Config{SingleAddressSpace: true}, sched.NewRoundRobin())
+	ta, tb := pair(s)
+	rpc.NewServer(tb, 100, addIface())
+	client := rpc.NewClient(ta, 100)
+	var res []byte
+	var err error
+	k.Spawn("app", nemesis.SchedParams{BestEffort: true}, func(c *nemesis.Ctx) {
+		dc := rpc.NewDomainClient(client, k, c.Domain())
+		h := rpc.RemoteHandle("calc", dc)
+		b, _ := h.Binding()
+		if b.Class() != invoke.BindRemote {
+			panic("wrong class")
+		}
+		res, err = h.Invoke(&invoke.DomainCaller{Ctx: c}, "add", []byte{4, 5})
+	})
+	s.Run()
+	k.Shutdown()
+	if err != nil || res[0] != 9 {
+		t.Fatalf("res = %v, %v", res, err)
+	}
+}
+
+func TestNamesOverRPC(t *testing.T) {
+	s := sim.New()
+	k := nemesis.NewKernel(s, nemesis.Config{SingleAddressSpace: true}, sched.NewRoundRobin())
+	ta, tb := pair(s)
+
+	// Server machine: a name space with one object.
+	ns := names.New()
+	obj := invoke.NewMaillon(invoke.RefOf([]byte("video-file-42")), func(invoke.Ref) (invoke.Binding, error) {
+		return nil, errors.New("not locally invokable")
+	})
+	if err := ns.Bind("/media/films/casablanca", obj); err != nil {
+		t.Fatal(err)
+	}
+	rpc.ServeNames(tb, rpc.NamesVCI, ns, 100*us)
+
+	client := rpc.NewClient(ta, rpc.NamesVCI)
+	var ref invoke.Ref
+	var listing []string
+	var lookupErr error
+	k.Spawn("app", nemesis.SchedParams{BestEffort: true}, func(c *nemesis.Ctx) {
+		rn := rpc.NewRemoteNames(client, k, c.Domain())
+		h, err := rn.Lookup(c, "/media/films/casablanca", func(r invoke.Ref) (invoke.Binding, error) {
+			return nil, errors.New("unbound")
+		})
+		lookupErr = err
+		if err == nil {
+			ref = h.Ref()
+		}
+		listing, _ = rn.List(c, "/media/films")
+	})
+	s.Run()
+	k.Shutdown()
+	if lookupErr != nil {
+		t.Fatal(lookupErr)
+	}
+	if want := invoke.RefOf([]byte("video-file-42")); ref != want {
+		t.Fatalf("ref = %v, want %v", ref, want)
+	}
+	if len(listing) != 1 || listing[0] != "casablanca" {
+		t.Fatalf("listing = %v", listing)
+	}
+}

@@ -1,0 +1,228 @@
+package sched
+
+import (
+	"repro/internal/nemesis"
+	"repro/internal/sim"
+)
+
+// RoundRobin is the simplest baseline: a FIFO of runnable domains, each
+// receiving Quantum before going to the back. It has no notion of
+// deadlines or rates, so multimedia domains suffer under load — the
+// behaviour of timesharing kernels the paper contrasts with.
+type RoundRobin struct {
+	Quantum sim.Duration
+	queue   []*nemesis.Domain
+}
+
+// NewRoundRobin returns a round-robin scheduler with a 10 ms quantum
+// (a classic Unix-like value).
+func NewRoundRobin() *RoundRobin { return &RoundRobin{Quantum: 10 * sim.Millisecond} }
+
+// Add enqueues a new domain.
+func (r *RoundRobin) Add(d *nemesis.Domain, now sim.Time) { r.queue = append(r.queue, d) }
+
+// Remove drops a domain from the queue.
+func (r *RoundRobin) Remove(d *nemesis.Domain, now sim.Time) { r.drop(d) }
+
+// Wake enqueues a domain that became runnable.
+func (r *RoundRobin) Wake(d *nemesis.Domain, now sim.Time) {
+	for _, x := range r.queue {
+		if x == d {
+			return
+		}
+	}
+	r.queue = append(r.queue, d)
+}
+
+// Block removes a domain that is no longer runnable.
+func (r *RoundRobin) Block(d *nemesis.Domain, now sim.Time) { r.drop(d) }
+
+func (r *RoundRobin) drop(d *nemesis.Domain) {
+	for i, x := range r.queue {
+		if x == d {
+			r.queue = append(r.queue[:i], r.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// Pick rotates the queue.
+func (r *RoundRobin) Pick(now sim.Time) nemesis.Decision {
+	if len(r.queue) == 0 {
+		return nemesis.Decision{NextEvent: nemesis.NoEvent}
+	}
+	d := r.queue[0]
+	r.queue = append(r.queue[1:], d)
+	return nemesis.Decision{D: d, Budget: r.Quantum, NextEvent: nemesis.NoEvent}
+}
+
+// Charge is a no-op: round-robin keeps no accounts.
+func (r *RoundRobin) Charge(d *nemesis.Domain, used sim.Duration, now sim.Time) {}
+
+// Preempts is always false: domains run out their quantum.
+func (r *RoundRobin) Preempts(cand, cur *nemesis.Domain, now sim.Time) bool { return false }
+
+// prioState marks runnability for the Priority scheduler.
+type prioState struct{ runnable bool }
+
+// Priority is a preemptive static-priority baseline using
+// Params.Weight: higher weight wins; ties go to registration order.
+// It shows priority inversion/starvation pathologies: describing
+// multimedia behaviour "to a central scheduler in terms of priorities"
+// is what the paper argues against.
+type Priority struct {
+	Quantum sim.Duration
+	doms    []*nemesis.Domain
+}
+
+// NewPriority returns a priority scheduler with a 10 ms quantum.
+func NewPriority() *Priority { return &Priority{Quantum: 10 * sim.Millisecond} }
+
+// Add registers a domain.
+func (p *Priority) Add(d *nemesis.Domain, now sim.Time) {
+	d.SchedData = &prioState{runnable: true}
+	p.doms = append(p.doms, d)
+}
+
+// Remove deregisters a domain.
+func (p *Priority) Remove(d *nemesis.Domain, now sim.Time) {
+	for i, x := range p.doms {
+		if x == d {
+			p.doms = append(p.doms[:i], p.doms[i+1:]...)
+			return
+		}
+	}
+}
+
+// Wake marks a domain runnable.
+func (p *Priority) Wake(d *nemesis.Domain, now sim.Time) {
+	d.SchedData.(*prioState).runnable = true
+}
+
+// Block marks a domain not runnable.
+func (p *Priority) Block(d *nemesis.Domain, now sim.Time) {
+	d.SchedData.(*prioState).runnable = false
+}
+
+// Pick selects the highest-weight runnable domain.
+func (p *Priority) Pick(now sim.Time) nemesis.Decision {
+	var best *nemesis.Domain
+	for _, d := range p.doms {
+		if !d.SchedData.(*prioState).runnable {
+			continue
+		}
+		if best == nil || d.Params.Weight > best.Params.Weight {
+			best = d
+		}
+	}
+	if best == nil {
+		return nemesis.Decision{NextEvent: nemesis.NoEvent}
+	}
+	return nemesis.Decision{D: best, Budget: p.Quantum, NextEvent: nemesis.NoEvent}
+}
+
+// Charge is a no-op.
+func (p *Priority) Charge(d *nemesis.Domain, used sim.Duration, now sim.Time) {}
+
+// Preempts prefers strictly higher weights.
+func (p *Priority) Preempts(cand, cur *nemesis.Domain, now sim.Time) bool {
+	return cand.Params.Weight > cur.Params.Weight
+}
+
+// pureEDFState tracks deadlines for PureEDF.
+type pureEDFState struct {
+	deadline sim.Time
+	period   sim.Duration
+	runnable bool
+}
+
+// PureEDF is EDF without reservations: deadlines only, no slice
+// enforcement. Under overload it collapses unpredictably (the "domino
+// effect"), which is exactly why Nemesis pairs EDF with shares.
+type PureEDF struct {
+	doms []*nemesis.Domain
+}
+
+// NewPureEDF returns the reservation-free EDF baseline.
+func NewPureEDF() *PureEDF { return &PureEDF{} }
+
+// Add registers a domain; best-effort domains get an infinite deadline.
+func (p *PureEDF) Add(d *nemesis.Domain, now sim.Time) {
+	s := &pureEDFState{runnable: true}
+	if d.Params.Guaranteed() {
+		s.period = d.Params.Period
+		s.deadline = now + s.period
+	} else {
+		s.deadline = 1 << 62
+	}
+	d.SchedData = s
+	p.doms = append(p.doms, d)
+}
+
+// Remove deregisters a domain.
+func (p *PureEDF) Remove(d *nemesis.Domain, now sim.Time) {
+	for i, x := range p.doms {
+		if x == d {
+			p.doms = append(p.doms[:i], p.doms[i+1:]...)
+			return
+		}
+	}
+}
+
+func (p *PureEDF) refresh(d *nemesis.Domain, now sim.Time) {
+	s := d.SchedData.(*pureEDFState)
+	if s.period == 0 {
+		return
+	}
+	for s.deadline <= now {
+		s.deadline += sim.Time(s.period)
+	}
+}
+
+// Wake marks a domain runnable and rolls its deadline forward.
+func (p *PureEDF) Wake(d *nemesis.Domain, now sim.Time) {
+	p.refresh(d, now)
+	d.SchedData.(*pureEDFState).runnable = true
+}
+
+// Block marks a domain not runnable.
+func (p *PureEDF) Block(d *nemesis.Domain, now sim.Time) {
+	d.SchedData.(*pureEDFState).runnable = false
+}
+
+// Pick selects the earliest deadline, running it until that deadline.
+func (p *PureEDF) Pick(now sim.Time) nemesis.Decision {
+	var best *nemesis.Domain
+	for _, d := range p.doms {
+		s := d.SchedData.(*pureEDFState)
+		if !s.runnable {
+			continue
+		}
+		p.refresh(d, now)
+		if best == nil || s.deadline < best.SchedData.(*pureEDFState).deadline {
+			best = d
+		}
+	}
+	if best == nil {
+		return nemesis.Decision{NextEvent: nemesis.NoEvent}
+	}
+	s := best.SchedData.(*pureEDFState)
+	budget := sim.Duration(s.deadline - now)
+	if s.deadline >= 1<<62 {
+		budget = 10 * sim.Millisecond
+	}
+	if budget <= 0 {
+		budget = 1
+	}
+	return nemesis.Decision{D: best, Budget: budget, NextEvent: nemesis.NoEvent}
+}
+
+// Charge is a no-op: no reservations to deplete.
+func (p *PureEDF) Charge(d *nemesis.Domain, used sim.Duration, now sim.Time) {}
+
+// Preempts prefers strictly earlier deadlines.
+func (p *PureEDF) Preempts(cand, cur *nemesis.Domain, now sim.Time) bool {
+	cs := cand.SchedData.(*pureEDFState)
+	us := cur.SchedData.(*pureEDFState)
+	return cs.deadline < us.deadline
+}

@@ -1,0 +1,228 @@
+// Package sched provides the Nemesis domain schedulers of §3.3: the
+// EDF-over-shares policy (guaranteed {slice, period} contracts selected
+// among by earliest-deadline-first, with slack time shared round-robin),
+// the QoS manager that adapts allocations on a longer time scale, and
+// three baselines (round-robin, static priority, pure EDF) used by the
+// scheduling experiments.
+package sched
+
+import (
+	"repro/internal/nemesis"
+	"repro/internal/sim"
+)
+
+// edfState is the per-domain accounting of EDFShares.
+type edfState struct {
+	slice, period sim.Duration // effective allocation (QoS manager may differ from requested)
+	release       sim.Time
+	deadline      sim.Time
+	remain        sim.Duration
+	runnable      bool
+	inSlack       bool // last picked as slack, not against the guarantee
+
+	// accounting for QoS adaptation and tests
+	GuaranteedUsed sim.Duration
+	SlackUsed      sim.Duration
+}
+
+// EDFShares is the Nemesis scheduler: every guaranteed domain holds a
+// contract of slice s per period p; among runnable domains with
+// allocation remaining the earliest deadline runs. Domains out of
+// allocation — and best-effort domains — share the remaining time
+// round-robin in SlackQuantum pieces ("the policy for sharing out
+// remaining resources is still the subject of investigation"; round-robin
+// is our choice).
+type EDFShares struct {
+	// SlackQuantum bounds a slack-time grant.
+	SlackQuantum sim.Duration
+
+	doms    []*nemesis.Domain // registration order: deterministic ties
+	slackRR int
+}
+
+// NewEDFShares returns the scheduler with a 1 ms slack quantum.
+func NewEDFShares() *EDFShares {
+	return &EDFShares{SlackQuantum: sim.Millisecond}
+}
+
+func st(d *nemesis.Domain) *edfState { return d.SchedData.(*edfState) }
+
+// Add registers a domain; its contract comes from d.Params.
+func (e *EDFShares) Add(d *nemesis.Domain, now sim.Time) {
+	s := &edfState{runnable: true}
+	if d.Params.Guaranteed() {
+		s.slice, s.period = d.Params.Slice, d.Params.Period
+		s.release = now
+		s.deadline = now + s.period
+		s.remain = s.slice
+	}
+	d.SchedData = s
+	e.doms = append(e.doms, d)
+}
+
+// Remove deregisters a domain.
+func (e *EDFShares) Remove(d *nemesis.Domain, now sim.Time) {
+	for i, x := range e.doms {
+		if x == d {
+			e.doms = append(e.doms[:i], e.doms[i+1:]...)
+			return
+		}
+	}
+}
+
+// SetAllocation changes a domain's effective contract, taking effect in
+// its next period. The QoS manager is the intended caller.
+func (e *EDFShares) SetAllocation(d *nemesis.Domain, slice, period sim.Duration, now sim.Time) {
+	s := st(d)
+	if s.period == 0 {
+		// Was best-effort: start a window now.
+		s.release = now
+		s.deadline = now + period
+		s.remain = slice
+	}
+	s.slice, s.period = slice, period
+}
+
+// Allocation reports a domain's effective contract.
+func (e *EDFShares) Allocation(d *nemesis.Domain) (slice, period sim.Duration) {
+	s := st(d)
+	return s.slice, s.period
+}
+
+// refresh advances a domain's allocation window past now.
+func (e *EDFShares) refresh(d *nemesis.Domain, now sim.Time) {
+	s := st(d)
+	if s.period == 0 {
+		return
+	}
+	for s.deadline <= now {
+		s.release = s.deadline
+		s.deadline = s.release + s.period
+		s.remain = s.slice
+	}
+}
+
+// Wake marks a domain runnable, rolling its window forward if it blocked
+// across period boundaries.
+func (e *EDFShares) Wake(d *nemesis.Domain, now sim.Time) {
+	s := st(d)
+	s.runnable = true
+	e.refresh(d, now)
+}
+
+// Block marks a domain not runnable.
+func (e *EDFShares) Block(d *nemesis.Domain, now sim.Time) {
+	st(d).runnable = false
+}
+
+// Charge depletes the domain's allocation for guaranteed-mode usage;
+// slack usage is accounted separately and does not touch the guarantee.
+func (e *EDFShares) Charge(d *nemesis.Domain, used sim.Duration, now sim.Time) {
+	s := st(d)
+	if s.inSlack {
+		s.SlackUsed += used
+		return
+	}
+	s.GuaranteedUsed += used
+	if used >= s.remain {
+		s.remain = 0
+	} else {
+		s.remain -= used
+	}
+}
+
+// Pick implements the two-level policy: EDF over in-contract domains,
+// then round-robin slack.
+func (e *EDFShares) Pick(now sim.Time) nemesis.Decision {
+	var best *nemesis.Domain
+	nextBoundary := nemesis.NoEvent
+	for _, d := range e.doms {
+		s := st(d)
+		if !s.runnable {
+			continue
+		}
+		e.refresh(d, now)
+		if s.period == 0 {
+			continue
+		}
+		// Every runnable guaranteed domain's deadline is a scheduling
+		// boundary — including exhausted ones, whose *next* window (with
+		// a fresh slice and possibly an earlier deadline) starts there.
+		if nextBoundary < 0 || s.deadline < nextBoundary {
+			nextBoundary = s.deadline
+		}
+		if s.remain <= 0 {
+			continue
+		}
+		if best == nil || s.deadline < st(best).deadline {
+			best = d
+		}
+	}
+	if best != nil {
+		s := st(best)
+		budget := s.remain
+		if lim := nextBoundary - now; lim < budget {
+			budget = lim
+		}
+		if budget <= 0 {
+			budget = 1
+		}
+		s.inSlack = false
+		return nemesis.Decision{D: best, Budget: budget, NextEvent: nemesis.NoEvent}
+	}
+
+	// Slack: anyone runnable, round-robin.
+	n := len(e.doms)
+	for i := 0; i < n; i++ {
+		d := e.doms[(e.slackRR+i)%n]
+		s := st(d)
+		if !s.runnable {
+			continue
+		}
+		e.slackRR = (e.slackRR + i + 1) % n
+		budget := e.SlackQuantum
+		// A guaranteed domain's refresh must be able to interrupt slack.
+		for _, x := range e.doms {
+			xs := st(x)
+			if xs.runnable && xs.period > 0 {
+				if lim := xs.deadline - now; lim < budget {
+					budget = lim
+				}
+			}
+		}
+		if budget <= 0 {
+			budget = 1
+		}
+		s.inSlack = true
+		return nemesis.Decision{D: d, Budget: budget, NextEvent: nemesis.NoEvent}
+	}
+	return nemesis.Decision{NextEvent: nemesis.NoEvent}
+}
+
+// Preempts implements EDF preemption: an in-contract domain preempts
+// slack-mode execution and any later deadline.
+func (e *EDFShares) Preempts(cand, cur *nemesis.Domain, now sim.Time) bool {
+	if cur == nil {
+		return true
+	}
+	cs := st(cand)
+	e.refresh(cand, now)
+	if cs.period == 0 || cs.remain <= 0 {
+		return false
+	}
+	us := st(cur)
+	if us.inSlack || us.period == 0 {
+		return true
+	}
+	return cs.deadline < us.deadline
+}
+
+// GuaranteedUsedOf reports CPU charged against d's contract (tests, QoS).
+func (e *EDFShares) GuaranteedUsedOf(d *nemesis.Domain) sim.Duration {
+	return st(d).GuaranteedUsed
+}
+
+// SlackUsedOf reports CPU received as slack.
+func (e *EDFShares) SlackUsedOf(d *nemesis.Domain) sim.Duration {
+	return st(d).SlackUsed
+}

@@ -1,0 +1,83 @@
+package sched
+
+import (
+	"repro/internal/nemesis"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// PeriodicReport summarises a periodic workload's real-time behaviour:
+// the numbers the E4 scheduling experiment reports per scheduler.
+type PeriodicReport struct {
+	Jobs   int
+	Misses int // jobs finishing after their period deadline
+	// LatenessNS samples completion - deadline for missed jobs (ns).
+	LatenessNS stats.Sample
+	// ResponseNS samples completion - release for all jobs (ns).
+	ResponseNS stats.Sample
+}
+
+// MissRate is Misses/Jobs.
+func (r *PeriodicReport) MissRate() float64 {
+	if r.Jobs == 0 {
+		return 0
+	}
+	return float64(r.Misses) / float64(r.Jobs)
+}
+
+// RunPeriodic executes `jobs` jobs of `work` CPU time, one per `period`,
+// inside a domain — the canonical multimedia load (decode a frame every
+// 40 ms). The deadline of each job is the end of its period. It returns
+// the report when all jobs are done.
+//
+// Pass it as (a closure over) the domain function:
+//
+//	k.Spawn("video", params, func(c *nemesis.Ctx) {
+//	    rep = sched.RunPeriodic(c, work, period, 100)
+//	})
+func RunPeriodic(c *nemesis.Ctx, work, period sim.Duration, jobs int) PeriodicReport {
+	var rep PeriodicReport
+	RunPeriodicInto(c, work, period, jobs, &rep)
+	return rep
+}
+
+// RunPeriodicInto is RunPeriodic accumulating into rep as it goes, so a
+// harness that stops the simulation mid-run (because a bad scheduler
+// never lets the workload finish) still sees the jobs that did complete.
+func RunPeriodicInto(c *nemesis.Ctx, work, period sim.Duration, jobs int, rep *PeriodicReport) {
+	release := c.Now()
+	for i := 0; i < jobs; i++ {
+		deadline := release + period
+		c.Consume(work)
+		done := c.Now()
+		rep.Jobs++
+		rep.ResponseNS.Add(float64(done - release))
+		if done > deadline {
+			rep.Misses++
+			rep.LatenessNS.Add(float64(done - deadline))
+		}
+		// Next release: periods are back to back; if we overran, start
+		// the next job immediately (skip no work).
+		release = deadline
+		if done < release {
+			c.Sleep(release - done)
+		}
+	}
+}
+
+// RunHog consumes CPU in `chunk` pieces until the domain is killed or
+// `total` is exhausted (total <= 0 means forever). It is the batch/greedy
+// competitor in scheduling experiments.
+func RunHog(c *nemesis.Ctx, chunk, total sim.Duration) {
+	forever := total <= 0
+	for forever || total > 0 {
+		use := chunk
+		if !forever && use > total {
+			use = total
+		}
+		c.Consume(use)
+		if !forever {
+			total -= use
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package sched
+
+import (
+	"repro/internal/nemesis"
+	"repro/internal/sim"
+)
+
+// QoSManager is the Quality-of-Service manager domain of §3.3: it sits
+// above the primitive EDF-over-shares scheduler and updates allocations
+// on a longer time scale — both when applications enter or leave, and
+// adaptively as they change behaviour. Users "will not always get what
+// they want": when the requested utilisation exceeds Cap, grants are
+// scaled down proportionally.
+type QoSManager struct {
+	// Cap is the maximum total utilisation handed out as guarantees
+	// (the remainder keeps the system responsive and feeds slack time).
+	Cap float64
+	// Interval is the adaptation period — deliberately much longer than
+	// individual scheduling decisions, to smooth short-term variation.
+	Interval sim.Duration
+	// ShrinkBelow: a domain using less than this fraction of its grant
+	// gets its effective request reduced toward observed usage.
+	ShrinkBelow float64
+	// GrowAbove: a domain using more than this fraction of its grant
+	// has its effective request raised back toward its full request.
+	GrowAbove float64
+
+	sim *sim.Sim
+	edf *EDFShares
+
+	reqs   []*qosEntry
+	byDom  map[*nemesis.Domain]*qosEntry
+	ticker *sim.Ticker
+
+	// Rebalances counts allocation updates (observability).
+	Rebalances int64
+}
+
+type qosEntry struct {
+	d *nemesis.Domain
+	// requested contract
+	slice, period sim.Duration
+	// effective demand after adaptation (<= requested slice)
+	effective sim.Duration
+	// granted after cap scaling
+	granted  sim.Duration
+	lastUsed sim.Duration
+	// avg is an EWMA of per-period usage: the "longer time scale"
+	// smoothing the paper calls for, and what keeps the control loop
+	// from oscillating when the domain period does not divide Interval.
+	avg     sim.Duration
+	haveAvg bool
+}
+
+// NewQoSManager builds a manager driving the given EDF scheduler.
+func NewQoSManager(s *sim.Sim, edf *EDFShares) *QoSManager {
+	return &QoSManager{
+		Cap:         0.9,
+		Interval:    250 * sim.Millisecond,
+		ShrinkBelow: 0.5,
+		GrowAbove:   0.9,
+		sim:         s,
+		edf:         edf,
+		byDom:       make(map[*nemesis.Domain]*qosEntry),
+	}
+}
+
+// Request registers (or updates) a domain's desired contract and
+// rebalances. It returns the granted slice, which may be smaller than
+// requested when the system is overcommitted.
+func (m *QoSManager) Request(d *nemesis.Domain, slice, period sim.Duration) sim.Duration {
+	e := m.byDom[d]
+	if e == nil {
+		e = &qosEntry{d: d}
+		m.byDom[d] = e
+		m.reqs = append(m.reqs, e)
+	}
+	e.slice, e.period, e.effective = slice, period, slice
+	m.rebalance()
+	return e.granted
+}
+
+// Release drops a domain's registration and redistributes.
+func (m *QoSManager) Release(d *nemesis.Domain) {
+	e := m.byDom[d]
+	if e == nil {
+		return
+	}
+	delete(m.byDom, d)
+	for i, x := range m.reqs {
+		if x == e {
+			m.reqs = append(m.reqs[:i], m.reqs[i+1:]...)
+			break
+		}
+	}
+	m.rebalance()
+}
+
+// Granted reports the domain's current granted slice.
+func (m *QoSManager) Granted(d *nemesis.Domain) sim.Duration {
+	if e := m.byDom[d]; e != nil {
+		return e.granted
+	}
+	return 0
+}
+
+// rebalance scales effective demands so total utilisation fits the cap.
+func (m *QoSManager) rebalance() {
+	total := 0.0
+	for _, e := range m.reqs {
+		total += float64(e.effective) / float64(e.period)
+	}
+	factor := 1.0
+	if total > m.Cap {
+		factor = m.Cap / total
+	}
+	now := m.sim.Now()
+	for _, e := range m.reqs {
+		granted := sim.Duration(float64(e.effective) * factor)
+		if granted < 1 {
+			granted = 1
+		}
+		if granted != e.granted {
+			e.granted = granted
+			m.edf.SetAllocation(e.d, granted, e.period, now)
+		}
+	}
+	m.Rebalances++
+}
+
+// Start begins periodic adaptation ticks.
+func (m *QoSManager) Start() {
+	if m.ticker != nil {
+		return
+	}
+	m.ticker = m.sim.Tick(m.sim.Now()+m.Interval, m.Interval, m.adapt)
+}
+
+// Stop halts adaptation.
+func (m *QoSManager) Stop() {
+	if m.ticker != nil {
+		m.ticker.Stop()
+		m.ticker = nil
+	}
+}
+
+// adapt observes each domain's consumption over the last interval and
+// adjusts effective demand: persistent under-use shrinks the grant
+// (freeing capacity for others); saturation grows it back toward the
+// full request.
+func (m *QoSManager) adapt() {
+	changed := false
+	for _, e := range m.reqs {
+		// Total consumption (guaranteed + slack) is the domain's real
+		// demand; measuring only guaranteed time would under-read any
+		// domain whose grant momentarily undershoots its need.
+		used := e.d.Stats.Used
+		delta := used - e.lastUsed
+		e.lastUsed = used
+		// Usage per period over the interval.
+		periods := float64(m.Interval) / float64(e.period)
+		if periods <= 0 {
+			continue
+		}
+		perPeriod := sim.Duration(float64(delta) / periods)
+		if !e.haveAvg {
+			e.avg = perPeriod
+			e.haveAvg = true
+		} else {
+			e.avg = (e.avg*3 + perPeriod) / 4
+		}
+		perPeriod = e.avg
+		switch {
+		case perPeriod < sim.Duration(m.ShrinkBelow*float64(e.granted)):
+			// Leave 50% headroom above observed usage so measurement
+			// jitter cannot trip the grow threshold and oscillate.
+			target := perPeriod + perPeriod/2
+			if target < 1 {
+				target = 1
+			}
+			if target < e.effective {
+				e.effective = target
+				changed = true
+			}
+		case perPeriod >= sim.Duration(m.GrowAbove*float64(e.granted)):
+			if e.effective < e.slice {
+				e.effective += (e.slice-e.effective+1)/2 + 1
+				if e.effective > e.slice {
+					e.effective = e.slice
+				}
+				changed = true
+			}
+		}
+	}
+	if changed {
+		m.rebalance()
+	}
+}

@@ -1,0 +1,310 @@
+package sched_test
+
+import (
+	"testing"
+
+	"repro/internal/nemesis"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+const (
+	ms = sim.Millisecond
+	us = sim.Microsecond
+)
+
+func TestEDFGuaranteeUnderLoad(t *testing.T) {
+	// A multimedia domain with {4ms, 40ms} competes with a greedy hog.
+	// Over one second it must receive its full 100ms of guaranteed time
+	// and miss no deadlines.
+	s := sim.New()
+	edf := sched.NewEDFShares()
+	k := nemesis.NewKernel(s, nemesis.Config{SingleAddressSpace: true}, edf)
+
+	var rep sched.PeriodicReport
+	av := k.Spawn("av", nemesis.SchedParams{Slice: 4 * ms, Period: 40 * ms}, func(c *nemesis.Ctx) {
+		rep = sched.RunPeriodic(c, 4*ms, 40*ms, 25)
+	})
+	hog := k.Spawn("hog", nemesis.SchedParams{BestEffort: true}, func(c *nemesis.Ctx) {
+		sched.RunHog(c, ms, sim.Second)
+	})
+	s.RunUntil(sim.Second + 100*ms)
+	k.Shutdown()
+
+	if rep.Jobs != 25 {
+		t.Fatalf("jobs = %d, want 25", rep.Jobs)
+	}
+	if rep.Misses != 0 {
+		t.Fatalf("misses = %d, want 0 (guaranteed domain)", rep.Misses)
+	}
+	if av.Stats.Used != 100*ms {
+		t.Fatalf("av used %v, want 100ms", av.Stats.Used)
+	}
+	// Hog gets the remaining ~90% of the CPU.
+	if hog.Stats.Used < 800*ms {
+		t.Fatalf("hog used only %v; slack not distributed", hog.Stats.Used)
+	}
+}
+
+func TestEDFMultipleGuaranteesAllMet(t *testing.T) {
+	// Three periodic domains with distinct rates, total utilisation 60%,
+	// plus a hog: all deadlines met.
+	s := sim.New()
+	edf := sched.NewEDFShares()
+	k := nemesis.NewKernel(s, nemesis.Config{SingleAddressSpace: true}, edf)
+
+	type load struct {
+		work, period sim.Duration
+		jobs         int
+		rep          sched.PeriodicReport
+	}
+	loads := []*load{
+		{work: 2 * ms, period: 10 * ms, jobs: 50},  // 20%
+		{work: 8 * ms, period: 40 * ms, jobs: 12},  // 20%
+		{work: 20 * ms, period: 100 * ms, jobs: 5}, // 20%
+	}
+	for i, l := range loads {
+		l := l
+		name := []string{"audio", "video", "render"}[i]
+		k.Spawn(name, nemesis.SchedParams{Slice: l.work, Period: l.period}, func(c *nemesis.Ctx) {
+			l.rep = sched.RunPeriodic(c, l.work, l.period, l.jobs)
+		})
+	}
+	k.Spawn("hog", nemesis.SchedParams{BestEffort: true}, func(c *nemesis.Ctx) {
+		sched.RunHog(c, ms, 0)
+	})
+	s.RunUntil(sim.Second)
+	k.Shutdown()
+	for i, l := range loads {
+		if l.rep.Jobs != l.jobs {
+			t.Fatalf("load %d completed %d/%d jobs", i, l.rep.Jobs, l.jobs)
+		}
+		if l.rep.Misses != 0 {
+			t.Fatalf("load %d missed %d deadlines", i, l.rep.Misses)
+		}
+	}
+}
+
+func TestRoundRobinMissesDeadlinesUnderLoad(t *testing.T) {
+	// The same AV load under round-robin with three hogs: the 10ms
+	// quantum rotation makes the 4ms-per-40ms job wait ~30ms per round,
+	// so deadlines are missed — the paper's motivating failure.
+	s := sim.New()
+	k := nemesis.NewKernel(s, nemesis.Config{SingleAddressSpace: true}, sched.NewRoundRobin())
+	var rep sched.PeriodicReport
+	k.Spawn("av", nemesis.SchedParams{BestEffort: true}, func(c *nemesis.Ctx) {
+		rep = sched.RunPeriodic(c, 4*ms, 40*ms, 25)
+	})
+	for i := 0; i < 5; i++ {
+		k.Spawn("hog", nemesis.SchedParams{BestEffort: true}, func(c *nemesis.Ctx) {
+			sched.RunHog(c, ms, 0)
+		})
+	}
+	s.RunUntil(2 * sim.Second)
+	k.Shutdown()
+	if rep.Jobs == 0 {
+		t.Fatal("no jobs completed")
+	}
+	if rep.Misses == 0 {
+		t.Fatal("round-robin met all deadlines; load model too weak")
+	}
+}
+
+func TestPrioritySchedulerStarvesLow(t *testing.T) {
+	s := sim.New()
+	k := nemesis.NewKernel(s, nemesis.Config{SingleAddressSpace: true}, sched.NewPriority())
+	lo := k.Spawn("lo", nemesis.SchedParams{BestEffort: true, Weight: 1}, func(c *nemesis.Ctx) {
+		c.Consume(10 * ms)
+	})
+	k.Spawn("hi", nemesis.SchedParams{BestEffort: true, Weight: 5}, func(c *nemesis.Ctx) {
+		sched.RunHog(c, ms, 0)
+	})
+	s.RunUntil(sim.Second)
+	k.Shutdown()
+	if lo.Stats.Used != 0 {
+		t.Fatalf("low-priority domain got %v CPU under a high-priority hog", lo.Stats.Used)
+	}
+}
+
+func TestPureEDFOverloadCollapses(t *testing.T) {
+	// Two domains each wanting 30ms per 40ms: 150% demand. Pure EDF
+	// thrashes both (unpredictable misses); EDF-with-shares gives each
+	// an enforced, predictable share. We assert shares isolate: under
+	// EDFShares with scaled contracts, both make steady progress.
+	run := func(mk func() nemesis.Scheduler, slice sim.Duration) (a, b sim.Duration) {
+		s := sim.New()
+		k := nemesis.NewKernel(s, nemesis.Config{SingleAddressSpace: true}, mk())
+		d1 := k.Spawn("a", nemesis.SchedParams{Slice: slice, Period: 40 * ms}, func(c *nemesis.Ctx) {
+			sched.RunHog(c, ms, 0)
+		})
+		d2 := k.Spawn("b", nemesis.SchedParams{Slice: slice, Period: 40 * ms}, func(c *nemesis.Ctx) {
+			sched.RunHog(c, ms, 0)
+		})
+		s.RunUntil(sim.Second)
+		k.Shutdown()
+		return d1.Stats.Used, d2.Stats.Used
+	}
+	a, b := run(func() nemesis.Scheduler { return sched.NewEDFShares() }, 18*ms)
+	// 18/40 each = 90% total: both isolated near 450ms.
+	if a < 400*ms || b < 400*ms {
+		t.Fatalf("EDFShares did not isolate: a=%v b=%v", a, b)
+	}
+	diff := a - b
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 50*ms {
+		t.Fatalf("EDFShares unfair under equal contracts: a=%v b=%v", a, b)
+	}
+}
+
+func TestEDFSlackSharedRoundRobin(t *testing.T) {
+	s := sim.New()
+	edf := sched.NewEDFShares()
+	k := nemesis.NewKernel(s, nemesis.Config{SingleAddressSpace: true}, edf)
+	h1 := k.Spawn("h1", nemesis.SchedParams{BestEffort: true}, func(c *nemesis.Ctx) {
+		sched.RunHog(c, ms, 0)
+	})
+	h2 := k.Spawn("h2", nemesis.SchedParams{BestEffort: true}, func(c *nemesis.Ctx) {
+		sched.RunHog(c, ms, 0)
+	})
+	s.RunUntil(sim.Second)
+	k.Shutdown()
+	total := h1.Stats.Used + h2.Stats.Used
+	if total < 990*ms {
+		t.Fatalf("slack left CPU idle: total %v", total)
+	}
+	diff := h1.Stats.Used - h2.Stats.Used
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 20*ms {
+		t.Fatalf("slack unfair: h1=%v h2=%v", h1.Stats.Used, h2.Stats.Used)
+	}
+}
+
+func TestEDFGuaranteedUsageAccounting(t *testing.T) {
+	s := sim.New()
+	edf := sched.NewEDFShares()
+	k := nemesis.NewKernel(s, nemesis.Config{SingleAddressSpace: true}, edf)
+	d := k.Spawn("av", nemesis.SchedParams{Slice: 5 * ms, Period: 50 * ms}, func(c *nemesis.Ctx) {
+		sched.RunPeriodic(c, 5*ms, 50*ms, 4)
+	})
+	s.Run()
+	k.Shutdown()
+	if got := edf.GuaranteedUsedOf(d); got != 20*ms {
+		t.Fatalf("guaranteed used = %v, want 20ms", got)
+	}
+	if got := edf.SlackUsedOf(d); got != 0 {
+		t.Fatalf("slack used = %v, want 0", got)
+	}
+}
+
+func TestQoSManagerScalesOvercommit(t *testing.T) {
+	s := sim.New()
+	edf := sched.NewEDFShares()
+	k := nemesis.NewKernel(s, nemesis.Config{SingleAddressSpace: true}, edf)
+	m := sched.NewQoSManager(s, edf)
+	m.Cap = 0.9
+
+	a := k.Spawn("a", nemesis.SchedParams{Slice: 1, Period: 40 * ms}, func(c *nemesis.Ctx) {
+		sched.RunHog(c, ms, 0)
+	})
+	b := k.Spawn("b", nemesis.SchedParams{Slice: 1, Period: 40 * ms}, func(c *nemesis.Ctx) {
+		sched.RunHog(c, ms, 0)
+	})
+	// Each asks for 60% => 120% total; the manager scales to the cap.
+	m.Request(a, 24*ms, 40*ms)
+	m.Request(b, 24*ms, 40*ms)
+	ga, gb := m.Granted(a), m.Granted(b)
+	if ga != gb {
+		t.Fatalf("equal requests granted unequally: %v vs %v", ga, gb)
+	}
+	wantEach := sim.Duration(float64(40*ms) * 0.45) // 45% each
+	tol := ms / 2
+	if ga < wantEach-tol || ga > wantEach+tol {
+		t.Fatalf("granted %v, want ~%v", ga, wantEach)
+	}
+	s.RunUntil(sim.Second)
+	k.Shutdown()
+	// Both isolated at the scaled share.
+	if a.Stats.Used < 400*ms || b.Stats.Used < 400*ms {
+		t.Fatalf("scaled contracts not honoured: a=%v b=%v", a.Stats.Used, b.Stats.Used)
+	}
+}
+
+func TestQoSManagerAdaptsToBehaviour(t *testing.T) {
+	// Domain a requests 50% but only ever uses ~5%; domain b requests
+	// 60% and uses all of it. After a few adaptation intervals the
+	// manager shrinks a's grant and b's rises to (near) its request.
+	s := sim.New()
+	edf := sched.NewEDFShares()
+	k := nemesis.NewKernel(s, nemesis.Config{SingleAddressSpace: true}, edf)
+	m := sched.NewQoSManager(s, edf)
+	m.Cap = 0.9
+	m.Interval = 100 * ms
+
+	a := k.Spawn("idleish", nemesis.SchedParams{Slice: 1, Period: 40 * ms}, func(c *nemesis.Ctx) {
+		for {
+			c.Consume(2 * ms)
+			c.Sleep(38 * ms)
+		}
+	})
+	b := k.Spawn("busy", nemesis.SchedParams{Slice: 1, Period: 40 * ms}, func(c *nemesis.Ctx) {
+		sched.RunHog(c, ms, 0)
+	})
+	m.Request(a, 20*ms, 40*ms) // 50%
+	m.Request(b, 24*ms, 40*ms) // 60% -> scaled initially
+	m.Start()
+	s.RunUntil(2 * sim.Second)
+	m.Stop()
+	k.Shutdown()
+
+	ga, gb := m.Granted(a), m.Granted(b)
+	if ga >= 10*ms {
+		t.Fatalf("under-user's grant %v not shrunk below 10ms", ga)
+	}
+	if gb < 20*ms {
+		t.Fatalf("busy domain's grant %v did not grow toward request", gb)
+	}
+}
+
+func TestSyncIPCLatencyLowUnderEDF(t *testing.T) {
+	// Sync event latency is a switch cost, even with a hog running:
+	// the donated processor bypasses the ready queue (E5's claim).
+	s := sim.New()
+	edf := sched.NewEDFShares()
+	k := nemesis.NewKernel(s, nemesis.Config{SwitchCost: 5 * us, SingleAddressSpace: true}, edf)
+	var lat []sim.Duration
+	server := k.Spawn("server", nemesis.SchedParams{BestEffort: true}, func(c *nemesis.Ctx) {
+		for {
+			c.Wait()
+			c.Consume(10 * us)
+		}
+	})
+	var ch *nemesis.EventChannel
+	k.Spawn("client", nemesis.SchedParams{Slice: 10 * ms, Period: 20 * ms}, func(c *nemesis.Ctx) {
+		for i := 0; i < 50; i++ {
+			t0 := c.Now()
+			c.Send(ch, 1) // sync: runs server inline
+			lat = append(lat, c.Now()-t0)
+			c.Sleep(ms)
+		}
+	})
+	ch = k.NewChannel("rpc", k.Domains()[1], server, true)
+	k.Spawn("hog", nemesis.SchedParams{BestEffort: true}, func(c *nemesis.Ctx) {
+		sched.RunHog(c, ms, 0)
+	})
+	s.RunUntil(200 * ms)
+	k.Shutdown()
+	if len(lat) < 10 {
+		t.Fatalf("only %d interactions completed", len(lat))
+	}
+	for i, l := range lat {
+		// switch to server (5us) + server work (10us) + switch back is
+		// not included since Send returns at donation...; allow 50us.
+		if l > 50*us {
+			t.Fatalf("interaction %d took %v; sync handover not immediate", i, l)
+		}
+	}
+}

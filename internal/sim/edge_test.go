@@ -1,0 +1,126 @@
+package sim_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestTimeStringUnits(t *testing.T) {
+	cases := map[sim.Time]string{
+		5:                    "5ns",
+		3 * sim.Microsecond:  "3.000µs",
+		42 * sim.Millisecond: "42.000ms",
+		2 * sim.Second:       "2.000s",
+	}
+	for in, want := range cases {
+		if got := in.String(); got != want {
+			t.Fatalf("%d.String() = %q, want %q", int64(in), got, want)
+		}
+	}
+}
+
+func TestTimeSeconds(t *testing.T) {
+	if got := (1500 * sim.Millisecond).Seconds(); got != 1.5 {
+		t.Fatalf("Seconds = %v", got)
+	}
+}
+
+func TestEventTimeAndScheduled(t *testing.T) {
+	s := sim.New()
+	e := s.At(100, func() {})
+	if e.Time() != 100 {
+		t.Fatalf("event time = %v", e.Time())
+	}
+	if !e.Scheduled() {
+		t.Fatal("pending event not scheduled")
+	}
+	s.Run()
+	if e.Scheduled() {
+		t.Fatal("fired event still scheduled")
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := sim.New()
+	s.At(10, func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At in the past did not panic")
+		}
+	}()
+	s.At(5, func() {})
+}
+
+func TestAfterNegativePanics(t *testing.T) {
+	s := sim.New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative After did not panic")
+		}
+	}()
+	s.After(-1, func() {})
+}
+
+func TestRandInt63nAndDuration(t *testing.T) {
+	r := sim.NewRand(1)
+	for i := 0; i < 1000; i++ {
+		if v := r.Int63n(7); v < 0 || v >= 7 {
+			t.Fatalf("Int63n out of range: %d", v)
+		}
+		if d := r.Duration(sim.Second); d < 0 || d >= sim.Second {
+			t.Fatalf("Duration out of range: %v", d)
+		}
+	}
+	if r.Duration(0) != 0 {
+		t.Fatal("Duration(0) != 0")
+	}
+}
+
+func TestRandPanicsOnBadBounds(t *testing.T) {
+	r := sim.NewRand(1)
+	for _, fn := range []func(){
+		func() { r.Intn(0) },
+		func() { r.Int63n(-3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad bound did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestRandNormFloat64Moments(t *testing.T) {
+	r := sim.NewRand(99)
+	const n = 20000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := r.NormFloat64()
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.05 {
+		t.Fatalf("normal mean = %v", mean)
+	}
+	if math.Abs(variance-1) > 0.1 {
+		t.Fatalf("normal variance = %v", variance)
+	}
+}
+
+func TestTimeStringIsParseable(t *testing.T) {
+	// Sanity on the format: unit suffix present.
+	for _, s := range []string{sim.Time(1).String(), sim.Second.String()} {
+		if !strings.HasSuffix(s, "ns") && !strings.HasSuffix(s, "s") {
+			t.Fatalf("odd time format %q", s)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// Every timing-sensitive subsystem in this repository (ATM links and
+// switches, devices, the Nemesis scheduler, disks) runs on this kernel
+// rather than on wall-clock time: the paper's guarantees are about
+// microsecond-level behaviour that a garbage-collected runtime cannot
+// honour directly, so virtual time is the substitution that preserves the
+// shape of every result while making runs exactly reproducible.
+//
+// The kernel is single-threaded by design. Events scheduled for the same
+// instant fire in scheduling order (FIFO), which keeps runs deterministic.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a virtual timestamp in nanoseconds since the start of the run.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration = Time
+
+// Convenient units, mirroring time.Duration but in virtual time.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// String formats a Time with an adaptive unit, e.g. "1.500ms".
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", float64(t)/float64(Second))
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fµs", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// Seconds reports t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Event is a scheduled callback. It is returned by the scheduling methods
+// so callers can cancel it before it fires.
+type Event struct {
+	at    Time
+	seq   uint64
+	fn    func()
+	index int // heap index; -1 when not queued
+}
+
+// Time reports when the event will fire.
+func (e *Event) Time() Time { return e.at }
+
+// Scheduled reports whether the event is still queued.
+func (e *Event) Scheduled() bool { return e.index >= 0 }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is a discrete-event simulator instance.
+type Sim struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	stopped bool
+}
+
+// New returns a simulator with the clock at zero and an empty event queue.
+func New() *Sim { return &Sim{} }
+
+// Now returns the current virtual time.
+func (s *Sim) Now() Time { return s.now }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: that is always a logic error in a discrete-event model.
+func (s *Sim) At(t Time, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, s.now))
+	}
+	s.seq++
+	e := &Event{at: t, seq: s.seq, fn: fn}
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (s *Sim) After(d Duration, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or
+// already-cancelled event is a no-op and reports false.
+func (s *Sim) Cancel(e *Event) bool {
+	if e == nil || e.index < 0 {
+		return false
+	}
+	heap.Remove(&s.queue, e.index)
+	return true
+}
+
+// Reschedule moves a pending event to a new absolute time, preserving its
+// callback. If the event already fired it is re-armed.
+func (s *Sim) Reschedule(e *Event, t Time) {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: rescheduling at %v before now %v", t, s.now))
+	}
+	if e.index >= 0 {
+		heap.Remove(&s.queue, e.index)
+	}
+	e.at = t
+	s.seq++
+	e.seq = s.seq
+	heap.Push(&s.queue, e)
+}
+
+// Step fires the earliest pending event, advancing the clock to its
+// timestamp. It reports false when the queue is empty.
+func (s *Sim) Step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.queue).(*Event)
+	s.now = e.at
+	e.fn()
+	return true
+}
+
+// Run fires events until the queue is empty or Stop is called.
+func (s *Sim) Run() {
+	s.stopped = false
+	for !s.stopped && s.Step() {
+	}
+}
+
+// RunUntil fires events with timestamps <= t, then sets the clock to t.
+func (s *Sim) RunUntil(t Time) {
+	s.stopped = false
+	for !s.stopped && len(s.queue) > 0 && s.queue[0].at <= t {
+		s.Step()
+	}
+	if t > s.now {
+		s.now = t
+	}
+}
+
+// RunFor advances the simulation by d nanoseconds of virtual time.
+func (s *Sim) RunFor(d Duration) { s.RunUntil(s.now + d) }
+
+// Stop halts Run/RunUntil after the currently firing event returns.
+func (s *Sim) Stop() { s.stopped = true }
+
+// Pending reports the number of queued events.
+func (s *Sim) Pending() int { return len(s.queue) }
+
+// Ticker fires fn every interval, starting at start, until cancelled.
+type Ticker struct {
+	sim      *Sim
+	interval Duration
+	fn       func()
+	ev       *Event
+	stopped  bool
+}
+
+// Tick schedules fn to run every interval, first at start.
+func (s *Sim) Tick(start Time, interval Duration, fn func()) *Ticker {
+	if interval <= 0 {
+		panic("sim: non-positive tick interval")
+	}
+	t := &Ticker{sim: s, interval: interval, fn: fn}
+	t.ev = s.At(start, t.fire)
+	return t
+}
+
+func (t *Ticker) fire() {
+	if t.stopped {
+		return
+	}
+	t.fn()
+	if !t.stopped {
+		t.ev = t.sim.After(t.interval, t.fire)
+	}
+}
+
+// Stop cancels the ticker; the callback will not fire again.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	t.sim.Cancel(t.ev)
+}

@@ -1,0 +1,151 @@
+// Package trace generates the workloads the storage experiments replay.
+//
+// The headline generator reproduces the file-lifetime behaviour measured
+// by Baker et al. [1991] that the paper leans on: "70% of files are
+// deleted or overwritten within 30 seconds". Absolute distributions from
+// the Sprite traces are approximated (most files small, a heavy tail of
+// long-lived data); the write-buffering experiment depends only on the
+// short-lifetime mass, which is exact.
+package trace
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// OpKind enumerates workload operations.
+type OpKind int
+
+// Operations.
+const (
+	OpCreate OpKind = iota
+	OpWrite
+	OpDelete
+)
+
+// Op is one timestamped file operation.
+type Op struct {
+	At   sim.Time
+	Kind OpKind
+	Name string
+	Off  int64
+	Size int
+}
+
+// BakerConfig parameterises the synthetic Sprite-like workload.
+type BakerConfig struct {
+	// Files is the number of file lifetimes generated.
+	Files int
+	// Span is the interval over which creations are spread.
+	Span sim.Duration
+	// ShortFrac is the fraction of files dying within ShortMax
+	// (the paper's 70%).
+	ShortFrac float64
+	// ShortMax bounds a short lifetime (the paper's 30 s).
+	ShortMax sim.Duration
+	// LongMean is the mean extra lifetime of long-lived files.
+	LongMean sim.Duration
+	// MeanSize is the mean file size in bytes (exponential, capped).
+	MeanSize int
+	// MaxSize caps file sizes.
+	MaxSize int
+	// RewriteFrac is the fraction of deaths that are overwrites (the
+	// file is immediately rewritten) rather than plain deletions.
+	RewriteFrac float64
+}
+
+// DefaultBaker returns the configuration used by experiment E11.
+func DefaultBaker(files int) BakerConfig {
+	return BakerConfig{
+		Files:       files,
+		Span:        60 * sim.Second,
+		ShortFrac:   0.70,
+		ShortMax:    30 * sim.Second,
+		LongMean:    600 * sim.Second,
+		MeanSize:    8 << 10,
+		MaxSize:     256 << 10,
+		RewriteFrac: 0.4,
+	}
+}
+
+// Baker generates a deterministic operation schedule, sorted by time.
+func Baker(rng *sim.Rand, cfg BakerConfig) []Op {
+	var ops []Op
+	for i := 0; i < cfg.Files; i++ {
+		name := fileName(i)
+		born := rng.Duration(cfg.Span)
+		size := int(rng.ExpFloat64() * float64(cfg.MeanSize))
+		if size < 256 {
+			size = 256
+		}
+		if size > cfg.MaxSize {
+			size = cfg.MaxSize
+		}
+		ops = append(ops,
+			Op{At: born, Kind: OpCreate, Name: name},
+			Op{At: born, Kind: OpWrite, Name: name, Size: size},
+		)
+		var life sim.Duration
+		if rng.Float64() < cfg.ShortFrac {
+			// Short-lived: uniform in (0.5s, ShortMax].
+			life = sim.Second/2 + rng.Duration(cfg.ShortMax-sim.Second/2)
+		} else {
+			life = cfg.ShortMax + sim.Duration(rng.ExpFloat64()*float64(cfg.LongMean))
+		}
+		death := born + life
+		if rng.Float64() < cfg.RewriteFrac {
+			// Overwrite in place: same bytes count as garbage creation.
+			ops = append(ops, Op{At: death, Kind: OpWrite, Name: name, Size: size})
+		} else {
+			ops = append(ops, Op{At: death, Kind: OpDelete, Name: name})
+		}
+	}
+	sort.SliceStable(ops, func(i, j int) bool { return ops[i].At < ops[j].At })
+	return ops
+}
+
+func fileName(i int) string {
+	// Deterministic short names without fmt to keep the hot path lean.
+	const digits = "0123456789"
+	buf := []byte("f")
+	if i == 0 {
+		return "f0"
+	}
+	var tmp []byte
+	for i > 0 {
+		tmp = append(tmp, digits[i%10])
+		i /= 10
+	}
+	for j := len(tmp) - 1; j >= 0; j-- {
+		buf = append(buf, tmp[j])
+	}
+	return string(buf)
+}
+
+// ShortLivedFraction measures, for a generated schedule, the fraction of
+// files whose death (delete or rewrite) occurs within window of their
+// creation — used to validate the generator against the paper's 70%.
+func ShortLivedFraction(ops []Op, window sim.Duration) float64 {
+	born := map[string]sim.Time{}
+	var total, short int
+	seen := map[string]bool{}
+	for _, op := range ops {
+		switch op.Kind {
+		case OpCreate:
+			born[op.Name] = op.At
+		case OpDelete, OpWrite:
+			if _, created := born[op.Name]; created && !seen[op.Name] && op.At > born[op.Name] {
+				seen[op.Name] = true
+				total++
+				if op.At-born[op.Name] <= window {
+					short++
+				}
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(short) / float64(total)
+}

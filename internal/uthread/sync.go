@@ -1,0 +1,98 @@
+package uthread
+
+// User-level synchronisation over the cooperative scheduler: because
+// threads only lose the CPU at explicit scheduling points, a mutex is a
+// flag plus a wait queue and a condition variable is just a queue —
+// no atomics, no kernel involvement. This is the §3.2 payoff: the
+// application schedules (and synchronises) its own threads.
+
+// Mutex is a cooperative mutual-exclusion lock.
+type Mutex struct {
+	holder  *Thread
+	waiters []*Thread
+
+	// Contended counts Lock calls that had to wait.
+	Contended int64
+}
+
+// Lock acquires the mutex, parking the thread if it is held.
+func (m *Mutex) Lock(t *Thread) {
+	t.checkCurrent()
+	if m.holder == nil {
+		m.holder = t
+		return
+	}
+	if m.holder == t {
+		panic("uthread: recursive Lock")
+	}
+	m.Contended++
+	m.waiters = append(m.waiters, t)
+	t.state = TWaiting
+	t.park()
+}
+
+// Unlock releases the mutex, waking the first waiter (FIFO).
+func (m *Mutex) Unlock(t *Thread) {
+	t.checkCurrent()
+	if m.holder != t {
+		panic("uthread: Unlock by non-holder")
+	}
+	if len(m.waiters) == 0 {
+		m.holder = nil
+		return
+	}
+	next := m.waiters[0]
+	m.waiters = m.waiters[1:]
+	m.holder = next
+	next.state = TReady
+	t.sched.ready = append(t.sched.ready, next)
+}
+
+// TryLock acquires the mutex only if free.
+func (m *Mutex) TryLock(t *Thread) bool {
+	t.checkCurrent()
+	if m.holder != nil {
+		return false
+	}
+	m.holder = t
+	return true
+}
+
+// Cond is a condition variable tied to a Mutex.
+type Cond struct {
+	M       *Mutex
+	waiters []*Thread
+}
+
+// Wait atomically releases the mutex and parks until Signal/Broadcast;
+// the mutex is re-acquired before returning.
+func (c *Cond) Wait(t *Thread) {
+	t.checkCurrent()
+	c.waiters = append(c.waiters, t)
+	c.M.Unlock(t)
+	t.state = TWaiting
+	t.park()
+	c.M.Lock(t)
+}
+
+// Signal readies one waiter.
+func (c *Cond) Signal(t *Thread) {
+	t.checkCurrent()
+	if len(c.waiters) == 0 {
+		return
+	}
+	w := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	w.state = TReady
+	t.sched.ready = append(t.sched.ready, w)
+}
+
+// Broadcast readies every waiter.
+func (c *Cond) Broadcast(t *Thread) {
+	t.checkCurrent()
+	for _, w := range c.waiters {
+		w.state = TReady
+		t.sched.ready = append(t.sched.ready, w)
+	}
+	c.waiters = nil
+}

@@ -1,0 +1,159 @@
+package uthread_test
+
+import (
+	"testing"
+
+	"repro/internal/nemesis"
+	"repro/internal/uthread"
+)
+
+func TestMutexMutualExclusion(t *testing.T) {
+	var maxInside, inside int
+	runDomain(t, func(c *nemesis.Ctx) {
+		s := uthread.New(c)
+		var mu uthread.Mutex
+		for i := 0; i < 4; i++ {
+			s.Go("t", func(th *uthread.Thread) {
+				for j := 0; j < 5; j++ {
+					mu.Lock(th)
+					inside++
+					if inside > maxInside {
+						maxInside = inside
+					}
+					th.Consume(ms) // critical section spans scheduling points
+					th.Yield()
+					inside--
+					mu.Unlock(th)
+				}
+			})
+		}
+		s.Run()
+	})
+	if maxInside != 1 {
+		t.Fatalf("max threads in critical section = %d", maxInside)
+	}
+}
+
+func TestMutexFIFOFairness(t *testing.T) {
+	var order []string
+	runDomain(t, func(c *nemesis.Ctx) {
+		s := uthread.New(c)
+		var mu uthread.Mutex
+		s.Go("holder", func(th *uthread.Thread) {
+			mu.Lock(th)
+			th.Consume(ms)
+			th.Yield() // let the others queue in order a, b, c
+			th.Yield()
+			mu.Unlock(th)
+		})
+		for _, name := range []string{"a", "b", "c"} {
+			name := name
+			s.Go(name, func(th *uthread.Thread) {
+				th.Yield() // let holder grab the lock first
+				mu.Lock(th)
+				order = append(order, name)
+				mu.Unlock(th)
+			})
+		}
+		s.Run()
+	})
+	if len(order) != 3 || order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Fatalf("order = %v, want FIFO [a b c]", order)
+	}
+}
+
+func TestTryLock(t *testing.T) {
+	runDomain(t, func(c *nemesis.Ctx) {
+		s := uthread.New(c)
+		var mu uthread.Mutex
+		s.Go("t", func(th *uthread.Thread) {
+			if !mu.TryLock(th) {
+				panic("free mutex refused TryLock")
+			}
+			if mu.TryLock(th) {
+				panic("held mutex granted TryLock")
+			}
+			mu.Unlock(th)
+		})
+		s.Run()
+	})
+}
+
+func TestCondProducerConsumer(t *testing.T) {
+	var consumed []int
+	runDomain(t, func(c *nemesis.Ctx) {
+		s := uthread.New(c)
+		var mu uthread.Mutex
+		cond := uthread.Cond{M: &mu}
+		var queue []int
+		done := false
+		s.Go("consumer", func(th *uthread.Thread) {
+			mu.Lock(th)
+			for {
+				for len(queue) == 0 && !done {
+					cond.Wait(th)
+				}
+				if len(queue) == 0 && done {
+					break
+				}
+				consumed = append(consumed, queue[0])
+				queue = queue[1:]
+			}
+			mu.Unlock(th)
+		})
+		s.Go("producer", func(th *uthread.Thread) {
+			for i := 0; i < 5; i++ {
+				th.Consume(ms)
+				mu.Lock(th)
+				queue = append(queue, i)
+				cond.Signal(th)
+				mu.Unlock(th)
+				th.Yield()
+			}
+			mu.Lock(th)
+			done = true
+			cond.Broadcast(th)
+			mu.Unlock(th)
+		})
+		s.Run()
+	})
+	if len(consumed) != 5 {
+		t.Fatalf("consumed = %v", consumed)
+	}
+	for i, v := range consumed {
+		if v != i {
+			t.Fatalf("consumed = %v, want in order", consumed)
+		}
+	}
+}
+
+func TestCondBroadcastWakesAll(t *testing.T) {
+	woke := 0
+	runDomain(t, func(c *nemesis.Ctx) {
+		s := uthread.New(c)
+		var mu uthread.Mutex
+		cond := uthread.Cond{M: &mu}
+		ready := false
+		for i := 0; i < 3; i++ {
+			s.Go("w", func(th *uthread.Thread) {
+				mu.Lock(th)
+				for !ready {
+					cond.Wait(th)
+				}
+				woke++
+				mu.Unlock(th)
+			})
+		}
+		s.Go("b", func(th *uthread.Thread) {
+			th.Yield() // let the waiters park
+			mu.Lock(th)
+			ready = true
+			cond.Broadcast(th)
+			mu.Unlock(th)
+		})
+		s.Run()
+	})
+	if woke != 3 {
+		t.Fatalf("woke = %d, want 3", woke)
+	}
+}

@@ -1,0 +1,248 @@
+// Package uthread is a user-level thread scheduler running inside a
+// Nemesis domain on the activation interface (§3.2 of the paper).
+//
+// The kernel gives the CPU to the *domain*; what the domain does with it
+// is its own business. Because activations tell the domain exactly when
+// it has the processor, the domain can multiplex any number of
+// cooperative threads over it without describing their behaviour to the
+// kernel — the scheduler-activations argument. Threads here are
+// goroutines coupled to the scheduler by the same request/park discipline
+// the kernel uses for domains, one level down, so determinism is
+// preserved.
+package uthread
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/nemesis"
+	"repro/internal/sim"
+)
+
+// ThreadState describes a thread's lifecycle.
+type ThreadState int
+
+// Thread states.
+const (
+	TReady ThreadState = iota
+	TRunning
+	TWaiting // waiting for an event channel
+	TJoining // waiting for another thread to exit
+	TDone
+)
+
+// Thread is one user-level thread.
+type Thread struct {
+	Name  string
+	sched *Sched
+	state ThreadState
+
+	resume  chan struct{}
+	yielded chan struct{}
+
+	waitCh  *nemesis.EventChannel
+	gotEvs  int64
+	joinees []*Thread
+
+	// Steps counts scheduler dispatches of this thread.
+	Steps int64
+}
+
+// State reports the thread's lifecycle state.
+func (t *Thread) State() ThreadState { return t.state }
+
+// String identifies the thread.
+func (t *Thread) String() string { return fmt.Sprintf("uthread(%s)", t.Name) }
+
+// Sched is the in-domain thread scheduler. Create it inside a domain
+// function, spawn threads, then call Run: Run returns when every thread
+// has exited.
+type Sched struct {
+	ctx   *nemesis.Ctx
+	ready []*Thread
+	all   []*Thread
+
+	// waiters maps event channels to the threads waiting on them.
+	waiters map[*nemesis.EventChannel][]*Thread
+	// buffered holds event counts that arrived while no thread waited.
+	buffered map[*nemesis.EventChannel]int64
+
+	running *Thread
+
+	// ContextSwitches counts thread-to-thread handoffs (they are free in
+	// virtual time — that is the point of user-level threads).
+	ContextSwitches int64
+}
+
+// New builds a thread scheduler for the current domain.
+func New(ctx *nemesis.Ctx) *Sched {
+	return &Sched{
+		ctx:      ctx,
+		waiters:  make(map[*nemesis.EventChannel][]*Thread),
+		buffered: make(map[*nemesis.EventChannel]int64),
+	}
+}
+
+// Go creates a thread running fn. Threads are cooperatively scheduled:
+// fn must call Consume, Yield, WaitEvent or Join to let others run.
+func (s *Sched) Go(name string, fn func(*Thread)) *Thread {
+	t := &Thread{
+		Name:    name,
+		sched:   s,
+		state:   TReady,
+		resume:  make(chan struct{}),
+		yielded: make(chan struct{}),
+	}
+	s.all = append(s.all, t)
+	s.ready = append(s.ready, t)
+	go func() {
+		<-t.resume
+		fn(t)
+		t.state = TDone
+		s.wakeJoiners(t)
+		t.yielded <- struct{}{}
+	}()
+	return t
+}
+
+// Run dispatches threads until all are done. It blocks the domain in
+// Wait when every live thread is waiting for events.
+func (s *Sched) Run() {
+	for {
+		if len(s.ready) == 0 {
+			if !s.anyLive() {
+				return
+			}
+			// All live threads wait on events: block the domain (the
+			// only blocking call, §3.2) and deliver what arrives.
+			evs := s.ctx.Wait()
+			s.deliver(evs)
+			continue
+		}
+		t := s.ready[0]
+		s.ready = s.ready[1:]
+		s.step(t)
+	}
+}
+
+// step gives the CPU to one thread until it parks.
+func (s *Sched) step(t *Thread) {
+	t.state = TRunning
+	t.Steps++
+	s.running = t
+	s.ContextSwitches++
+	t.resume <- struct{}{}
+	<-t.yielded
+	s.running = nil
+}
+
+func (s *Sched) anyLive() bool {
+	for _, t := range s.all {
+		if t.state != TDone {
+			return true
+		}
+	}
+	return false
+}
+
+// deliver hands pending event counts to waiting threads. Counts arriving
+// on channels nobody waits for are buffered (Ctx.Wait clears the domain's
+// counters, so the scheduler must hold them).
+func (s *Sched) deliver(evs []nemesis.Pending) {
+	for _, e := range evs {
+		ws := s.waiters[e.Ch]
+		if len(ws) == 0 {
+			s.buffered[e.Ch] += e.Count
+			continue
+		}
+		// First waiter gets the count; others stay waiting.
+		t := ws[0]
+		s.waiters[e.Ch] = ws[1:]
+		t.gotEvs += e.Count
+		t.state = TReady
+		s.ready = append(s.ready, t)
+	}
+}
+
+// park returns control to the scheduler loop.
+func (t *Thread) park() {
+	t.yielded <- struct{}{}
+	<-t.resume
+}
+
+// Consume burns CPU time. The underlying domain may be preempted and
+// rescheduled arbitrarily; the thread simply resumes when the domain
+// next runs it.
+func (t *Thread) Consume(d sim.Duration) {
+	t.checkCurrent()
+	t.sched.ctx.Consume(d)
+}
+
+// Now returns virtual time.
+func (t *Thread) Now() sim.Time { return t.sched.ctx.Now() }
+
+// Yield lets other ready threads (and, via the kernel, other domains) run.
+func (t *Thread) Yield() {
+	t.checkCurrent()
+	t.state = TReady
+	t.sched.ready = append(t.sched.ready, t)
+	t.park()
+}
+
+// WaitEvent blocks the thread until events arrive on ch, returning the
+// count. Buffered (earlier) events are consumed first.
+func (t *Thread) WaitEvent(ch *nemesis.EventChannel) int64 {
+	t.checkCurrent()
+	if n := t.sched.buffered[ch]; n > 0 {
+		t.sched.buffered[ch] = 0
+		return n
+	}
+	t.state = TWaiting
+	t.waitCh = ch
+	t.sched.waiters[ch] = append(t.sched.waiters[ch], t)
+	t.park()
+	n := t.gotEvs
+	t.gotEvs = 0
+	t.waitCh = nil
+	return n
+}
+
+// Send signals an event channel owned by this domain.
+func (t *Thread) Send(ch *nemesis.EventChannel, n int64) {
+	t.checkCurrent()
+	t.sched.ctx.Send(ch, n)
+}
+
+// Join blocks until other has exited.
+func (t *Thread) Join(other *Thread) {
+	t.checkCurrent()
+	if other.state == TDone {
+		return
+	}
+	t.state = TJoining
+	other.joinees = append(other.joinees, t)
+	t.park()
+}
+
+func (s *Sched) wakeJoiners(t *Thread) {
+	for _, j := range t.joinees {
+		j.state = TReady
+		s.ready = append(s.ready, j)
+	}
+	t.joinees = nil
+}
+
+func (t *Thread) checkCurrent() {
+	if t.sched.running != t {
+		panic(fmt.Sprintf("uthread: %v operated on while not running", t))
+	}
+}
+
+// Exit terminates the calling thread immediately.
+func (t *Thread) Exit() {
+	t.checkCurrent()
+	t.state = TDone
+	t.sched.wakeJoiners(t)
+	t.yielded <- struct{}{}
+	runtime.Goexit()
+}
