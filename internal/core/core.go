@@ -40,6 +40,12 @@ type SiteConfig struct {
 	FabricDelay sim.Duration
 	// SwitchCost is the kernel context-switch cost on workstations.
 	SwitchCost sim.Duration
+	// CellAccurate disables the batched AAL5 fast path on every link the
+	// site creates: cell trains are then transmitted cell by cell, which
+	// models cell-level interleaving under contention exactly at the
+	// cost of one event per cell. Leave it false for site-scale runs;
+	// see the fabric package docs for when cell-accurate mode matters.
+	CellAccurate bool
 }
 
 // DefaultSiteConfig matches the paper's testbed: 100 Mb/s links,
@@ -119,6 +125,10 @@ func (st *Site) Attach(name string) *Endpoint {
 	ep := &Endpoint{Port: port, Demux: dm}
 	ep.ToSwitch = fabric.NewLink(st.Sim, st.Config.LinkRate, st.Config.LinkDelay, 0, st.Switch.In(port))
 	ep.FromSwitch = fabric.NewLink(st.Sim, st.Config.LinkRate, st.Config.LinkDelay, 0, dm)
+	if st.Config.CellAccurate {
+		ep.ToSwitch.SetCellAccurate(true)
+		ep.FromSwitch.SetCellAccurate(true)
+	}
 	st.Switch.AttachOutput(port, ep.FromSwitch)
 	return ep
 }
@@ -212,6 +222,9 @@ func (w *Workstation) AttachDisplay(wpx, hpx int) (*devices.Display, *Endpoint) 
 	d := devices.NewDisplay(w.Site.Sim, wpx, hpx, 0)
 	// The display consumes everything arriving at its port.
 	ep.FromSwitch = fabric.NewLink(w.Site.Sim, w.Site.Config.LinkRate, w.Site.Config.LinkDelay, 0, d)
+	if w.Site.Config.CellAccurate {
+		ep.FromSwitch.SetCellAccurate(true)
+	}
 	w.Site.Switch.AttachOutput(ep.Port, ep.FromSwitch)
 	return d, ep
 }

@@ -208,8 +208,10 @@ func (c *Camera) emitBand(f *media.Frame, id uint32, y int, lastBand bool) {
 	}
 	if lastBand {
 		if c.cfg.FrameMode {
+			// The link takes ownership of the burst slice; start a fresh
+			// staging buffer for the next frame.
 			c.sendCells(c.pending)
-			c.pending = c.pending[:0]
+			c.pending = nil
 		}
 		c.sendCtrl(CtrlMsg{Kind: CtrlEOF, Stream: c.cfg.Stream, Seq: id, Timestamp: uint64(c.sim.Now())})
 		c.Stats.Frames++
@@ -218,10 +220,8 @@ func (c *Camera) emitBand(f *media.Frame, id uint32, y int, lastBand bool) {
 }
 
 func (c *Camera) sendCells(cells []atm.Cell) {
-	for _, cell := range cells {
-		c.out.Send(cell)
-	}
 	c.Stats.Cells += int64(len(cells))
+	c.out.SendBurst(cells)
 }
 
 func (c *Camera) sendCtrl(m CtrlMsg) {

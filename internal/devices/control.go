@@ -77,9 +77,7 @@ func SendCtrl(l *fabric.Link, vci atm.VCI, m CtrlMsg) {
 	if err != nil {
 		panic("devices: control message cannot exceed one AAL5 frame")
 	}
-	for _, c := range cells {
-		l.Send(c)
-	}
+	l.SendBurst(cells)
 }
 
 // Demux routes cells to per-circuit handlers; devices use it to separate
@@ -107,6 +105,28 @@ func (d *Demux) HandleCell(c atm.Cell) {
 	}
 	d.Unrouted++
 }
+
+// HandleBurst dispatches a whole cell train with one lookup (an AAL5
+// burst is single-VCI by construction). Burst-aware handlers get the
+// train intact; others receive it cell by cell.
+func (d *Demux) HandleBurst(b fabric.Burst) {
+	h, ok := d.routes[b.Cells[0].VCI]
+	if !ok {
+		d.Unrouted += int64(len(b.Cells))
+		return
+	}
+	if bh, ok := h.(fabric.BurstHandler); ok {
+		bh.HandleBurst(b)
+		return
+	}
+	for _, c := range b.Cells {
+		h.HandleCell(c)
+	}
+}
+
+// Registered reports the number of circuits with handlers — teardown
+// tests use it to prove no registrations leak.
+func (d *Demux) Registered() int { return len(d.routes) }
 
 // SyncGroup is the playback-control process of §2.2: it merges the
 // control streams of several related media streams at the rendering end

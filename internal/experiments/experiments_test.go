@@ -62,6 +62,9 @@ func TestE7LadderOrdering(t *testing.T) {
 }
 
 func TestE9StorageClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full storage harness in short mode")
+	}
 	r := experiments.E9SegmentIO()
 	oh := findRow(t, r, "seek+rotation overhead").Measured
 	if !strings.HasPrefix(oh, "5.") && !strings.HasPrefix(oh, "6.") &&
@@ -162,6 +165,9 @@ func TestE16ProtectionModes(t *testing.T) {
 }
 
 func TestE17TertiaryClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tape-library harness in short mode")
+	}
 	r := experiments.E17TertiaryStorage()
 	ratio := findRow(t, r, "data ingested vs disk capacity").Measured
 	if !strings.Contains(ratio, "4.0x") && !strings.Contains(ratio, "4.1x") {

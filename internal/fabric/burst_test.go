@@ -1,0 +1,77 @@
+package fabric
+
+import (
+	"testing"
+
+	"repro/internal/atm"
+	"repro/internal/sim"
+)
+
+// TestBurstMatchesCellAccurateUncontended: on an uncontended
+// link->switch->link path, the batched train's computed per-cell arrival
+// times must be identical to the exact cell-by-cell model's.
+func TestBurstMatchesCellAccurateUncontended(t *testing.T) {
+	run := func(batched bool) []sim.Time {
+		s := sim.New()
+		rec := NewRecorder(s)
+		out := NewLink(s, Rate100M, 3*sim.Microsecond, 0, rec)
+		sw := NewSwitch(s, "sw", 2, sim.Microsecond)
+		sw.AttachOutput(1, out)
+		in := NewLink(s, Rate100M, 2*sim.Microsecond, 0, sw.In(0))
+		sw.Route(0, 7, 1, 7)
+		cells, err := atm.Segment(7, 0, make([]byte, 480))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !batched {
+			in.SetCellAccurate(true)
+			out.SetCellAccurate(true)
+		}
+		in.SendBurst(cells)
+		s.Run()
+		return rec.Times
+	}
+	fast, exact := run(true), run(false)
+	if len(fast) == 0 || len(fast) != len(exact) {
+		t.Fatalf("delivered %d vs %d cells", len(fast), len(exact))
+	}
+	for i := range fast {
+		if fast[i] != exact[i] {
+			t.Fatalf("cell %d: batched arrival %v != cell-accurate %v", i, fast[i], exact[i])
+		}
+	}
+}
+
+// TestCellAccurateOutputPacedByArrival: forwarding a batched train onto
+// a cell-accurate output link that is faster than the input must not
+// deliver cells before they have even arrived at the switch.
+func TestCellAccurateOutputPacedByArrival(t *testing.T) {
+	s := sim.New()
+	rec := NewRecorder(s)
+	fast := NewLink(s, Rate960M, 0, 0, rec)
+	fast.SetCellAccurate(true)
+	sw := NewSwitch(s, "sw", 2, 0)
+	sw.AttachOutput(1, fast)
+	in := NewLink(s, Rate100M, 0, 0, sw.In(0))
+	sw.Route(0, 5, 1, 5)
+	cells, err := atm.Segment(5, 0, make([]byte, 480))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(cells)
+	in.SendBurst(cells)
+	s.Run()
+	if len(rec.Times) != n {
+		t.Fatalf("delivered %d cells, want %d", len(rec.Times), n)
+	}
+	ctIn, ctOut := in.CellTime(), fast.CellTime()
+	for k, at := range rec.Times {
+		// Cell k clears the input serialiser at (k+1)*ctIn; the fast
+		// output cannot finish retransmitting it any earlier than one
+		// of its own cell times after that.
+		if earliest := sim.Time(k+1)*ctIn + ctOut; at < earliest {
+			t.Fatalf("cell %d delivered at %v, before its earliest possible %v (causality)",
+				k, at, earliest)
+		}
+	}
+}

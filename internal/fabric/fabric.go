@@ -3,10 +3,27 @@
 // and propagation delay, and Fairisle-style ATM switches with per-port
 // virtual-circuit routing tables and output queueing.
 //
-// The model is cell-accurate: every cell is serialised onto a link for
+// The model is cell-accurate: every cell occupies a link for
 // 424 bits / rate seconds of virtual time, and contention for an output
 // port appears as queueing delay, exactly the mechanism behind the paper's
-// latency and jitter arguments.
+// latency and jitter arguments. Per-cell timing is computed
+// arithmetically rather than with one simulator event per transition:
+// a cell costs one delivery event end to end per link, and a whole AAL5
+// cell train sent with SendBurst costs one delivery event per link
+// regardless of length — the batching that lets site-scale runs model
+// hundreds of concurrent streams.
+//
+// Burst semantics: a burst's cells arrive back to back at First,
+// First+Gap, First+2*Gap, ... and the delivery callback runs at the last
+// cell's arrival instant. On an uncontended path the computed per-cell
+// times are identical to the cell-by-cell model (cut-through switching
+// included). Under output-port contention the burst reserves its output
+// link as one unit, a conservative approximation: competing traffic
+// waits for the whole train rather than interleaving cell by cell.
+// Experiments that measure cell-level interleaving under contention
+// should call SetCellAccurate(true) on the links in the contended path
+// (or keep using Send, which is always exact), at the cost of one event
+// per cell.
 package fabric
 
 import (
@@ -27,6 +44,24 @@ type HandlerFunc func(atm.Cell)
 // HandleCell calls f(c).
 func (f HandlerFunc) HandleCell(c atm.Cell) { f(c) }
 
+// Burst is an AAL5 cell train delivered as one unit. Cells[i] arrives at
+// First + i*Gap; the delivering event fires at the last cell's arrival.
+type Burst struct {
+	Cells []atm.Cell
+	First sim.Time
+	Gap   sim.Duration
+}
+
+// BurstHandler is implemented by sinks that can consume a whole cell
+// train in one call. Sinks that only implement Handler still work: the
+// link unrolls the burst cell by cell at the last cell's arrival
+// instant, which preserves frame-level timing (AAL5 consumers act on
+// frame completion, which is the last cell) but collapses the
+// intermediate cells' arrival times to that instant.
+type BurstHandler interface {
+	HandleBurst(b Burst)
+}
+
 // Common link rates (bits per second). The Pegasus testbed ran 100 Mb/s
 // TAXI links; the display's framebuffer port runs at 960 Mb/s (Fig 3).
 const (
@@ -42,18 +77,45 @@ type LinkStats struct {
 	Dropped   int64 // cells lost to queue overflow
 }
 
+// delivery is a serialised transmission unit awaiting its arrival event.
+// first and gap are only meaningful for bursts: a single cell's arrival
+// time is its delivery event's fire time.
+type delivery struct {
+	cell  atm.Cell
+	burst []atm.Cell // non-nil for a burst unit
+	first sim.Time   // arrival time of the first cell at the sink
+	gap   sim.Duration
+}
+
 // Link is a unidirectional cell pipe with serialisation delay, propagation
-// delay and a bounded output queue.
+// delay and a bounded transmit queue.
+//
+// The transmit schedule is kept as arithmetic (freeAt) rather than as a
+// queue of events: accepting a cell or a burst immediately computes when
+// its serialisation completes and schedules the single delivery event.
 type Link struct {
 	sim   *sim.Sim
 	rate  int64 // bits per second
+	ct    sim.Duration
 	prop  sim.Duration
 	limit int // max queued cells; 0 means unbounded
 	sink  Handler
+	bsink BurstHandler // non-nil when sink understands bursts
 
-	queue []atm.Cell
-	head  int
-	busy  bool
+	cellAccurate bool
+
+	// freeAt is when the serialiser finishes everything accepted so far.
+	freeAt sim.Time
+	// pending counts cells accepted but not yet delivered.
+	pending int
+
+	// flight holds accepted units in serialisation order; the delivery
+	// events pop them FIFO (delivery times are monotonic by
+	// construction).
+	flight []delivery
+	head   int
+
+	deliverF func() // bound once to avoid per-cell closures
 
 	Stats LinkStats
 }
@@ -68,56 +130,164 @@ func NewLink(s *sim.Sim, rate int64, prop sim.Duration, capacity int, sink Handl
 	if sink == nil {
 		panic("fabric: link needs a sink")
 	}
-	return &Link{sim: s, rate: rate, prop: prop, limit: capacity, sink: sink}
+	l := &Link{sim: s, rate: rate, prop: prop, limit: capacity, sink: sink}
+	l.ct = sim.Duration(int64(atm.CellSize*8) * int64(sim.Second) / rate)
+	l.bsink, _ = sink.(BurstHandler)
+	l.deliverF = l.deliverNext
+	return l
 }
 
 // CellTime is the serialisation time of one 53-byte cell on this link.
-func (l *Link) CellTime() sim.Duration {
-	return sim.Duration(int64(atm.CellSize*8) * int64(sim.Second) / l.rate)
-}
+func (l *Link) CellTime() sim.Duration { return l.ct }
 
 // Rate reports the link bit rate.
 func (l *Link) Rate() int64 { return l.rate }
 
+// SetCellAccurate forces SendBurst on this link to degrade to exact
+// cell-by-cell transmission — the opt-out for experiments that need
+// cell-level contention and interleaving to be modelled exactly. Set it
+// on every link of the contended path; Send is always exact regardless.
+func (l *Link) SetCellAccurate(v bool) { l.cellAccurate = v }
+
+// CellAccurate reports whether the batched fast path is disabled.
+func (l *Link) CellAccurate() bool { return l.cellAccurate }
+
 // QueueLen reports cells waiting to be serialised (excluding the one on
-// the wire).
-func (l *Link) QueueLen() int { return len(l.queue) - l.head }
+// the wire). With nonzero propagation delay, cells still propagating
+// count too: the schedule is arithmetic, so the link only learns a cell
+// is done at delivery.
+func (l *Link) QueueLen() int {
+	if l.pending > 0 {
+		return l.pending - 1
+	}
+	return 0
+}
 
 // Send queues a cell for transmission. Cells beyond the queue capacity
 // are dropped and counted.
 func (l *Link) Send(c atm.Cell) {
-	if l.limit > 0 && l.QueueLen() >= l.limit {
-		l.Stats.Dropped++
-		return
-	}
-	l.Stats.Sent++
-	l.queue = append(l.queue, c)
-	if !l.busy {
-		l.transmit()
-	}
+	l.sendCellEarliest(&c, l.sim.Now())
 }
 
-func (l *Link) transmit() {
-	if l.head >= len(l.queue) {
-		l.queue = l.queue[:0]
-		l.head = 0
-		l.busy = false
+// slot extends the flight ring by one entry and returns it for the
+// caller to fill. Recycled entries always have a nil burst pointer
+// (cleared at delivery), so a single-cell unit only writes the cell.
+func (l *Link) slot() *delivery {
+	if len(l.flight) < cap(l.flight) {
+		l.flight = l.flight[:len(l.flight)+1]
+	} else {
+		l.flight = append(l.flight, delivery{})
+	}
+	return &l.flight[len(l.flight)-1]
+}
+
+// SendBurst queues a whole AAL5 cell train (one Segment result: uniform
+// VCI) as a single transmission unit costing one event. The link takes
+// ownership of the slice. On a cell-accurate link it degrades to Send
+// per cell.
+//
+// A capacity limit applies to the train all-or-nothing: the whole burst
+// is accepted while pending cells are within the limit (briefly
+// overshooting it by the train length) and dropped whole otherwise —
+// unlike the exact per-cell model, which drops exactly the overflow.
+// Bounded-queue overflow experiments should use cell-accurate mode.
+func (l *Link) SendBurst(cells []atm.Cell) {
+	l.sendBurstShaped(cells, l.sim.Now(), 0)
+}
+
+// sendBurstShaped queues a cell train whose cells become available for
+// serialisation at earliest, earliest+gap, ... — how a switch forwards a
+// train that is still arriving on an input link (cut-through). earliest
+// may be in the past relative to the current instant (the train started
+// arriving before its last cell landed); the arithmetic keeps every
+// computed time consistent and every scheduled event in the future.
+func (l *Link) sendBurstShaped(cells []atm.Cell, earliest sim.Time, gap sim.Duration) {
+	n := len(cells)
+	if n == 0 {
 		return
 	}
-	l.busy = true
-	c := l.queue[l.head]
+	if l.cellAccurate {
+		now := l.sim.Now()
+		if gap <= 0 && earliest <= now {
+			// Origin send: the whole train is available now.
+			for _, c := range cells {
+				l.Send(c)
+			}
+			return
+		}
+		// Forwarded train: cell i only clears the upstream fabric at
+		// earliest + i*gap; pace the Sends so a faster output link
+		// cannot transmit cells before they have arrived.
+		for i := range cells {
+			ti := earliest + sim.Time(i)*gap
+			if ti <= now {
+				l.Send(cells[i])
+			} else {
+				c := cells[i]
+				l.sim.Post(ti, func() { l.Send(c) })
+			}
+		}
+		return
+	}
+	if l.limit > 0 && l.pending > l.limit {
+		l.Stats.Dropped += int64(n)
+		return
+	}
+	l.Stats.Sent += int64(n)
+	start := l.freeAt
+	if earliest > start {
+		start = earliest
+	}
+	g := l.ct
+	if gap > g {
+		g = gap // arrival-paced: a faster output can't outrun the input
+	}
+	firstEnd := start + l.ct
+	end := firstEnd + sim.Duration(n-1)*g
+	l.freeAt = end
+	l.pending += n
+	d := l.slot()
+	d.burst, d.first, d.gap = cells, firstEnd+l.prop, g
+	l.sim.Post(end+l.prop, l.deliverF)
+}
+
+// deliverNext hands the oldest in-flight unit to the sink. Delivery
+// events fire in FIFO order, so the front of the ring is always the one
+// due now.
+func (l *Link) deliverNext() {
+	d := &l.flight[l.head]
 	l.head++
-	if l.head > 1024 && l.head*2 > len(l.queue) {
-		l.queue = append(l.queue[:0], l.queue[l.head:]...)
+	if d.burst != nil {
+		n := len(d.burst)
+		l.pending -= n
+		l.Stats.Delivered += int64(n)
+		cells := d.burst
+		d.burst = nil // release for GC; payload bytes may stay behind
+		if l.bsink != nil {
+			l.bsink.HandleBurst(Burst{Cells: cells, First: d.first, Gap: d.gap})
+		} else {
+			for _, c := range cells {
+				l.sink.HandleCell(c)
+			}
+		}
+	} else {
+		l.pending--
+		l.Stats.Delivered++
+		l.sink.HandleCell(d.cell)
+	}
+	if l.head == len(l.flight) {
+		l.flight = l.flight[:0]
+		l.head = 0
+	} else if l.head > 1024 && l.head*2 > len(l.flight) {
+		n := copy(l.flight, l.flight[l.head:])
+		// Clear vacated slots: slot() reuses them without zeroing and
+		// relies on burst pointers being nil.
+		for i := n; i < len(l.flight); i++ {
+			l.flight[i].burst = nil
+		}
+		l.flight = l.flight[:n]
 		l.head = 0
 	}
-	l.sim.After(l.CellTime(), func() {
-		l.sim.After(l.prop, func() {
-			l.Stats.Delivered++
-			l.sink.HandleCell(c)
-		})
-		l.transmit()
-	})
 }
 
 // routeKey identifies an incoming circuit at a switch.
@@ -151,6 +321,11 @@ type Switch struct {
 	fabricDelay sim.Duration
 	outputs     []*Link
 	routes      map[routeKey][]routeVal
+
+	// One-entry route cache: streams are bursty, so consecutive cells
+	// overwhelmingly share a circuit. Invalidated by Route/Unroute.
+	cacheKey routeKey
+	cacheVal []routeVal
 
 	Stats SwitchStats
 }
@@ -188,11 +363,21 @@ func (sw *Switch) Output(port int) *Link {
 	return sw.outputs[port]
 }
 
+// portIn is the receive side of one switch port; it understands both
+// single cells and bursts.
+type portIn struct {
+	sw   *Switch
+	port int
+}
+
+func (p *portIn) HandleCell(c atm.Cell) { p.sw.receive(p.port, &c) }
+func (p *portIn) HandleBurst(b Burst)   { p.sw.receiveBurst(p.port, b) }
+
 // In returns the handler for cells arriving on the given input port; wire
 // it as the sink of the link feeding this switch.
 func (sw *Switch) In(port int) Handler {
 	sw.checkPort(port)
-	return HandlerFunc(func(c atm.Cell) { sw.receive(port, c) })
+	return &portIn{sw: sw, port: port}
 }
 
 // Route installs a routing entry: cells arriving on inPort with circuit
@@ -205,6 +390,7 @@ func (sw *Switch) Route(inPort int, inVCI atm.VCI, outPort int, outVCI atm.VCI) 
 	sw.checkPort(outPort)
 	k := routeKey{inPort, inVCI}
 	sw.routes[k] = append(sw.routes[k], routeVal{outPort, outVCI})
+	sw.cacheVal = nil
 }
 
 // Unroute removes a routing entry; it reports whether one existed.
@@ -212,6 +398,7 @@ func (sw *Switch) Unroute(inPort int, inVCI atm.VCI) bool {
 	k := routeKey{inPort, inVCI}
 	_, ok := sw.routes[k]
 	delete(sw.routes, k)
+	sw.cacheVal = nil
 	return ok
 }
 
@@ -221,26 +408,113 @@ func (sw *Switch) Routed(inPort int, inVCI atm.VCI) bool {
 	return ok
 }
 
-func (sw *Switch) receive(port int, c atm.Cell) {
-	leaves, ok := sw.routes[routeKey{port, c.VCI}]
-	if !ok {
+// Leaves reports the number of output legs routed for a circuit — the
+// fan-out of a point-to-multipoint entry, used by teardown tests to
+// prove no duplicate leaves leak.
+func (sw *Switch) Leaves(inPort int, inVCI atm.VCI) int {
+	return len(sw.routes[routeKey{inPort, inVCI}])
+}
+
+// RouteEntries reports the number of installed routing-table entries.
+func (sw *Switch) RouteEntries() int { return len(sw.routes) }
+
+// lookup resolves a circuit through the one-entry cache.
+func (sw *Switch) lookup(k routeKey) []routeVal {
+	if sw.cacheVal != nil && sw.cacheKey == k {
+		return sw.cacheVal
+	}
+	leaves := sw.routes[k]
+	if leaves != nil {
+		sw.cacheKey, sw.cacheVal = k, leaves
+	}
+	return leaves
+}
+
+func (sw *Switch) receive(port int, c *atm.Cell) {
+	leaves := sw.lookup(routeKey{port, c.VCI})
+	if leaves == nil {
 		sw.Stats.Unrouted++
 		return
 	}
-	for _, v := range leaves {
+	// The fabric transit delay folds into the output link's earliest
+	// serialisation start — no event per cell.
+	earliest := sw.sim.Now() + sw.fabricDelay
+	if len(leaves) == 1 {
+		v := &leaves[0]
+		out := sw.outputs[v.port]
+		if out == nil {
+			sw.Stats.NoOutport++
+			return
+		}
+		inVCI := c.VCI
+		c.VCI = v.vci
+		sw.Stats.Switched++
+		out.sendCellEarliest(c, earliest)
+		c.VCI = inVCI
+		return
+	}
+	for i := range leaves {
+		v := &leaves[i]
 		out := sw.outputs[v.port]
 		if out == nil {
 			sw.Stats.NoOutport++
 			continue
 		}
-		cc := c
+		cc := *c
 		cc.VCI = v.vci
 		sw.Stats.Switched++
-		if sw.fabricDelay > 0 {
-			sw.sim.After(sw.fabricDelay, func() { out.Send(cc) })
-		} else {
-			out.Send(cc)
+		out.sendCellEarliest(&cc, earliest)
+	}
+}
+
+// sendCellEarliest is Send with a lower bound on the serialisation start
+// (the switch's fabric transit delay). The cell is copied into the
+// flight ring; the pointer is not retained.
+func (l *Link) sendCellEarliest(c *atm.Cell, earliest sim.Time) {
+	if l.limit > 0 && l.pending > l.limit {
+		l.Stats.Dropped++
+		return
+	}
+	l.Stats.Sent++
+	start := l.freeAt
+	if earliest > start {
+		start = earliest
+	}
+	end := start + l.ct
+	l.freeAt = end
+	l.pending++
+	l.slot().cell = *c
+	l.sim.Post(end+l.prop, l.deliverF)
+}
+
+func (sw *Switch) receiveBurst(port int, b Burst) {
+	n := len(b.Cells)
+	leaves := sw.lookup(routeKey{port, b.Cells[0].VCI})
+	if leaves == nil {
+		sw.Stats.Unrouted += int64(n)
+		return
+	}
+	for i, v := range leaves {
+		out := sw.outputs[v.port]
+		if out == nil {
+			sw.Stats.NoOutport += int64(n)
+			continue
 		}
+		cells := b.Cells
+		if i > 0 {
+			// Additional leaves need their own copy of the train.
+			cells = append([]atm.Cell(nil), b.Cells...)
+		}
+		if v.vci != cells[0].VCI {
+			for j := range cells {
+				cells[j].VCI = v.vci
+			}
+		}
+		sw.Stats.Switched += int64(n)
+		// Cut-through: the k-th cell clears the fabric at its own
+		// arrival + fabricDelay; the output link's pacing floor is the
+		// input spacing.
+		out.sendBurstShaped(cells, b.First+sw.fabricDelay, b.Gap)
 	}
 }
 
@@ -251,7 +525,9 @@ func (sw *Switch) checkPort(p int) {
 }
 
 // Recorder is a Handler that records delivery times, used by tests and by
-// the experiment harnesses to measure end-to-end cell latency.
+// the experiment harnesses to measure end-to-end cell latency. It is
+// burst-aware: cells of a burst are recorded with their computed
+// arrival times, so cell-level measurements stay exact on the fast path.
 type Recorder struct {
 	sim   *sim.Sim
 	Cells []atm.Cell
@@ -265,4 +541,13 @@ func NewRecorder(s *sim.Sim) *Recorder { return &Recorder{sim: s} }
 func (r *Recorder) HandleCell(c atm.Cell) {
 	r.Cells = append(r.Cells, c)
 	r.Times = append(r.Times, r.sim.Now())
+}
+
+// HandleBurst records every cell of the train with its arithmetic
+// arrival time.
+func (r *Recorder) HandleBurst(b Burst) {
+	for i, c := range b.Cells {
+		r.Cells = append(r.Cells, c)
+		r.Times = append(r.Times, b.First+sim.Time(i)*b.Gap)
+	}
 }

@@ -1,0 +1,477 @@
+// Package loadgen is the site-scale load generator and scoreboard: it
+// admits N workstations × M streams through the signalling manager
+// (videophone mesh, or VoD fan-out from storage servers), runs them for
+// simulated seconds on the batched fabric fast path, and reports
+// events/sec, cells/sec, admission verdicts and latency/jitter
+// percentiles — the scaling numbers every performance PR is measured
+// against.
+//
+// Streams are synthetic CBR frame sources (a fixed AAL5 payload at a
+// fixed frame rate, stamped with the emission instant) rather than full
+// camera devices: the point is to stress the event kernel, fabric and
+// signalling layers at populations the pixel pipeline would drown out.
+package loadgen
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"repro/internal/atm"
+	"repro/internal/core"
+	"repro/internal/devices"
+	"repro/internal/fabric"
+	"repro/internal/netsig"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Pattern selects the traffic topology.
+type Pattern int
+
+// Traffic patterns.
+const (
+	// Mesh is the videophone pattern: every workstation sends M streams
+	// to M distinct peers, one circuit per stream.
+	Mesh Pattern = iota
+	// VoD is the video-on-demand pattern: storage servers publish
+	// titles on point-to-multipoint circuits and every workstation
+	// subscribes to M of them (the switch fans the cells out; the
+	// server sends each title once).
+	VoD
+)
+
+func (p Pattern) String() string {
+	switch p {
+	case Mesh:
+		return "mesh"
+	case VoD:
+		return "vod"
+	}
+	return fmt.Sprintf("pattern(%d)", int(p))
+}
+
+// Config parameterises a load-generation scenario.
+type Config struct {
+	Pattern      Pattern
+	Workstations int // N stations (mesh: senders+receivers; vod: viewers)
+	StreamsPerWS int // M streams admitted per station
+
+	// Servers is the storage-server count for VoD (default: one per 16
+	// workstations). Each server publishes StreamsPerWS titles.
+	Servers int
+
+	// FrameBytes is the AAL5 payload per frame (default 960; min 16 for
+	// the timestamp header). FrameHz is the per-stream frame rate
+	// (default 100).
+	FrameBytes int
+	FrameHz    int
+
+	// PeakRate is the admitted peak bits/s per stream leg; 0 derives
+	// ~1.25x the wire demand of FrameBytes×FrameHz.
+	PeakRate int64
+
+	// Duration is the simulated run length (default 1 virtual second).
+	Duration sim.Duration
+
+	// LinkRate overrides the site's link bit rate (default 100 Mb/s).
+	LinkRate int64
+
+	// CellAccurate disables the batched fabric fast path (one event per
+	// cell — the exact model, for validation runs).
+	CellAccurate bool
+}
+
+func (c *Config) setDefaults() {
+	if c.Workstations == 0 {
+		c.Workstations = 8
+	}
+	if c.StreamsPerWS == 0 {
+		c.StreamsPerWS = 4
+	}
+	if c.Servers == 0 {
+		c.Servers = (c.Workstations + 15) / 16
+	}
+	if c.FrameBytes == 0 {
+		c.FrameBytes = 960
+	}
+	if c.FrameBytes < headerSize {
+		c.FrameBytes = headerSize
+	}
+	if c.FrameHz == 0 {
+		c.FrameHz = 100
+	}
+	if c.PeakRate == 0 {
+		wire := int64(atm.CellsFor(c.FrameBytes)) * int64(atm.CellSize*8) * int64(c.FrameHz)
+		c.PeakRate = wire * 5 / 4
+	}
+	if c.Duration == 0 {
+		c.Duration = sim.Second
+	}
+	if c.LinkRate == 0 {
+		c.LinkRate = fabric.Rate100M
+	}
+}
+
+// Result is the scoreboard of one run.
+type Result struct {
+	Config Config
+
+	Admitted int // stream legs admitted by signalling
+	Rejected int // stream legs refused by admission control
+	TornDown int // teardowns performed (churn)
+
+	FramesSent      int64
+	FramesDelivered int64
+	CellsDelivered  int64
+	EventsFired     int64
+
+	SimSeconds  float64
+	WallSeconds float64
+
+	// Wall-clock simulator throughput: the scaling numbers.
+	EventsPerSec float64
+	CellsPerSec  float64
+
+	// Frame delivery latency (emission to last-cell arrival) and
+	// completion jitter (|inter-arrival − frame period|), nanoseconds of
+	// virtual time.
+	LatencyP50, LatencyP99, LatencyMax float64
+	JitterP50, JitterP99               float64
+}
+
+// String renders the scoreboard.
+func (r Result) String() string {
+	return fmt.Sprintf(
+		"pegload %s: ws=%d streams/ws=%d admitted=%d rejected=%d torndown=%d\n"+
+			"  sim %.2fs: %d frames sent, %d delivered, %d cells, %d events\n"+
+			"  wall %.2fs: %.2fM events/s, %.2fM cells/s\n"+
+			"  latency p50=%v p99=%v max=%v\n"+
+			"  jitter  p50=%v p99=%v",
+		r.Config.Pattern, r.Config.Workstations, r.Config.StreamsPerWS,
+		r.Admitted, r.Rejected, r.TornDown,
+		r.SimSeconds, r.FramesSent, r.FramesDelivered, r.CellsDelivered, r.EventsFired,
+		r.WallSeconds, r.EventsPerSec/1e6, r.CellsPerSec/1e6,
+		sim.Duration(r.LatencyP50), sim.Duration(r.LatencyP99), sim.Duration(r.LatencyMax),
+		sim.Duration(r.JitterP50), sim.Duration(r.JitterP99))
+}
+
+// Frame payload header: emission timestamp + sequence + magic.
+const (
+	headerSize = 16
+	magic      = 0x5045474c // "PEGL"
+)
+
+// source is a CBR frame generator on one circuit.
+type source struct {
+	sim     *sim.Sim
+	out     *fabric.Link
+	vci     atm.VCI
+	period  sim.Duration
+	payload []byte
+	seq     uint32
+	running bool
+	chained bool
+	sent    *int64 // scenario-wide counter
+}
+
+func (s *source) start(phase sim.Duration) {
+	s.running = true
+	if !s.chained {
+		s.chained = true
+		s.sim.PostAfter(phase, s.tick)
+	}
+}
+
+func (s *source) stop() { s.running = false }
+
+func (s *source) tick() {
+	if !s.running {
+		s.chained = false
+		return
+	}
+	binary.BigEndian.PutUint64(s.payload[0:], uint64(s.sim.Now()))
+	binary.BigEndian.PutUint32(s.payload[8:], s.seq)
+	binary.BigEndian.PutUint32(s.payload[12:], magic)
+	s.seq++
+	cells, err := atm.Segment(s.vci, devices.UUData, s.payload)
+	if err != nil {
+		panic("loadgen: frame exceeds AAL5 limit")
+	}
+	s.out.SendBurst(cells)
+	*s.sent++
+	s.sim.PostAfter(s.period, s.tick)
+}
+
+// sink measures one stream leg at its receiving endpoint. It is
+// burst-aware (one callback per frame on the fast path) and falls back
+// to per-cell reassembly bookkeeping in cell-accurate mode; both paths
+// observe identical frame-completion times.
+type sink struct {
+	sc     *Scenario
+	period sim.Duration
+
+	haveLast sim.Time
+	started  bool
+
+	// cell-accurate reassembly state: emission stamp of the frame in
+	// progress (cells arrive in order on a VC).
+	midFrame bool
+	stamp    sim.Time
+	cells    int
+}
+
+func (k *sink) frameDone(stamp sim.Time, ncells int) {
+	now := k.sc.site.Sim.Now()
+	k.sc.framesDelivered++
+	k.sc.cellsDelivered += int64(ncells)
+	k.sc.latency.Add(float64(now - stamp))
+	if k.started {
+		j := float64((now - k.haveLast) - k.period)
+		if j < 0 {
+			j = -j
+		}
+		k.sc.jitter.Add(j)
+	}
+	k.started = true
+	k.haveLast = now
+}
+
+func (k *sink) HandleBurst(b fabric.Burst) {
+	stamp := sim.Time(binary.BigEndian.Uint64(b.Cells[0].Payload[0:]))
+	k.frameDone(stamp, len(b.Cells))
+}
+
+func (k *sink) HandleCell(c atm.Cell) {
+	if !k.midFrame {
+		k.stamp = sim.Time(binary.BigEndian.Uint64(c.Payload[0:]))
+		k.midFrame = true
+		k.cells = 0
+	}
+	k.cells++
+	if c.EndOfFrame() {
+		k.midFrame = false
+		k.frameDone(k.stamp, k.cells)
+	}
+}
+
+// Stream is one admitted circuit: a source endpoint, one or more
+// destination legs, and the signalling state to tear it down and
+// re-admit it (churn).
+type Stream struct {
+	sc    *Scenario
+	src   *source
+	from  *core.Endpoint
+	dsts  []*core.Endpoint
+	circ  *netsig.Circuit
+	phase sim.Duration
+}
+
+// Down reports whether the stream is currently torn down.
+func (st *Stream) Down() bool { return st.circ == nil }
+
+// VCI reports the stream's current circuit number (0 when down).
+func (st *Stream) VCI() atm.VCI {
+	if st.circ == nil {
+		return 0
+	}
+	return st.circ.VCI
+}
+
+// Stop tears the stream down end to end: the source stops emitting, the
+// circuit is released (freeing its admitted rate and switch routes) and
+// every destination demux registration is removed.
+func (st *Stream) Stop() error {
+	if st.circ == nil {
+		return nil
+	}
+	st.src.stop()
+	if err := st.sc.site.Signalling.TearDown(st.circ.ID); err != nil {
+		return err
+	}
+	for _, d := range st.dsts {
+		d.Demux.Unregister(st.circ.VCI)
+	}
+	st.circ = nil
+	st.sc.tornDown++
+	return nil
+}
+
+// establish admits the stream's circuit and wires its sinks, without
+// starting the source.
+func (st *Stream) establish() error {
+	if st.circ != nil {
+		return nil
+	}
+	ports := make([]int, len(st.dsts))
+	for i, d := range st.dsts {
+		ports[i] = d.Port
+	}
+	circ, err := st.sc.site.Signalling.Establish(st.from.Port, ports, st.sc.cfg.PeakRate, false)
+	if err != nil {
+		st.sc.rejected += len(ports)
+		return err
+	}
+	st.circ = circ
+	for _, d := range st.dsts {
+		d.Demux.Register(circ.VCI, &sink{sc: st.sc, period: st.src.period})
+	}
+	st.sc.admitted += len(ports)
+	st.src.vci = circ.VCI
+	return nil
+}
+
+// Restart re-admits a stopped stream: a fresh circuit (new VCI) through
+// admission control, new demux registrations, and the source resumes.
+func (st *Stream) Restart() error {
+	if err := st.establish(); err != nil {
+		return err
+	}
+	st.src.start(st.phase)
+	return nil
+}
+
+// Scenario is a built site plus its admitted streams, ready to run.
+type Scenario struct {
+	cfg  Config
+	site *core.Site
+
+	// Servers are the VoD storage nodes (nil for mesh).
+	Servers []*core.StorageServer
+
+	streams []*Stream
+
+	admitted, rejected, tornDown int
+	framesSent                   int64
+	framesDelivered              int64
+	cellsDelivered               int64
+	latency, jitter              stats.Sample
+}
+
+// Site exposes the underlying site (switch, signalling) for assertions.
+func (sc *Scenario) Site() *core.Site { return sc.site }
+
+// Streams exposes the admitted streams for churn driving.
+func (sc *Scenario) Streams() []*Stream { return sc.streams }
+
+// Build constructs the site, admits every stream through signalling and
+// wires sources and measuring sinks. Sources are not yet started.
+func Build(cfg Config) *Scenario {
+	cfg.setDefaults()
+	sc := &Scenario{cfg: cfg}
+
+	n, m := cfg.Workstations, cfg.StreamsPerWS
+	siteCfg := core.DefaultSiteConfig()
+	siteCfg.LinkRate = cfg.LinkRate
+	siteCfg.CellAccurate = cfg.CellAccurate
+	switch cfg.Pattern {
+	case Mesh:
+		siteCfg.Ports = 2 * n
+	case VoD:
+		siteCfg.Ports = n + cfg.Servers
+	}
+	sc.site = core.NewSite(siteCfg)
+
+	switch cfg.Pattern {
+	case Mesh:
+		srcEPs := make([]*core.Endpoint, n)
+		dstEPs := make([]*core.Endpoint, n)
+		for i := 0; i < n; i++ {
+			srcEPs[i] = sc.site.Attach(fmt.Sprintf("ws%d.cam", i))
+			dstEPs[i] = sc.site.Attach(fmt.Sprintf("ws%d.disp", i))
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < m; j++ {
+				peer := (i + 1 + j%max(n-1, 1)) % n
+				sc.addStream(srcEPs[i], []*core.Endpoint{dstEPs[peer]}, i*m+j)
+			}
+		}
+	case VoD:
+		viewers := make([]*core.Endpoint, n)
+		for i := 0; i < n; i++ {
+			viewers[i] = sc.site.Attach(fmt.Sprintf("viewer%d", i))
+		}
+		sc.Servers = make([]*core.StorageServer, cfg.Servers)
+		for s := range sc.Servers {
+			sc.Servers[s] = sc.site.NewStorageServer(fmt.Sprintf("vod%d", s), 64<<10, 64)
+		}
+		// Each server publishes m titles; every viewer subscribes to m
+		// titles spread across the catalogue; the switch fans each
+		// title's single transmission out to its subscribers.
+		titles := cfg.Servers * m
+		subs := make([][]*core.Endpoint, titles)
+		for i := 0; i < n; i++ {
+			for j := 0; j < m; j++ {
+				t := (i*m + j) % titles
+				subs[t] = append(subs[t], viewers[i])
+			}
+		}
+		for t, legs := range subs {
+			if len(legs) == 0 {
+				continue
+			}
+			sc.addStream(sc.Servers[t%cfg.Servers].Net, legs, t)
+		}
+	}
+	return sc
+}
+
+// addStream admits one circuit (possibly multi-leaf) and wires it.
+func (sc *Scenario) addStream(from *core.Endpoint, dsts []*core.Endpoint, idx int) {
+	period := sim.Second / sim.Duration(sc.cfg.FrameHz)
+	st := &Stream{
+		sc:   sc,
+		from: from,
+		dsts: dsts,
+		// Spread stream phases deterministically across the frame period
+		// so the site doesn't emit every frame on the same instant.
+		phase: sim.Duration(int64(idx)*7919) % period,
+		src: &source{
+			sim:     sc.site.Sim,
+			out:     from.ToSwitch,
+			period:  period,
+			payload: make([]byte, sc.cfg.FrameBytes),
+			sent:    &sc.framesSent,
+		},
+	}
+	sc.streams = append(sc.streams, st)
+	st.establish()
+}
+
+// Run starts every admitted source, advances the simulation by the
+// configured duration and returns the scoreboard.
+func (sc *Scenario) Run() Result {
+	for _, st := range sc.streams {
+		if st.circ != nil {
+			st.src.start(st.phase)
+		}
+	}
+	wall := time.Now()
+	sc.site.Sim.RunFor(sc.cfg.Duration)
+	return sc.collect(time.Since(wall))
+}
+
+func (sc *Scenario) collect(wall time.Duration) Result {
+	r := Result{
+		Config:          sc.cfg,
+		Admitted:        sc.admitted,
+		Rejected:        sc.rejected,
+		TornDown:        sc.tornDown,
+		FramesSent:      sc.framesSent,
+		FramesDelivered: sc.framesDelivered,
+		CellsDelivered:  sc.cellsDelivered,
+		EventsFired:     sc.site.Sim.Fired(),
+		SimSeconds:      sc.site.Sim.Now().Seconds(),
+		WallSeconds:     wall.Seconds(),
+		LatencyP50:      sc.latency.Quantile(0.5),
+		LatencyP99:      sc.latency.Quantile(0.99),
+		LatencyMax:      sc.latency.Max(),
+		JitterP50:       sc.jitter.Quantile(0.5),
+		JitterP99:       sc.jitter.Quantile(0.99),
+	}
+	if r.WallSeconds > 0 {
+		r.EventsPerSec = float64(r.EventsFired) / r.WallSeconds
+		r.CellsPerSec = float64(r.CellsDelivered) / r.WallSeconds
+	}
+	return r
+}

@@ -72,9 +72,7 @@ func (t *Transport) SendFrame(vci atm.VCI, payload []byte) error {
 	if err != nil {
 		return err
 	}
-	for _, c := range cells {
-		t.out.Send(c)
-	}
+	t.out.SendBurst(cells)
 	t.Stats.FramesOut++
 	return nil
 }

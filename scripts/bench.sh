@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# bench.sh — run the full benchmark suite and emit a dated JSON record so
+# the performance trajectory is tracked per PR.
+#
+# Usage: scripts/bench.sh [output.json]
+#
+# The E1–E18 experiment benchmarks each run a whole harness, so they run
+# once (-benchtime 1x); the substrate micro-benchmarks (sim engine, cell
+# switching, codec, ...) run time-based for stable ns/op. Override with
+# E_BENCHTIME / MICRO_BENCHTIME.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=${1:-BENCH_$(date +%Y-%m-%d).json}
+e_benchtime=${E_BENCHTIME:-1x}
+micro_benchtime=${MICRO_BENCHTIME:-1s}
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+echo "== experiment suite (E1-E18, -benchtime $e_benchtime)" >&2
+go test -run '^$' -bench '^BenchmarkE[0-9]+' -benchtime "$e_benchtime" \
+    -timeout 30m . | tee "$tmp/e.txt" >&2
+
+echo "== substrate micro-benchmarks (-benchtime $micro_benchtime)" >&2
+go test -run '^$' -bench '^Benchmark[^E]' -benchtime "$micro_benchtime" \
+    -timeout 30m . | tee "$tmp/micro.txt" >&2
+
+awk '
+/^Benchmark/ {
+    n = split($0, f, /[ \t]+/)
+    name = f[1]; sub(/-[0-9]+$/, "", name)
+    printf "%s{\"name\":\"%s\",\"iterations\":%s,\"metrics\":{", sep, name, f[2]
+    msep = ""
+    for (i = 3; i + 1 <= n; i += 2) {
+        printf "%s\"%s\":%s", msep, f[i+1], f[i]
+        msep = ","
+    }
+    printf "}}"
+    sep = ",\n    "
+}
+' "$tmp/e.txt" "$tmp/micro.txt" > "$tmp/rows.json"
+
+cat > "$out" <<EOF
+{
+  "date": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
+  "go": "$(go env GOVERSION)",
+  "commit": "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)",
+  "benchmarks": [
+    $(cat "$tmp/rows.json")
+  ]
+}
+EOF
+echo "wrote $out" >&2
