@@ -1,0 +1,141 @@
+// Command benchgate is the CI bench-regression gate: it compares two
+// scripts/bench.sh JSON records and exits non-zero when any benchmark
+// present in both regresses beyond the tolerance, or when a baseline
+// benchmark is missing from the new record (a suite that panicked
+// mid-run drops its remaining benchmarks — that must not pass silently).
+//
+// Usage:
+//
+//	benchgate [-metric ns/op] [-tolerance 25] old.json new.json
+//
+// Benchmarks only present in the new record are listed as new and do
+// not gate. scripts/bench_compare.sh wraps this with the CI override
+// knobs (BENCH_GATE_TOLERANCE, BENCH_GATE_SKIP).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type record struct {
+	Date       string  `json:"date"`
+	Go         string  `json:"go"`
+	Commit     string  `json:"commit"`
+	Benchmarks []bench `json:"benchmarks"`
+}
+
+type bench struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+func load(path string) (record, error) {
+	var r record
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(b, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Benchmarks) == 0 {
+		return r, fmt.Errorf("%s: no benchmarks in record", path)
+	}
+	return r, nil
+}
+
+// result is one gated comparison line.
+type result struct {
+	name     string
+	old, new float64
+	delta    float64 // percent; +∞-ish semantics never arise (old > 0 checked)
+	missing  bool    // in baseline, absent from new record
+	added    bool    // in new record only (not gated)
+	regress  bool
+}
+
+// compare gates new against old on the given metric and tolerance (in
+// percent). Benchmarks without the metric in either record are ignored.
+func compare(old, cur record, metric string, tolerance float64) []result {
+	oldBy := make(map[string]float64)
+	for _, b := range old.Benchmarks {
+		if v, ok := b.Metrics[metric]; ok && v > 0 {
+			oldBy[b.Name] = v
+		}
+	}
+	var out []result
+	seen := make(map[string]bool)
+	for _, b := range cur.Benchmarks {
+		v, ok := b.Metrics[metric]
+		if !ok {
+			continue
+		}
+		seen[b.Name] = true
+		o, inOld := oldBy[b.Name]
+		if !inOld {
+			out = append(out, result{name: b.Name, new: v, added: true})
+			continue
+		}
+		delta := (v - o) / o * 100
+		out = append(out, result{
+			name: b.Name, old: o, new: v, delta: delta,
+			regress: delta > tolerance,
+		})
+	}
+	for name, o := range oldBy {
+		if !seen[name] {
+			out = append(out, result{name: name, old: o, missing: true, regress: true})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+func main() {
+	metric := flag.String("metric", "ns/op", "metric to gate on")
+	tolerance := flag.Float64("tolerance", 25, "allowed regression in percent")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchgate [-metric ns/op] [-tolerance 25] old.json new.json")
+		os.Exit(2)
+	}
+	old, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	cur, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+
+	results := compare(old, cur, *metric, *tolerance)
+	bad := 0
+	fmt.Printf("benchgate: %s vs %s (%s, tolerance %.0f%%)\n",
+		flag.Arg(0), flag.Arg(1), *metric, *tolerance)
+	for _, r := range results {
+		switch {
+		case r.missing:
+			fmt.Printf("  MISSING  %-50s baseline %14.1f, absent from new record\n", r.name, r.old)
+			bad++
+		case r.added:
+			fmt.Printf("  new      %-50s %14.1f\n", r.name, r.new)
+		case r.regress:
+			fmt.Printf("  REGRESS  %-50s %14.1f -> %14.1f  %+7.1f%%\n", r.name, r.old, r.new, r.delta)
+			bad++
+		default:
+			fmt.Printf("  ok       %-50s %14.1f -> %14.1f  %+7.1f%%\n", r.name, r.old, r.new, r.delta)
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d benchmark(s) failed the gate\n", bad)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %d benchmark(s) within tolerance\n", len(results))
+}

@@ -1,0 +1,61 @@
+package main
+
+import "testing"
+
+func rec(benches ...bench) record { return record{Benchmarks: benches} }
+
+func nsop(name string, v float64) bench {
+	return bench{Name: name, Metrics: map[string]float64{"ns/op": v}}
+}
+
+func find(t *testing.T, rs []result, name string) result {
+	t.Helper()
+	for _, r := range rs {
+		if r.name == name {
+			return r
+		}
+	}
+	t.Fatalf("no result for %s", name)
+	return result{}
+}
+
+func TestCompareGates(t *testing.T) {
+	old := rec(nsop("A", 100), nsop("B", 100), nsop("C", 100), nsop("Gone", 50))
+	cur := rec(nsop("A", 110), nsop("B", 130), nsop("C", 60), nsop("Fresh", 1))
+	rs := compare(old, cur, "ns/op", 25)
+
+	if r := find(t, rs, "A"); r.regress || r.delta != 10 {
+		t.Errorf("A: %+v, want ok at +10%%", r)
+	}
+	if r := find(t, rs, "B"); !r.regress || r.delta != 30 {
+		t.Errorf("B: %+v, want regression at +30%%", r)
+	}
+	if r := find(t, rs, "C"); r.regress {
+		t.Errorf("C: %+v, improvements must never gate", r)
+	}
+	if r := find(t, rs, "Gone"); !r.missing || !r.regress {
+		t.Errorf("Gone: %+v, a dropped benchmark must fail the gate", r)
+	}
+	if r := find(t, rs, "Fresh"); !r.added || r.regress {
+		t.Errorf("Fresh: %+v, new benchmarks must not gate", r)
+	}
+}
+
+func TestCompareToleranceBoundary(t *testing.T) {
+	old := rec(nsop("X", 100))
+	// Exactly at tolerance: not a regression (strictly-greater gate).
+	if r := find(t, compare(old, rec(nsop("X", 125)), "ns/op", 25), "X"); r.regress {
+		t.Errorf("+25%% at 25%% tolerance gated: %+v", r)
+	}
+	if r := find(t, compare(old, rec(nsop("X", 126)), "ns/op", 25), "X"); !r.regress {
+		t.Errorf("+26%% at 25%% tolerance passed: %+v", r)
+	}
+}
+
+func TestCompareIgnoresOtherMetrics(t *testing.T) {
+	old := rec(bench{Name: "M", Metrics: map[string]float64{"MB/s": 100}})
+	cur := rec(bench{Name: "M", Metrics: map[string]float64{"MB/s": 10}})
+	if rs := compare(old, cur, "ns/op", 25); len(rs) != 0 {
+		t.Errorf("benchmarks without the gated metric produced results: %+v", rs)
+	}
+}

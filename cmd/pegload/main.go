@@ -7,14 +7,21 @@
 //
 //	pegload                                   # 50 ws × 10 streams, 10 s
 //	pegload -pattern vod -ws 64 -streams 8
+//	pegload -from-storage -ws 100 -streams 25 -servers 4
 //	pegload -cell-accurate -ws 8 -seconds 1   # exact per-cell model
 //	pegload -json
+//
+// With -check, pegload exits non-zero unless the run actually proved
+// something: streams admitted, frames delivered, and — for storage-
+// backed runs — zero buffer underruns among admitted streams. CI runs
+// the scoreboard this way so a silently-degenerate run fails the build.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 
 	"repro/internal/loadgen"
@@ -34,6 +41,20 @@ func main() {
 		linkRate     = flag.Int64("linkrate", 0, "link bit rate (0 = 100 Mb/s)")
 		cellAccurate = flag.Bool("cell-accurate", false,
 			"disable the batched fabric fast path (exact per-cell model; ~20x more events)")
+		fromStorage = flag.Bool("from-storage", false,
+			"serve VoD titles from the servers' disk arrays through the CM round scheduler "+
+				"(admission = links AND disks); implies -pattern vod")
+		roundSecs = flag.Float64("round", 2,
+			"storage scheduler round in seconds (from-storage only)")
+		titleRounds = flag.Int("title-rounds", 4,
+			"stored title length in rounds; playout loops (from-storage only)")
+		check = flag.Bool("check", false,
+			"exit 1 unless streams were admitted, frames delivered, and no "+
+				"storage buffer underruns occurred")
+		minStorage = flag.Int("min-storage-streams", 0,
+			"exit 1 unless at least this many disk-backed streams are up")
+		expectRefusals = flag.Bool("expect-storage-refusals", false,
+			"exit 1 unless storage admission refused at least one title (over-subscription proof)")
 		asJSON = flag.Bool("json", false, "emit the scoreboard as JSON")
 	)
 	flag.Parse()
@@ -48,6 +69,11 @@ func main() {
 		LinkRate:     *linkRate,
 		Duration:     sim.Duration(*seconds * float64(sim.Second)),
 		CellAccurate: *cellAccurate,
+		FromStorage:  *fromStorage,
+		// Round to the nearest nanosecond: 0.3 s must mean exactly 30
+		// frame periods, not 299999999 ns (which admission would refuse).
+		Round:       sim.Duration(math.Round(*roundSecs * float64(sim.Second))),
+		TitleRounds: *titleRounds,
 	}
 	switch *pattern {
 	case "mesh":
@@ -67,7 +93,36 @@ func main() {
 			fmt.Fprintln(os.Stderr, "pegload:", err)
 			os.Exit(1)
 		}
-		return
+	} else {
+		fmt.Println(res)
 	}
-	fmt.Println(res)
+
+	failed := false
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "pegload: check failed: "+format+"\n", args...)
+		failed = true
+	}
+	if *check {
+		if res.Admitted == 0 {
+			fail("no stream legs admitted")
+		}
+		if res.FramesDelivered == 0 {
+			fail("no frames delivered")
+		}
+		if res.Underruns != 0 {
+			fail("%d buffer underruns among admitted streams", res.Underruns)
+		}
+		if *fromStorage && res.DiskBytesRead == 0 {
+			fail("from-storage run read nothing off the disks")
+		}
+	}
+	if *minStorage > 0 && res.StorageStreams < *minStorage {
+		fail("only %d disk-backed streams up, want >= %d", res.StorageStreams, *minStorage)
+	}
+	if *expectRefusals && res.StorageRefused == 0 {
+		fail("expected storage admission to refuse titles; it admitted everything")
+	}
+	if failed {
+		os.Exit(1)
+	}
 }

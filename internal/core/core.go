@@ -274,6 +274,10 @@ type StorageServer struct {
 	Net    *Endpoint
 	Ingest *Ingest
 
+	// CM is the continuous-media serving service (round-scheduled,
+	// rate-admitted reads off the array); nil until EnableCM.
+	CM *fileserver.CMService
+
 	Transport *rpc.Transport
 }
 
@@ -292,6 +296,18 @@ func (st *Site) NewStorageServer(name string, segSize int, nseg int64) *StorageS
 	ss.Transport = rpc.NewTransport(st.Sim)
 	ss.Transport.SetOutput(ss.Net.ToSwitch)
 	return ss
+}
+
+// EnableCM starts the continuous-media serving service over this
+// server's array: streams admitted through it hold a per-disk time
+// reservation and are read ahead by the round scheduler. Enable it
+// after preloading titles — the scheduler's ticker keeps the simulator
+// alive from this point on. Idempotent.
+func (ss *StorageServer) EnableCM(cfg fileserver.CMConfig) *fileserver.CMService {
+	if ss.CM == nil {
+		ss.CM = fileserver.NewCMService(ss.Server, cfg)
+	}
+	return ss.CM
 }
 
 // BindRPC exposes the storage transport on a circuit.

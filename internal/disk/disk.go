@@ -38,6 +38,21 @@ func DefaultParams() Params {
 	}
 }
 
+// AvgPosition is the expected cost of repositioning the head for a
+// random access: the mean seek (half the stroke on average) plus half a
+// revolution of rotational latency. Admission control above the disk
+// (the continuous-media round scheduler) charges this per repositioning
+// when budgeting a round; the real cost under SCAN ordering is lower,
+// which is exactly the safety margin a guarantee needs.
+func (p Params) AvgPosition() sim.Duration {
+	return p.SeekMin + (p.SeekMax-p.SeekMin)/2 + p.RotHalf
+}
+
+// TransferTime is the media transfer time for n bytes.
+func (p Params) TransferTime(n int64) sim.Duration {
+	return sim.Duration(n * int64(sim.Second) / p.Rate)
+}
+
 // ErrFailed reports an operation against a failed disk.
 var ErrFailed = errors.New("disk: failed")
 

@@ -1,0 +1,419 @@
+package fileserver
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/disk"
+	"repro/internal/raid"
+	"repro/internal/sim"
+)
+
+// This file is the continuous-media *serving* stack: the piece that
+// turns stored streams back into guaranteed-rate traffic. Where media.go
+// records and indexes streams, the CMService plays them out under a real
+// resource guarantee, mirroring at the disk what netsig does at the
+// links:
+//
+//   - admission charges each stream's per-round disk time (seek-
+//     amortised positioning plus worst-disk transfer, derived from
+//     disk.Params and the array geometry) against a per-disk time
+//     budget, refusing streams the heads cannot carry;
+//   - a round-based scheduler batches every admitted stream's next
+//     read-ahead window once per round, issued in SCAN order of disk
+//     address so actual seek cost stays below the budgeted bound;
+//   - reads go through the striped array, so a stream's round window is
+//     served by several spindles in parallel;
+//   - each stream is double-buffered in whole rounds: the window being
+//     played was fetched last round, the next one is fetched this
+//     round, and a playout tick never waits on a disk.
+//
+// Over-subscription is therefore refused at Admit time; an admitted
+// stream underruns only if a round overruns, which the admission bound
+// prevents. Best-effort reads fill whatever slack a round leaves.
+
+// CM errors.
+var (
+	// ErrBadStream reports a file that cannot be served as a stream
+	// (missing, not continuous, or not a whole number of rounds long).
+	ErrBadStream = errors.New("fileserver: not a servable stream")
+	// ErrBadRound reports a CMConfig round that is not a whole number of
+	// frame periods.
+	ErrBadRound = errors.New("fileserver: round is not a whole number of frame periods")
+)
+
+// CMConfig parameterises the continuous-media serving service.
+type CMConfig struct {
+	// Round is the scheduler period: each admitted stream gets one
+	// read-ahead window per round. Default 2 s. Longer rounds amortise
+	// seeks better (more admitted streams) at the cost of more buffer
+	// memory and startup delay.
+	Round sim.Duration
+	// Utilization is the admittable fraction of each round's per-disk
+	// time; the remainder absorbs model error (segment-boundary seeks,
+	// stripe skew) and feeds best-effort traffic. Default 0.85. Values
+	// above 1 deliberately over-commit the disks — the ablation that
+	// shows why admission control exists.
+	Utilization float64
+}
+
+func (c *CMConfig) setDefaults() {
+	if c.Round == 0 {
+		c.Round = 2 * sim.Second
+	}
+	if c.Utilization == 0 {
+		c.Utilization = 0.85
+	}
+}
+
+// CMStats counts serving-side activity.
+type CMStats struct {
+	Admitted int64 // streams admitted
+	Refused  int64 // streams refused for lack of disk bandwidth
+	Released int64 // streams released (teardown)
+
+	Rounds        int64
+	RoundOverruns int64 // rounds whose guaranteed reads outlived the round
+	Underruns     int64 // playout ticks that found no buffered data
+
+	GuaranteedReads  int64 // round-scheduled window fetches issued
+	BytesStreamed    int64 // bytes delivered into stream buffers
+	BestEffortServed int64 // best-effort reads issued into round slack
+	ReadErrors       int64
+}
+
+// beReq is one queued best-effort read.
+type beReq struct {
+	path string
+	off  int64
+	n    int
+	done func([]byte, error)
+}
+
+// CMService is the continuous-media serving service over one server's
+// disk array: admission control plus the round scheduler.
+type CMService struct {
+	sv  *Server
+	cfg CMConfig
+
+	// Array geometry and mechanics, captured at construction.
+	mech      disk.Params
+	pos       sim.Duration // charged per head repositioning
+	chunk     int64
+	segSize   int64
+	dataDisks int64
+
+	budget    sim.Duration // admittable per-disk time per round
+	committed sim.Duration // currently admitted per-disk time per round
+
+	streams []*CMStream
+	nextID  int
+
+	ticker      *sim.Ticker
+	outstanding int // guaranteed reads still in flight this round
+
+	bestEffort []beReq
+
+	Stats CMStats
+}
+
+// NewCMService starts a serving service over the server's array. The
+// round scheduler ticks from one round after now.
+func NewCMService(sv *Server, cfg CMConfig) *CMService {
+	cfg.setDefaults()
+	arr := sv.fs.Array()
+	p := arr.Params()
+	svc := &CMService{
+		sv:        sv,
+		cfg:       cfg,
+		mech:      p,
+		pos:       p.AvgPosition(),
+		chunk:     int64(arr.ChunkSize()),
+		segSize:   int64(arr.SegmentSize()),
+		dataDisks: raid.DataDisks,
+		budget:    sim.Duration(float64(cfg.Round) * cfg.Utilization),
+	}
+	svc.ticker = sv.sim.Tick(sv.sim.Now()+cfg.Round, cfg.Round, svc.round)
+	return svc
+}
+
+// Stop halts the round scheduler (tests; a site never stops serving).
+func (svc *CMService) Stop() { svc.ticker.Stop() }
+
+// Round reports the scheduler period.
+func (svc *CMService) Round() sim.Duration { return svc.cfg.Round }
+
+// Capacity reports the admittable per-disk time per round.
+func (svc *CMService) Capacity() sim.Duration { return svc.budget }
+
+// Committed reports the admitted per-disk time per round — the disk
+// analogue of netsig.Manager.Committed.
+func (svc *CMService) Committed() sim.Duration { return svc.committed }
+
+// Open reports currently admitted streams.
+func (svc *CMService) Open() int { return len(svc.streams) }
+
+// CostPerRound is the per-disk time one stream charges per round for a
+// window of the given size: one repositioning per segment the window
+// touches (SCAN makes the real cost lower) plus the transfer time of
+// the most-loaded disk's share of the stripe.
+func (svc *CMService) CostPerRound(windowBytes int64) sim.Duration {
+	chunks := (windowBytes + svc.chunk - 1) / svc.chunk
+	worstDisk := (chunks + svc.dataDisks - 1) / svc.dataDisks * svc.chunk
+	positionings := 1 + (windowBytes+svc.segSize-1)/svc.segSize
+	return svc.pos*sim.Duration(positionings) + svc.mech.TransferTime(worstDisk)
+}
+
+// cmBuf is one round window of a stream's double buffer.
+type cmBuf struct {
+	data     []byte
+	ready    bool
+	fetching bool
+}
+
+// CMStream is one admitted stream: a rate reservation plus its
+// double-buffered read-ahead state. Call NextFrame from the playout
+// clock; call Release on teardown.
+type CMStream struct {
+	svc  *CMService
+	id   int
+	path string
+
+	frameBytes int
+	roundBytes int64
+	cost       sim.Duration
+	size       int64 // title length; playout loops over it
+
+	fetchOff int64
+	bufs     [2]cmBuf
+	cur      int // buffer being played
+	pos      int // playout position within bufs[cur]
+
+	started  bool // first window arrived and a round boundary passed
+	onReady  func()
+	released bool
+
+	Underruns int64
+}
+
+// Admit reserves disk bandwidth for serving path at frameBytes×frameHz
+// and starts its read-ahead. It refuses (ErrOverCommit) when the disks
+// are already committed — the storage half of end-to-end admission.
+// The file must be continuous and a whole number of rounds long.
+func (svc *CMService) Admit(path string, frameBytes, frameHz int) (*CMStream, error) {
+	st, ok := svc.sv.files[path]
+	if !ok || !st.continuous {
+		return nil, fmt.Errorf("%w: %s", ErrBadStream, path)
+	}
+	if frameBytes <= 0 || frameHz <= 0 {
+		return nil, fmt.Errorf("%w: %s: non-positive rate", ErrBadStream, path)
+	}
+	ticks := int64(frameHz) * int64(svc.cfg.Round)
+	if ticks%int64(sim.Second) != 0 || ticks < int64(sim.Second) {
+		return nil, fmt.Errorf("%w: %v at %d Hz", ErrBadRound, svc.cfg.Round, frameHz)
+	}
+	framesPerRound := ticks / int64(sim.Second)
+	roundBytes := framesPerRound * int64(frameBytes)
+	if st.size < roundBytes || st.size%roundBytes != 0 {
+		return nil, fmt.Errorf("%w: %s: %d bytes is not a whole number of %d-byte rounds",
+			ErrBadStream, path, st.size, roundBytes)
+	}
+	cost := svc.CostPerRound(roundBytes)
+	if svc.committed+cost > svc.budget {
+		svc.Stats.Refused++
+		return nil, fmt.Errorf("%w: %s needs %v/round, %v of %v committed",
+			ErrOverCommit, path, cost, svc.committed, svc.budget)
+	}
+	svc.committed += cost
+	svc.Stats.Admitted++
+	svc.nextID++
+	cm := &CMStream{
+		svc:        svc,
+		id:         svc.nextID,
+		path:       path,
+		frameBytes: frameBytes,
+		roundBytes: roundBytes,
+		cost:       cost,
+		size:       st.size,
+	}
+	svc.streams = append(svc.streams, cm)
+	// Prime the first window immediately; it is one-off startup work,
+	// not part of any round's guaranteed batch.
+	svc.fetch(cm, 0, false)
+	return cm, nil
+}
+
+// fetch issues one round window into buffer b. counted windows belong
+// to the current round's guaranteed batch (overrun accounting).
+func (svc *CMService) fetch(cm *CMStream, b int, counted bool) {
+	buf := &cm.bufs[b]
+	buf.fetching = true
+	off := cm.fetchOff
+	cm.fetchOff = (off + cm.roundBytes) % cm.size
+	if counted {
+		svc.outstanding++
+		svc.Stats.GuaranteedReads++
+	}
+	svc.sv.Read(cm.path, off, int(cm.roundBytes), func(data []byte, err error) {
+		if counted {
+			svc.outstanding--
+		}
+		if cm.released {
+			return
+		}
+		buf.fetching = false
+		if err != nil {
+			svc.Stats.ReadErrors++
+			return
+		}
+		buf.data = data
+		buf.ready = true
+		svc.Stats.BytesStreamed += int64(len(data))
+	})
+}
+
+// round is the scheduler tick: detect overrun of the previous round,
+// batch every admitted stream's next window in SCAN order, then fill
+// the remaining slack with best-effort reads.
+func (svc *CMService) round() {
+	svc.Stats.Rounds++
+	if svc.outstanding > 0 {
+		svc.Stats.RoundOverruns++
+	}
+	type fetch struct {
+		cm   *CMStream
+		b    int
+		addr int64
+	}
+	var batch []fetch
+	var used sim.Duration
+	for _, cm := range svc.streams {
+		if !cm.started {
+			if !cm.bufs[0].ready {
+				continue // still priming
+			}
+			// Playout may begin this round: the primed window is one
+			// full round deep, so consumption can never catch the heads.
+			cm.started = true
+			if cb := cm.onReady; cb != nil {
+				cm.onReady = nil
+				cb()
+			}
+		}
+		for b := range cm.bufs {
+			if !cm.bufs[b].ready && !cm.bufs[b].fetching {
+				addr, _ := svc.sv.streamAddr(cm.path, cm.fetchOff)
+				batch = append(batch, fetch{cm, b, addr})
+				used += cm.cost
+				break // at most one window per stream per round
+			}
+		}
+	}
+	sort.Slice(batch, func(i, j int) bool {
+		if batch[i].addr != batch[j].addr {
+			return batch[i].addr < batch[j].addr
+		}
+		return batch[i].cm.id < batch[j].cm.id
+	})
+	for _, f := range batch {
+		svc.fetch(f.cm, f.b, true)
+	}
+	// Best-effort fills the slack up to the whole round, beyond the
+	// admission budget; a request that would never fit alone goes out
+	// when the round is otherwise empty rather than starving.
+	for len(svc.bestEffort) > 0 {
+		req := svc.bestEffort[0]
+		c := svc.CostPerRound(int64(req.n))
+		if used+c > svc.cfg.Round && used > 0 {
+			break
+		}
+		used += c
+		svc.bestEffort = svc.bestEffort[1:]
+		svc.Stats.BestEffortServed++
+		svc.sv.Read(req.path, req.off, req.n, req.done)
+	}
+}
+
+// ReadBestEffort queues a read to be served from round slack — the
+// class ordinary file traffic travels in on a serving array. No
+// guarantee: it waits as many rounds as the guaranteed load requires.
+func (svc *CMService) ReadBestEffort(path string, off int64, n int, done func([]byte, error)) {
+	svc.bestEffort = append(svc.bestEffort, beReq{path: path, off: off, n: n, done: done})
+}
+
+// BestEffortQueued reports best-effort reads waiting for slack.
+func (svc *CMService) BestEffortQueued() int { return len(svc.bestEffort) }
+
+// Ready reports whether playout may begin (the first window is buffered
+// and a round boundary has passed).
+func (cm *CMStream) Ready() bool { return cm.started }
+
+// OnReady registers a callback for the moment playout may begin; it
+// fires immediately if the stream is already ready.
+func (cm *CMStream) OnReady(fn func()) {
+	if cm.started {
+		fn()
+		return
+	}
+	cm.onReady = fn
+}
+
+// Cost reports the per-disk round time this stream charges.
+func (cm *CMStream) Cost() sim.Duration { return cm.cost }
+
+// NextFrame returns the next frameBytes of the stream from the playout
+// buffer. It reports false — and counts an underrun — when the buffer
+// has no data, which admission control exists to prevent; playout then
+// skips the frame and resumes when read-ahead catches up.
+func (cm *CMStream) NextFrame() ([]byte, bool) {
+	if cm.released {
+		return nil, false
+	}
+	buf := &cm.bufs[cm.cur]
+	if !buf.ready {
+		if cm.started {
+			cm.Underruns++
+			cm.svc.Stats.Underruns++
+		}
+		return nil, false
+	}
+	out := buf.data[cm.pos : cm.pos+cm.frameBytes]
+	cm.pos += cm.frameBytes
+	if cm.pos >= len(buf.data) {
+		// Window drained: free it for next round's batch and flip to
+		// the window fetched behind it.
+		buf.ready = false
+		buf.data = nil
+		cm.cur ^= 1
+		cm.pos = 0
+	}
+	return out, true
+}
+
+// Release tears the stream down and returns its disk-time reservation —
+// the storage analogue of netsig.TearDown.
+func (cm *CMStream) Release() {
+	if cm.released {
+		return
+	}
+	cm.released = true
+	cm.svc.committed -= cm.cost
+	cm.svc.Stats.Released++
+	for i, s := range cm.svc.streams {
+		if s == cm {
+			cm.svc.streams = append(cm.svc.streams[:i], cm.svc.streams[i+1:]...)
+			break
+		}
+	}
+}
+
+// streamAddr maps a file offset of a path to its array address (0 when
+// unknown — unwritten holes sort first, which is harmless).
+func (sv *Server) streamAddr(path string, off int64) (int64, bool) {
+	st, ok := sv.files[path]
+	if !ok || st.pn == 0 {
+		return 0, false
+	}
+	return sv.fs.AddrOf(st.pn, off)
+}

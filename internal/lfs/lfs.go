@@ -275,6 +275,28 @@ func (fs *FS) Continuous(pn Pnode) bool {
 	return ok && pi.continuous
 }
 
+// AddrOf maps a file offset to its linear array address. It reports
+// false for holes and unknown files. The continuous-media round
+// scheduler uses it to SCAN-order each round's stream reads by disk
+// position, so the per-round seek budget charged at admission is an
+// upper bound on what the heads actually spend.
+func (fs *FS) AddrOf(pn Pnode, off int64) (int64, bool) {
+	pi, ok := fs.pnodes[pn]
+	if !ok {
+		return 0, false
+	}
+	// First extent ending beyond off; extents are sorted by FileOff.
+	i := sort.Search(len(pi.extents), func(i int) bool {
+		e := pi.extents[i]
+		return e.FileOff+e.Len > off
+	})
+	if i >= len(pi.extents) || pi.extents[i].FileOff > off {
+		return 0, false
+	}
+	e := pi.extents[i]
+	return e.Addr + (off - e.FileOff), true
+}
+
 // cacheable reports whether a file's data may enter the block cache:
 // ordinary data always (if a cache exists), continuous-media data only
 // under the E15 ablation flag.

@@ -14,6 +14,7 @@ package loadgen
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"time"
 
@@ -21,7 +22,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/devices"
 	"repro/internal/fabric"
+	"repro/internal/fileserver"
 	"repro/internal/netsig"
+	"repro/internal/raid"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -80,9 +83,31 @@ type Config struct {
 	// CellAccurate disables the batched fabric fast path (one event per
 	// cell — the exact model, for validation runs).
 	CellAccurate bool
+
+	// FromStorage makes VoD titles real files on the servers' disk
+	// arrays, served through the continuous-media round scheduler:
+	// admission becomes the conjunction of link (netsig) and disk
+	// (fileserver.CMService) guarantees, and every frame sent was read
+	// off the striped array one round ahead. Implies Pattern == VoD.
+	FromStorage bool
+
+	// Round is the storage scheduler period (default 2 s); it must be a
+	// whole number of frame periods. TitleRounds is the stored length of
+	// each title in rounds (default 4); playout loops over it.
+	Round       sim.Duration
+	TitleRounds int
 }
 
 func (c *Config) setDefaults() {
+	if c.FromStorage {
+		c.Pattern = VoD
+		if c.Round == 0 {
+			c.Round = 2 * sim.Second
+		}
+		if c.TitleRounds == 0 {
+			c.TitleRounds = 4
+		}
+	}
 	if c.Workstations == 0 {
 		c.Workstations = 8
 	}
@@ -138,11 +163,19 @@ type Result struct {
 	// virtual time.
 	LatencyP50, LatencyP99, LatencyMax float64
 	JitterP50, JitterP99               float64
+
+	// Storage-backed serving (FromStorage runs only).
+	StorageStreams int   // disk-backed title streams admitted and up
+	StorageRefused int   // titles refused by disk-bandwidth admission
+	RoundOverruns  int64 // scheduler rounds whose reads outlived the round
+	Underruns      int64 // playout ticks that found no buffered data
+	StorageBytes   int64 // bytes streamed out of server read-ahead buffers
+	DiskBytesRead  int64 // bytes the server disk heads actually read
 }
 
 // String renders the scoreboard.
 func (r Result) String() string {
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"pegload %s: ws=%d streams/ws=%d admitted=%d rejected=%d torndown=%d\n"+
 			"  sim %.2fs: %d frames sent, %d delivered, %d cells, %d events\n"+
 			"  wall %.2fs: %.2fM events/s, %.2fM cells/s\n"+
@@ -154,6 +187,14 @@ func (r Result) String() string {
 		r.WallSeconds, r.EventsPerSec/1e6, r.CellsPerSec/1e6,
 		sim.Duration(r.LatencyP50), sim.Duration(r.LatencyP99), sim.Duration(r.LatencyMax),
 		sim.Duration(r.JitterP50), sim.Duration(r.JitterP99))
+	if r.Config.FromStorage {
+		s += fmt.Sprintf(
+			"\n  storage: streams=%d refused=%d underruns=%d overruns=%d"+
+				" streamed=%.1fMB disk-read=%.1fMB",
+			r.StorageStreams, r.StorageRefused, r.Underruns, r.RoundOverruns,
+			float64(r.StorageBytes)/1e6, float64(r.DiskBytesRead)/1e6)
+	}
+	return s
 }
 
 // Frame payload header: emission timestamp + sequence + magic.
@@ -162,13 +203,16 @@ const (
 	magic      = 0x5045474c // "PEGL"
 )
 
-// source is a CBR frame generator on one circuit.
+// source is a CBR frame generator on one circuit. With cm set, each
+// frame's payload is pulled from the storage read-ahead buffer instead
+// of synthesized; an underrun skips the frame (counted by the service).
 type source struct {
 	sim     *sim.Sim
 	out     *fabric.Link
 	vci     atm.VCI
 	period  sim.Duration
 	payload []byte
+	cm      *fileserver.CMStream
 	seq     uint32
 	running bool
 	chained bool
@@ -190,11 +234,20 @@ func (s *source) tick() {
 		s.chained = false
 		return
 	}
-	binary.BigEndian.PutUint64(s.payload[0:], uint64(s.sim.Now()))
-	binary.BigEndian.PutUint32(s.payload[8:], s.seq)
-	binary.BigEndian.PutUint32(s.payload[12:], magic)
+	payload := s.payload
+	if s.cm != nil {
+		data, ok := s.cm.NextFrame()
+		if !ok {
+			s.sim.PostAfter(s.period, s.tick)
+			return
+		}
+		payload = data
+	}
+	binary.BigEndian.PutUint64(payload[0:], uint64(s.sim.Now()))
+	binary.BigEndian.PutUint32(payload[8:], s.seq)
+	binary.BigEndian.PutUint32(payload[12:], magic)
 	s.seq++
-	cells, err := atm.Segment(s.vci, devices.UUData, s.payload)
+	cells, err := atm.Segment(s.vci, devices.UUData, payload)
 	if err != nil {
 		panic("loadgen: frame exceeds AAL5 limit")
 	}
@@ -265,6 +318,12 @@ type Stream struct {
 	dsts  []*core.Endpoint
 	circ  *netsig.Circuit
 	phase sim.Duration
+
+	// Storage-backed streams: the serving node, the title it plays and
+	// the disk-bandwidth reservation (nil while down).
+	server *core.StorageServer
+	title  string
+	cmh    *fileserver.CMStream
 }
 
 // Down reports whether the stream is currently torn down.
@@ -289,6 +348,11 @@ func (st *Stream) Stop() error {
 	if err := st.sc.site.Signalling.TearDown(st.circ.ID); err != nil {
 		return err
 	}
+	if st.cmh != nil {
+		st.cmh.Release()
+		st.cmh = nil
+		st.src.cm = nil
+	}
 	for _, d := range st.dsts {
 		d.Demux.Unregister(st.circ.VCI)
 	}
@@ -312,6 +376,32 @@ func (st *Stream) establish() error {
 		st.sc.rejected += len(ports)
 		return err
 	}
+	if st.title != "" {
+		// End-to-end admission is a conjunction: the links said yes,
+		// now the disk heads must too. A storage refusal releases the
+		// link reservation — nothing is held for a stream that cannot
+		// be served.
+		h, aerr := st.server.CM.Admit(st.title, st.sc.cfg.FrameBytes, st.sc.cfg.FrameHz)
+		if aerr != nil {
+			_ = st.sc.site.Signalling.TearDown(circ.ID)
+			if !errors.Is(aerr, fileserver.ErrOverCommit) {
+				// Not a bandwidth refusal but a scenario bug (ragged
+				// title, bad round/Hz): counting it as a refusal would
+				// let a misconfiguration impersonate the
+				// over-subscription proof.
+				panic(fmt.Sprintf("loadgen: title %s not servable: %v", st.title, aerr))
+			}
+			st.sc.storageRefused++
+			return aerr
+		}
+		st.cmh = h
+		st.src.cm = h
+		h.OnReady(func() {
+			if st.cmh == h {
+				st.src.start(st.phase)
+			}
+		})
+	}
 	st.circ = circ
 	for _, d := range st.dsts {
 		d.Demux.Register(circ.VCI, &sink{sc: st.sc, period: st.src.period})
@@ -322,12 +412,16 @@ func (st *Stream) establish() error {
 }
 
 // Restart re-admits a stopped stream: a fresh circuit (new VCI) through
-// admission control, new demux registrations, and the source resumes.
+// admission control — link and, for storage-backed streams, disk — new
+// demux registrations, and the source resumes (storage-backed sources
+// wait for their first read-ahead window).
 func (st *Stream) Restart() error {
 	if err := st.establish(); err != nil {
 		return err
 	}
-	st.src.start(st.phase)
+	if st.src.cm == nil || st.cmh.Ready() {
+		st.src.start(st.phase)
+	}
 	return nil
 }
 
@@ -342,10 +436,13 @@ type Scenario struct {
 	streams []*Stream
 
 	admitted, rejected, tornDown int
+	storageRefused               int
 	framesSent                   int64
 	framesDelivered              int64
 	cellsDelivered               int64
 	latency, jitter              stats.Sample
+	runStart                     sim.Time
+	firedStart                   int64
 }
 
 // Site exposes the underlying site (switch, signalling) for assertions.
@@ -383,7 +480,7 @@ func Build(cfg Config) *Scenario {
 		for i := 0; i < n; i++ {
 			for j := 0; j < m; j++ {
 				peer := (i + 1 + j%max(n-1, 1)) % n
-				sc.addStream(srcEPs[i], []*core.Endpoint{dstEPs[peer]}, i*m+j)
+				sc.addStream(srcEPs[i], []*core.Endpoint{dstEPs[peer]}, i*m+j).establish()
 			}
 		}
 	case VoD:
@@ -391,14 +488,29 @@ func Build(cfg Config) *Scenario {
 		for i := 0; i < n; i++ {
 			viewers[i] = sc.site.Attach(fmt.Sprintf("viewer%d", i))
 		}
+		// Server geometry: a toy array for synthesized VoD, a sized one
+		// when titles really live on the disks.
+		segSize, nseg := 64<<10, int64(64)
+		var titleBytes int64
+		if cfg.FromStorage {
+			framesPerRound := int64(cfg.FrameHz) * int64(cfg.Round) / int64(sim.Second)
+			roundBytes := framesPerRound * int64(cfg.FrameBytes)
+			titleBytes = int64(cfg.TitleRounds) * roundBytes
+			segSize = 256 << 10
+			perTitle := (titleBytes+int64(segSize)-1)/int64(segSize) + 1
+			nseg = int64(m)*perTitle + 8
+		}
 		sc.Servers = make([]*core.StorageServer, cfg.Servers)
 		for s := range sc.Servers {
-			sc.Servers[s] = sc.site.NewStorageServer(fmt.Sprintf("vod%d", s), 64<<10, 64)
+			sc.Servers[s] = sc.site.NewStorageServer(fmt.Sprintf("vod%d", s), segSize, nseg)
 		}
 		// Each server publishes m titles; every viewer subscribes to m
 		// titles spread across the catalogue; the switch fans each
 		// title's single transmission out to its subscribers.
 		titles := cfg.Servers * m
+		if cfg.FromStorage {
+			sc.preloadTitles(titles, titleBytes)
+		}
 		subs := make([][]*core.Endpoint, titles)
 		for i := 0; i < n; i++ {
 			for j := 0; j < m; j++ {
@@ -410,14 +522,60 @@ func Build(cfg Config) *Scenario {
 			if len(legs) == 0 {
 				continue
 			}
-			sc.addStream(sc.Servers[t%cfg.Servers].Net, legs, t)
+			st := sc.addStream(sc.Servers[t%cfg.Servers].Net, legs, t)
+			if cfg.FromStorage {
+				st.server = sc.Servers[t%cfg.Servers]
+				st.title = titleName(t)
+			}
+			st.establish()
 		}
 	}
 	return sc
 }
 
-// addStream admits one circuit (possibly multi-leaf) and wires it.
-func (sc *Scenario) addStream(from *core.Endpoint, dsts []*core.Endpoint, idx int) {
+func titleName(t int) string { return fmt.Sprintf("title%d", t) }
+
+// preloadTitles formats every title onto its server's disk array and
+// starts the serving services. The writes take the ordinary service
+// path (fileserver → lfs → raid), the log is synced so the data is on
+// the platters — not in open segments — and the simulator is drained
+// before the measured run begins.
+func (sc *Scenario) preloadTitles(titles int, titleBytes int64) {
+	chunk := make([]byte, 64<<10)
+	for i := range chunk {
+		chunk[i] = byte(i * 17)
+	}
+	for t := 0; t < titles; t++ {
+		ss := sc.Servers[t%sc.cfg.Servers]
+		name := titleName(t)
+		if err := ss.Server.Create(name, true); err != nil {
+			panic(fmt.Sprintf("loadgen: preload %s: %v", name, err))
+		}
+		for off := int64(0); off < titleBytes; off += int64(len(chunk)) {
+			n := min(int64(len(chunk)), titleBytes-off)
+			if err := ss.Server.Write(name, off, chunk[:n]); err != nil {
+				panic(fmt.Sprintf("loadgen: preload %s: %v", name, err))
+			}
+		}
+	}
+	for _, ss := range sc.Servers {
+		ss.Server.FS().Sync(func(err error) {
+			if err != nil {
+				panic(fmt.Sprintf("loadgen: preload sync: %v", err))
+			}
+		})
+	}
+	// Drain the preload I/O; nothing periodic is running yet, so the
+	// event queue empties. The CM schedulers start only after this.
+	sc.site.Sim.Run()
+	for _, ss := range sc.Servers {
+		ss.EnableCM(fileserver.CMConfig{Round: sc.cfg.Round})
+	}
+}
+
+// addStream wires one stream (possibly multi-leaf); the caller
+// completes any storage binding and then calls establish.
+func (sc *Scenario) addStream(from *core.Endpoint, dsts []*core.Endpoint, idx int) *Stream {
 	period := sim.Second / sim.Duration(sc.cfg.FrameHz)
 	st := &Stream{
 		sc:   sc,
@@ -435,17 +593,21 @@ func (sc *Scenario) addStream(from *core.Endpoint, dsts []*core.Endpoint, idx in
 		},
 	}
 	sc.streams = append(sc.streams, st)
-	st.establish()
+	return st
 }
 
 // Run starts every admitted source, advances the simulation by the
-// configured duration and returns the scoreboard.
+// configured duration and returns the scoreboard. Storage-backed
+// sources start themselves when their first read-ahead window is
+// buffered (one scheduler round into the run).
 func (sc *Scenario) Run() Result {
 	for _, st := range sc.streams {
-		if st.circ != nil {
+		if st.circ != nil && st.src.cm == nil {
 			st.src.start(st.phase)
 		}
 	}
+	sc.runStart = sc.site.Sim.Now()
+	sc.firedStart = sc.site.Sim.Fired()
 	wall := time.Now()
 	sc.site.Sim.RunFor(sc.cfg.Duration)
 	return sc.collect(time.Since(wall))
@@ -460,8 +622,8 @@ func (sc *Scenario) collect(wall time.Duration) Result {
 		FramesSent:      sc.framesSent,
 		FramesDelivered: sc.framesDelivered,
 		CellsDelivered:  sc.cellsDelivered,
-		EventsFired:     sc.site.Sim.Fired(),
-		SimSeconds:      sc.site.Sim.Now().Seconds(),
+		EventsFired:     sc.site.Sim.Fired() - sc.firedStart,
+		SimSeconds:      (sc.site.Sim.Now() - sc.runStart).Seconds(),
 		WallSeconds:     wall.Seconds(),
 		LatencyP50:      sc.latency.Quantile(0.5),
 		LatencyP99:      sc.latency.Quantile(0.99),
@@ -472,6 +634,25 @@ func (sc *Scenario) collect(wall time.Duration) Result {
 	if r.WallSeconds > 0 {
 		r.EventsPerSec = float64(r.EventsFired) / r.WallSeconds
 		r.CellsPerSec = float64(r.CellsDelivered) / r.WallSeconds
+	}
+	if sc.cfg.FromStorage {
+		r.StorageRefused = sc.storageRefused
+		for _, st := range sc.streams {
+			if st.cmh != nil {
+				r.StorageStreams++
+			}
+		}
+		for _, ss := range sc.Servers {
+			if ss.CM != nil {
+				r.RoundOverruns += ss.CM.Stats.RoundOverruns
+				r.Underruns += ss.CM.Stats.Underruns
+				r.StorageBytes += ss.CM.Stats.BytesStreamed
+			}
+			arr := ss.Server.FS().Array()
+			for i := 0; i < raid.TotalDisks; i++ {
+				r.DiskBytesRead += arr.Disk(i).Stats.BytesRead
+			}
+		}
 	}
 	return r
 }

@@ -41,6 +41,7 @@ type Stats struct {
 type Array struct {
 	sim     *sim.Sim
 	disks   [TotalDisks]*disk.Disk // 0..3 data, 4 parity
+	params  disk.Params
 	segSize int
 	chunk   int // segSize / DataDisks
 	nseg    int64
@@ -54,7 +55,7 @@ func New(s *sim.Sim, p disk.Params, segSize int, nseg int64) *Array {
 	if segSize%DataDisks != 0 {
 		panic("raid: segment size must divide by the data-disk count")
 	}
-	a := &Array{sim: s, segSize: segSize, chunk: segSize / DataDisks, nseg: nseg}
+	a := &Array{sim: s, params: p, segSize: segSize, chunk: segSize / DataDisks, nseg: nseg}
 	perDisk := nseg * int64(a.chunk)
 	for i := range a.disks {
 		a.disks[i] = disk.New(s, p, perDisk)
@@ -64,6 +65,13 @@ func New(s *sim.Sim, p disk.Params, segSize int, nseg int64) *Array {
 
 // SegmentSize reports the segment size in bytes.
 func (a *Array) SegmentSize() int { return a.segSize }
+
+// ChunkSize reports the per-disk stripe unit (SegmentSize/DataDisks).
+func (a *Array) ChunkSize() int { return a.chunk }
+
+// Params reports the mechanics of the member disks; bandwidth admission
+// above the array derives its per-disk time budgets from them.
+func (a *Array) Params() disk.Params { return a.params }
 
 // Segments reports the array capacity in segments.
 func (a *Array) Segments() int64 { return a.nseg }

@@ -18,13 +18,36 @@ micro_benchtime=${MICRO_BENCHTIME:-1s}
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
+# run_suite runs one benchmark suite, tee-ing its output for the JSON
+# extraction. A suite that fails (a panic mid-run kills the test binary
+# and silently drops every benchmark after it) aborts the whole script
+# with the offending suite named — partial records must never be
+# mistaken for a full run.
+run_suite() {
+    local label=$1 capture=$2
+    shift 2
+    local rc=0
+    "$@" 2>&1 | tee "$capture" >&2 || rc=$?
+    if [ "$rc" -ne 0 ]; then
+        echo "bench.sh: suite '$label' failed (exit $rc); benchmarks after the" >&2
+        echo "bench.sh: failure never ran — no JSON record written" >&2
+        exit "$rc"
+    fi
+    if grep -q -e '--- FAIL' -e '^panic:' "$capture"; then
+        echo "bench.sh: suite '$label' reported failures; no JSON record written" >&2
+        exit 1
+    fi
+}
+
 echo "== experiment suite (E1-E18, -benchtime $e_benchtime)" >&2
-go test -run '^$' -bench '^BenchmarkE[0-9]+' -benchtime "$e_benchtime" \
-    -timeout 30m . | tee "$tmp/e.txt" >&2
+run_suite "experiments (E1-E18)" "$tmp/e.txt" \
+    go test -run '^$' -bench '^BenchmarkE[0-9]+' -benchtime "$e_benchtime" \
+    -timeout 30m .
 
 echo "== substrate micro-benchmarks (-benchtime $micro_benchtime)" >&2
-go test -run '^$' -bench '^Benchmark[^E]' -benchtime "$micro_benchtime" \
-    -timeout 30m . | tee "$tmp/micro.txt" >&2
+run_suite "substrate micro-benchmarks" "$tmp/micro.txt" \
+    go test -run '^$' -bench '^Benchmark[^E]' -benchtime "$micro_benchtime" \
+    -timeout 30m .
 
 awk '
 /^Benchmark/ {

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# bench_compare.sh — the CI bench-regression gate.
+#
+# Usage: scripts/bench_compare.sh baseline.json new.json
+#
+# Fails when any benchmark shared by both records regresses more than
+# the tolerance on ns/op, or when a baseline benchmark is missing from
+# the new record. Override knobs (for noisy runners or intentional
+# regressions, e.g. a PR that trades speed for correctness):
+#
+#   BENCH_GATE_TOLERANCE=40   widen the allowed regression (percent)
+#   BENCH_GATE_SKIP=1         skip the gate entirely (logged loudly)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [ "$#" -ne 2 ]; then
+    echo "usage: scripts/bench_compare.sh baseline.json new.json" >&2
+    exit 2
+fi
+if [ "${BENCH_GATE_SKIP:-0}" = "1" ]; then
+    echo "bench_compare.sh: BENCH_GATE_SKIP=1 — regression gate SKIPPED" >&2
+    exit 0
+fi
+exec go run ./cmd/benchgate -tolerance "${BENCH_GATE_TOLERANCE:-25}" "$1" "$2"
