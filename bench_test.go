@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"repro/internal/atm"
+	"repro/internal/core"
 	"repro/internal/disk"
 	"repro/internal/experiments"
 	"repro/internal/fabric"
@@ -25,6 +26,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/tertiary"
+	"repro/internal/vodsite"
 )
 
 func BenchmarkE1TileVsFrameLatency(b *testing.B) {
@@ -420,6 +422,59 @@ func BenchmarkNameResolve(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := ns.Resolve("/svc/storage/volumes/v0"); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSiteAdmission measures the multi-server replica-selecting
+// admission hot path: one site-level Admit (least-committed replica
+// ordering plus the link∧disk conjunction on the chosen node) and its
+// Release, over a 4-node site with a fully replicated 8-title catalog.
+func BenchmarkSiteAdmission(b *testing.B) {
+	const (
+		nodes, viewers, titles = 4, 16, 8
+		frameBytes, frameHz    = 4800, 100
+		round                  = 500 * sim.Millisecond
+	)
+	titleBytes := 2 * int64(frameHz) * int64(round) / int64(sim.Second) * frameBytes
+	siteCfg := core.DefaultSiteConfig()
+	siteCfg.Ports = nodes + viewers
+	site := core.NewSite(siteCfg)
+	ctrl := vodsite.New(site, vodsite.Config{
+		PeakRate:            5_300_000,
+		BaseReplicas:        2,
+		ReplicationDisabled: true,
+	})
+	for i := 0; i < nodes; i++ {
+		ctrl.AddNode(site.NewStorageServer("n", 256<<10, int64(titles*6+16)))
+	}
+	ports := make([]int, viewers)
+	for i := range ports {
+		ports[i] = site.Attach("v").Port
+	}
+	titleNames := make([]string, titles)
+	for i := range titleNames {
+		titleNames[i] = fmt.Sprintf("t%d", i)
+		ctrl.AddTitle(titleNames[i], titleBytes, frameBytes, frameHz)
+	}
+	if err := ctrl.Place(); err != nil {
+		b.Fatal(err)
+	}
+	site.Sim.Run()
+	ctrl.Start(fileserver.CMConfig{Round: round})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := ctrl.Admit(titleNames[i%titles], ports[i%viewers])
+		if err != nil {
+			b.Fatal(err)
+		}
+		st.Release()
+		if i%256 == 255 {
+			// Drain the primed read-ahead I/O outside the timer (the CM
+			// tickers never stop, so a bounded advance, not Run).
+			b.StopTimer()
+			site.Sim.RunFor(20 * sim.Second)
+			b.StartTimer()
 		}
 	}
 }

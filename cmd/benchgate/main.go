@@ -116,7 +116,7 @@ func main() {
 	}
 
 	results := compare(old, cur, *metric, *tolerance)
-	bad := 0
+	bad, added := 0, 0
 	fmt.Printf("benchgate: %s vs %s (%s, tolerance %.0f%%)\n",
 		flag.Arg(0), flag.Arg(1), *metric, *tolerance)
 	for _, r := range results {
@@ -126,6 +126,7 @@ func main() {
 			bad++
 		case r.added:
 			fmt.Printf("  new      %-50s %14.1f\n", r.name, r.new)
+			added++
 		case r.regress:
 			fmt.Printf("  REGRESS  %-50s %14.1f -> %14.1f  %+7.1f%%\n", r.name, r.old, r.new, r.delta)
 			bad++
@@ -133,9 +134,15 @@ func main() {
 			fmt.Printf("  ok       %-50s %14.1f -> %14.1f  %+7.1f%%\n", r.name, r.old, r.new, r.delta)
 		}
 	}
+	if added > 0 {
+		// A benchmark the baseline has never seen is information, not a
+		// verdict: it gates from the next baseline refresh, no hand-edit
+		// needed to get this run green.
+		fmt.Printf("benchgate: %d new benchmark(s), informational only\n", added)
+	}
 	if bad > 0 {
 		fmt.Fprintf(os.Stderr, "benchgate: %d benchmark(s) failed the gate\n", bad)
 		os.Exit(1)
 	}
-	fmt.Printf("benchgate: %d benchmark(s) within tolerance\n", len(results))
+	fmt.Printf("benchgate: %d benchmark(s) within tolerance\n", len(results)-added)
 }

@@ -59,3 +59,26 @@ func TestCompareIgnoresOtherMetrics(t *testing.T) {
 		t.Errorf("benchmarks without the gated metric produced results: %+v", rs)
 	}
 }
+
+// New benchmarks — present in the run, absent from the baseline — are
+// informational whatever their value: the gate must pass without a
+// hand-edited baseline, naming them as new rather than judging them.
+func TestCompareNewBenchmarksNeverGate(t *testing.T) {
+	old := rec(nsop("A", 100))
+	cur := rec(nsop("A", 100), nsop("SiteAdmission", 1e12), nsop("Tiny", 0.001))
+	rs := compare(old, cur, "ns/op", 25)
+	if len(rs) != 3 {
+		t.Fatalf("got %d results, want 3 (new entries must be named)", len(rs))
+	}
+	for _, name := range []string{"SiteAdmission", "Tiny"} {
+		r := find(t, rs, name)
+		if !r.added || r.regress {
+			t.Errorf("%s: %+v, want added and not gating", name, r)
+		}
+	}
+	for _, r := range rs {
+		if r.regress {
+			t.Fatalf("record with only new additions gated: %+v", r)
+		}
+	}
+}

@@ -8,6 +8,8 @@
 //	pegload                                   # 50 ws × 10 streams, 10 s
 //	pegload -pattern vod -ws 64 -streams 8
 //	pegload -from-storage -ws 100 -streams 25 -servers 4
+//	pegload -cluster -ws 24 -streams 2 -servers 4 -titles 8 -zipf 1.6
+//	pegload -cluster -base-replicas 2 -fail-node-at 3 -fail-node 0
 //	pegload -cell-accurate -ws 8 -seconds 1   # exact per-cell model
 //	pegload -json
 //
@@ -44,17 +46,38 @@ func main() {
 		fromStorage = flag.Bool("from-storage", false,
 			"serve VoD titles from the servers' disk arrays through the CM round scheduler "+
 				"(admission = links AND disks); implies -pattern vod")
-		roundSecs = flag.Float64("round", 2,
-			"storage scheduler round in seconds (from-storage only)")
+		roundSecs = flag.Float64("round", 0,
+			"storage scheduler round in seconds (0 = mode default: 2 from-storage, 1 cluster)")
 		titleRounds = flag.Int("title-rounds", 4,
-			"stored title length in rounds; playout loops (from-storage only)")
-		check = flag.Bool("check", false,
+			"stored title length in rounds; playout loops (storage-backed modes)")
+		cluster = flag.Bool("cluster", false,
+			"run the multi-server VoD site: -servers nodes under the vodsite controller, "+
+				"Zipf title requests admitted on whichever replica has room, reactive replication")
+		titles       = flag.Int("titles", 0, "cluster catalog size (0 = 2x servers)")
+		zipfS        = flag.Float64("zipf", 0, "cluster Zipf popularity exponent (0 = 1.3)")
+		seed         = flag.Int64("seed", 0, "cluster request-sampling seed (0 = 1)")
+		baseReplicas = flag.Int("base-replicas", 0, "initial replicas per title (0 = 1)")
+		refusalThr   = flag.Int("refusal-threshold", 0,
+			"title refusals before reactive replication (0 = 3)")
+		maxReplicas = flag.Int("max-replicas", 0, "replica cap per title (0 = every node)")
+		noRepl      = flag.Bool("no-replication", false,
+			"disable reactive replication (the hot-title ablation)")
+		failNodeAt = flag.Float64("fail-node-at", 0,
+			"seconds into the run to tear one node down (0 = never)")
+		failNode = flag.Int("fail-node", 0, "node to tear down with -fail-node-at")
+		check    = flag.Bool("check", false,
 			"exit 1 unless streams were admitted, frames delivered, and no "+
 				"storage buffer underruns occurred")
 		minStorage = flag.Int("min-storage-streams", 0,
 			"exit 1 unless at least this many disk-backed streams are up")
 		expectRefusals = flag.Bool("expect-storage-refusals", false,
 			"exit 1 unless storage admission refused at least one title (over-subscription proof)")
+		minActiveNodes = flag.Int("min-active-nodes", 0,
+			"exit 1 unless at least this many nodes admitted streams (cluster)")
+		expectReplication = flag.Bool("expect-replication", false,
+			"exit 1 unless at least one reactive replication completed (cluster)")
+		expectRecovered = flag.Bool("expect-recovered", false,
+			"exit 1 unless node failure recovered at least one stream (cluster)")
 		asJSON = flag.Bool("json", false, "emit the scoreboard as JSON")
 	)
 	flag.Parse()
@@ -74,6 +97,17 @@ func main() {
 		// frame periods, not 299999999 ns (which admission would refuse).
 		Round:       sim.Duration(math.Round(*roundSecs * float64(sim.Second))),
 		TitleRounds: *titleRounds,
+
+		Cluster:             *cluster,
+		Titles:              *titles,
+		ZipfS:               *zipfS,
+		Seed:                *seed,
+		BaseReplicas:        *baseReplicas,
+		RefusalThreshold:    *refusalThr,
+		MaxReplicas:         *maxReplicas,
+		ReplicationDisabled: *noRepl,
+		FailNodeAt:          sim.Duration(math.Round(*failNodeAt * float64(sim.Second))),
+		FailNode:            *failNode,
 	}
 	switch *pattern {
 	case "mesh":
@@ -112,8 +146,8 @@ func main() {
 		if res.Underruns != 0 {
 			fail("%d buffer underruns among admitted streams", res.Underruns)
 		}
-		if *fromStorage && res.DiskBytesRead == 0 {
-			fail("from-storage run read nothing off the disks")
+		if (*fromStorage || *cluster) && res.DiskBytesRead == 0 {
+			fail("storage-backed run read nothing off the disks")
 		}
 	}
 	if *minStorage > 0 && res.StorageStreams < *minStorage {
@@ -121,6 +155,26 @@ func main() {
 	}
 	if *expectRefusals && res.StorageRefused == 0 {
 		fail("expected storage admission to refuse titles; it admitted everything")
+	}
+	if *minActiveNodes > 0 {
+		active := 0
+		for _, na := range res.NodeAdmissions {
+			if na > 0 {
+				active++
+			}
+		}
+		if active < *minActiveNodes {
+			fail("streams admitted on %d node(s) %v, want >= %d",
+				active, res.NodeAdmissions, *minActiveNodes)
+		}
+	}
+	if *expectReplication && res.ReplicasCompleted == 0 {
+		fail("expected a reactive replication to complete; %d triggered, %d completed",
+			res.ReplicasTriggered, res.ReplicasCompleted)
+	}
+	if *expectRecovered && res.FailoverRecovered == 0 {
+		fail("expected node failure to recover streams; recovered=0 dropped=%d",
+			res.FailoverDropped)
 	}
 	if failed {
 		os.Exit(1)

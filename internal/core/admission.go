@@ -1,0 +1,37 @@
+package core
+
+import (
+	"repro/internal/fileserver"
+	"repro/internal/netsig"
+)
+
+// AdmitGuaranteed performs end-to-end admission for one guaranteed
+// stream: the link half through signalling and — when cm is non-nil —
+// the disk half through the serving node's continuous-media service.
+// Admission is the conjunction of the two budgets: a stream exists only
+// if the links can carry it AND the disk heads can feed it. A refusal
+// by either half leaves nothing held; in particular a disk refusal
+// releases the link reservation taken a moment earlier, so a stream
+// that cannot be served never occupies a circuit.
+//
+// The caller classifies refusals by error: netsig.ErrAdmission is a
+// link refusal, fileserver.ErrOverCommit a disk refusal; anything else
+// from the disk half (ErrBadStream, ErrBadRound) is a misconfiguration,
+// not an over-subscription.
+func (st *Site) AdmitGuaranteed(inPort int, outPorts []int, peakRate int64,
+	cm *fileserver.CMService, title string, frameBytes, frameHz int,
+) (*netsig.Circuit, *fileserver.CMStream, error) {
+	circ, err := st.Signalling.Establish(inPort, outPorts, peakRate, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	if cm == nil {
+		return circ, nil, nil
+	}
+	h, err := cm.Admit(title, frameBytes, frameHz)
+	if err != nil {
+		_ = st.Signalling.TearDown(circ.ID)
+		return nil, nil, err
+	}
+	return circ, h, nil
+}

@@ -165,6 +165,38 @@ func (svc *CMService) CostPerRound(windowBytes int64) sim.Duration {
 	return svc.pos*sim.Duration(positionings) + svc.mech.TransferTime(worstDisk)
 }
 
+// streamRoundBytes validates frameBytes×frameHz against the round and
+// reports the per-round window size.
+func (svc *CMService) streamRoundBytes(frameBytes, frameHz int) (int64, error) {
+	if frameBytes <= 0 || frameHz <= 0 {
+		return 0, fmt.Errorf("%w: non-positive rate", ErrBadStream)
+	}
+	ticks := int64(frameHz) * int64(svc.cfg.Round)
+	if ticks%int64(sim.Second) != 0 || ticks < int64(sim.Second) {
+		return 0, fmt.Errorf("%w: %v at %d Hz", ErrBadRound, svc.cfg.Round, frameHz)
+	}
+	return ticks / int64(sim.Second) * int64(frameBytes), nil
+}
+
+// StreamCost reports the per-disk round time a stream at frameBytes ×
+// frameHz would charge — the probe half of Admit, for replica selection
+// and site-level admission checks that must hold nothing.
+func (svc *CMService) StreamCost(frameBytes, frameHz int) (sim.Duration, error) {
+	rb, err := svc.streamRoundBytes(frameBytes, frameHz)
+	if err != nil {
+		return 0, err
+	}
+	return svc.CostPerRound(rb), nil
+}
+
+// CanServe reports whether Admit would accept a stream at frameBytes ×
+// frameHz right now — the budget half of admission without the
+// per-file validation, holding nothing.
+func (svc *CMService) CanServe(frameBytes, frameHz int) bool {
+	cost, err := svc.StreamCost(frameBytes, frameHz)
+	return err == nil && svc.committed+cost <= svc.budget
+}
+
 // cmBuf is one round window of a stream's double buffer.
 type cmBuf struct {
 	data     []byte
@@ -206,15 +238,10 @@ func (svc *CMService) Admit(path string, frameBytes, frameHz int) (*CMStream, er
 	if !ok || !st.continuous {
 		return nil, fmt.Errorf("%w: %s", ErrBadStream, path)
 	}
-	if frameBytes <= 0 || frameHz <= 0 {
-		return nil, fmt.Errorf("%w: %s: non-positive rate", ErrBadStream, path)
+	roundBytes, err := svc.streamRoundBytes(frameBytes, frameHz)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	ticks := int64(frameHz) * int64(svc.cfg.Round)
-	if ticks%int64(sim.Second) != 0 || ticks < int64(sim.Second) {
-		return nil, fmt.Errorf("%w: %v at %d Hz", ErrBadRound, svc.cfg.Round, frameHz)
-	}
-	framesPerRound := ticks / int64(sim.Second)
-	roundBytes := framesPerRound * int64(frameBytes)
 	if st.size < roundBytes || st.size%roundBytes != 0 {
 		return nil, fmt.Errorf("%w: %s: %d bytes is not a whole number of %d-byte rounds",
 			ErrBadStream, path, st.size, roundBytes)

@@ -27,6 +27,7 @@ import (
 	"repro/internal/raid"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/vodsite"
 )
 
 // Pattern selects the traffic topology.
@@ -96,9 +97,60 @@ type Config struct {
 	// each title in rounds (default 4); playout loops over it.
 	Round       sim.Duration
 	TitleRounds int
+
+	// Cluster runs the multi-server VoD site: Servers storage nodes
+	// under an internal/vodsite controller, a Zipf-ranked title catalog
+	// placed across them, and every request admitted on whichever
+	// replica's link∧disk budgets have room (unicast: one circuit per
+	// viewer request, unlike the shared fan-out of plain VoD). Requests
+	// a hot title over-subscribes are refused, which triggers reactive
+	// replication; refused requests retry when a new replica joins the
+	// catalog. Implies storage-backed serving; Round defaults to 1 s.
+	Cluster bool
+
+	// Titles is the catalog size (default 2×Servers). ZipfS is the
+	// popularity exponent of both placement and request sampling
+	// (default 1.3); Seed seeds the request sampler (default 1).
+	Titles int
+	ZipfS  float64
+	Seed   int64
+
+	// BaseReplicas / RefusalThreshold / MaxReplicas /
+	// ReplicationDisabled pass through to vodsite.Config.
+	BaseReplicas        int
+	RefusalThreshold    int
+	MaxReplicas         int
+	ReplicationDisabled bool
+
+	// FailNodeAt tears node FailNode down that far into the run
+	// (0: never): its circuits are released and its streams re-admitted
+	// on surviving replicas.
+	FailNodeAt sim.Duration
+	FailNode   int
 }
 
 func (c *Config) setDefaults() {
+	if c.Cluster {
+		c.Pattern = VoD
+		if c.Servers == 0 {
+			c.Servers = 4
+		}
+		if c.Round == 0 {
+			c.Round = sim.Second
+		}
+		if c.TitleRounds == 0 {
+			c.TitleRounds = 4
+		}
+		if c.Titles == 0 {
+			c.Titles = 2 * c.Servers
+		}
+		if c.ZipfS == 0 {
+			c.ZipfS = 1.3
+		}
+		if c.Seed == 0 {
+			c.Seed = 1
+		}
+	}
 	if c.FromStorage {
 		c.Pattern = VoD
 		if c.Round == 0 {
@@ -164,13 +216,24 @@ type Result struct {
 	LatencyP50, LatencyP99, LatencyMax float64
 	JitterP50, JitterP99               float64
 
-	// Storage-backed serving (FromStorage runs only).
-	StorageStreams int   // disk-backed title streams admitted and up
-	StorageRefused int   // titles refused by disk-bandwidth admission
+	// Storage-backed serving (FromStorage and Cluster runs).
+	StorageStreams int // disk-backed title streams admitted and up
+	// StorageRefused counts disk-bandwidth refusals: titles refused
+	// (FromStorage), or per-replica refusal attempts during selection
+	// (Cluster — one site refusal probes several replicas).
+	StorageRefused int
 	RoundOverruns  int64 // scheduler rounds whose reads outlived the round
 	Underruns      int64 // playout ticks that found no buffered data
 	StorageBytes   int64 // bytes streamed out of server read-ahead buffers
 	DiskBytesRead  int64 // bytes the server disk heads actually read
+
+	// Multi-server site scoreboard (Cluster runs only).
+	NodeAdmissions    []int64 // cumulative admissions per node (incl. failover)
+	SiteRefused       int     // requests no replica could carry, still pending at end
+	ReplicasTriggered int64   // reactive replications scheduled
+	ReplicasCompleted int64   // replicas that joined the catalog
+	FailoverRecovered int64   // streams re-admitted on surviving replicas
+	FailoverDropped   int64   // streams lost with their node
 }
 
 // String renders the scoreboard.
@@ -187,12 +250,22 @@ func (r Result) String() string {
 		r.WallSeconds, r.EventsPerSec/1e6, r.CellsPerSec/1e6,
 		sim.Duration(r.LatencyP50), sim.Duration(r.LatencyP99), sim.Duration(r.LatencyMax),
 		sim.Duration(r.JitterP50), sim.Duration(r.JitterP99))
-	if r.Config.FromStorage {
+	if r.Config.FromStorage || r.Config.Cluster {
 		s += fmt.Sprintf(
 			"\n  storage: streams=%d refused=%d underruns=%d overruns=%d"+
 				" streamed=%.1fMB disk-read=%.1fMB",
 			r.StorageStreams, r.StorageRefused, r.Underruns, r.RoundOverruns,
 			float64(r.StorageBytes)/1e6, float64(r.DiskBytesRead)/1e6)
+	}
+	if r.Config.Cluster {
+		s += fmt.Sprintf(
+			"\n  site: node-admissions=%v site-refused=%d"+
+				" replicas triggered=%d completed=%d",
+			r.NodeAdmissions, r.SiteRefused, r.ReplicasTriggered, r.ReplicasCompleted)
+		if r.Config.FailNodeAt > 0 {
+			s += fmt.Sprintf("\n  failover: recovered=%d dropped=%d",
+				r.FailoverRecovered, r.FailoverDropped)
+		}
 	}
 	return s
 }
@@ -371,29 +444,30 @@ func (st *Stream) establish() error {
 	for i, d := range st.dsts {
 		ports[i] = d.Port
 	}
-	circ, err := st.sc.site.Signalling.Establish(st.from.Port, ports, st.sc.cfg.PeakRate, false)
-	if err != nil {
+	// End-to-end admission is a conjunction: the links must say yes AND,
+	// for storage-backed titles, the disk heads too. The helper holds
+	// nothing on refusal by either half.
+	var cm *fileserver.CMService
+	if st.title != "" {
+		cm = st.server.CM
+	}
+	circ, h, err := st.sc.site.AdmitGuaranteed(st.from.Port, ports, st.sc.cfg.PeakRate,
+		cm, st.title, st.sc.cfg.FrameBytes, st.sc.cfg.FrameHz)
+	switch {
+	case err == nil:
+	case errors.Is(err, fileserver.ErrOverCommit):
+		st.sc.storageRefused++
+		return err
+	case errors.Is(err, fileserver.ErrBadStream) || errors.Is(err, fileserver.ErrBadRound):
+		// Not a bandwidth refusal but a scenario bug (ragged title, bad
+		// round/Hz): counting it as a refusal would let a
+		// misconfiguration impersonate the over-subscription proof.
+		panic(fmt.Sprintf("loadgen: title %s not servable: %v", st.title, err))
+	default: // link refusal
 		st.sc.rejected += len(ports)
 		return err
 	}
-	if st.title != "" {
-		// End-to-end admission is a conjunction: the links said yes,
-		// now the disk heads must too. A storage refusal releases the
-		// link reservation — nothing is held for a stream that cannot
-		// be served.
-		h, aerr := st.server.CM.Admit(st.title, st.sc.cfg.FrameBytes, st.sc.cfg.FrameHz)
-		if aerr != nil {
-			_ = st.sc.site.Signalling.TearDown(circ.ID)
-			if !errors.Is(aerr, fileserver.ErrOverCommit) {
-				// Not a bandwidth refusal but a scenario bug (ragged
-				// title, bad round/Hz): counting it as a refusal would
-				// let a misconfiguration impersonate the
-				// over-subscription proof.
-				panic(fmt.Sprintf("loadgen: title %s not servable: %v", st.title, aerr))
-			}
-			st.sc.storageRefused++
-			return aerr
-		}
+	if h != nil {
 		st.cmh = h
 		st.src.cm = h
 		h.OnReady(func() {
@@ -435,6 +509,13 @@ type Scenario struct {
 
 	streams []*Stream
 
+	// Cluster-mode state: the site controller, every viewer request,
+	// and the requests no replica could carry (retried when a reactive
+	// replication lands).
+	ctrl     *vodsite.Controller
+	requests []*clusterReq
+	pending  []*clusterReq
+
 	admitted, rejected, tornDown int
 	storageRefused               int
 	framesSent                   int64
@@ -456,6 +537,10 @@ func (sc *Scenario) Streams() []*Stream { return sc.streams }
 func Build(cfg Config) *Scenario {
 	cfg.setDefaults()
 	sc := &Scenario{cfg: cfg}
+	if cfg.Cluster {
+		sc.buildCluster()
+		return sc
+	}
 
 	n, m := cfg.Workstations, cfg.StreamsPerWS
 	siteCfg := core.DefaultSiteConfig()
@@ -606,6 +691,14 @@ func (sc *Scenario) Run() Result {
 			st.src.start(st.phase)
 		}
 	}
+	if sc.cfg.Cluster && sc.cfg.FailNodeAt > 0 {
+		idx := sc.cfg.FailNode % len(sc.ctrl.Nodes())
+		if idx < 0 { // Go's % preserves sign
+			idx += len(sc.ctrl.Nodes())
+		}
+		node := sc.ctrl.Nodes()[idx]
+		sc.site.Sim.PostAfter(sc.cfg.FailNodeAt, func() { sc.ctrl.FailNode(node) })
+	}
 	sc.runStart = sc.site.Sim.Now()
 	sc.firedStart = sc.site.Sim.Fired()
 	wall := time.Now()
@@ -635,15 +728,23 @@ func (sc *Scenario) collect(wall time.Duration) Result {
 		r.EventsPerSec = float64(r.EventsFired) / r.WallSeconds
 		r.CellsPerSec = float64(r.CellsDelivered) / r.WallSeconds
 	}
-	if sc.cfg.FromStorage {
+	if sc.cfg.FromStorage || sc.cfg.Cluster {
 		r.StorageRefused = sc.storageRefused
 		for _, st := range sc.streams {
 			if st.cmh != nil {
 				r.StorageStreams++
 			}
 		}
+		for _, req := range sc.requests {
+			if req.st != nil && !req.st.Released() {
+				r.StorageStreams++
+			}
+		}
 		for _, ss := range sc.Servers {
 			if ss.CM != nil {
+				if sc.cfg.Cluster {
+					r.StorageRefused += int(ss.CM.Stats.Refused)
+				}
 				r.RoundOverruns += ss.CM.Stats.RoundOverruns
 				r.Underruns += ss.CM.Stats.Underruns
 				r.StorageBytes += ss.CM.Stats.BytesStreamed
@@ -652,6 +753,15 @@ func (sc *Scenario) collect(wall time.Duration) Result {
 			for i := 0; i < raid.TotalDisks; i++ {
 				r.DiskBytesRead += arr.Disk(i).Stats.BytesRead
 			}
+		}
+	}
+	if sc.cfg.Cluster {
+		st := sc.ctrl.Stats
+		r.SiteRefused = len(sc.pending)
+		r.ReplicasTriggered, r.ReplicasCompleted = st.ReplicasTriggered, st.ReplicasCompleted
+		r.FailoverRecovered, r.FailoverDropped = st.FailoverRecovered, st.FailoverDropped
+		for _, nd := range sc.ctrl.Nodes() {
+			r.NodeAdmissions = append(r.NodeAdmissions, nd.Admissions)
 		}
 	}
 	return r

@@ -34,7 +34,10 @@ type Circuit struct {
 	InPort   int
 	OutPorts []int // point-to-multipoint leaves
 	PeakRate int64 // bits per second, admission-controlled
-	Ctrl     bool
+
+	Ctrl bool
+
+	uplinked bool // charged against the input port's uplink budget
 }
 
 // Manager is the management process: it owns a switch's routing tables
@@ -43,6 +46,14 @@ type Manager struct {
 	sw        *fabric.Switch
 	committed []int64 // per output port, bits/s
 	capacity  []int64 // per output port, bits/s
+
+	// Uplink admission (opt-in): the input port's link into the switch
+	// is a budget too. A point-to-multipoint circuit crosses it once —
+	// the switch, not the sender, fans the cells out — so the charge is
+	// per circuit, not per leaf.
+	uplink      bool
+	committedIn []int64
+	capacityIn  []int64
 
 	nextVCI atm.VCI
 	nextID  int
@@ -58,14 +69,17 @@ type Manager struct {
 // every attached output link (per-port overrides via SetPortCapacity).
 func NewManager(sw *fabric.Switch, linkRate int64) *Manager {
 	m := &Manager{
-		sw:        sw,
-		committed: make([]int64, sw.Ports()),
-		capacity:  make([]int64, sw.Ports()),
-		nextVCI:   1000,
-		open:      make(map[int]*Circuit),
+		sw:          sw,
+		committed:   make([]int64, sw.Ports()),
+		capacity:    make([]int64, sw.Ports()),
+		committedIn: make([]int64, sw.Ports()),
+		capacityIn:  make([]int64, sw.Ports()),
+		nextVCI:     1000,
+		open:        make(map[int]*Circuit),
 	}
 	for i := range m.capacity {
 		m.capacity[i] = linkRate
+		m.capacityIn[i] = linkRate
 	}
 	return m
 }
@@ -78,6 +92,53 @@ func (m *Manager) SetPortCapacity(port int, bits int64) {
 // Committed reports the admitted peak rate on an output port.
 func (m *Manager) Committed(port int) int64 { return m.committed[port] }
 
+// Capacity reports an output port's admission capacity.
+func (m *Manager) Capacity(port int) int64 { return m.capacity[port] }
+
+// EnableUplinkAdmission turns on uplink budgeting: every subsequent
+// guaranteed circuit is also admission-controlled against its input
+// port's link into the switch. A storage server's uplink carries every
+// stream it serves, so a multi-server site must budget it or the
+// per-leaf checks will happily promise more than the sender's link
+// carries.
+func (m *Manager) EnableUplinkAdmission() { m.uplink = true }
+
+// UplinkAdmission reports whether uplink budgeting is on.
+func (m *Manager) UplinkAdmission() bool { return m.uplink }
+
+// SetUplinkCapacity overrides one input port's uplink capacity.
+func (m *Manager) SetUplinkCapacity(port int, bits int64) {
+	m.capacityIn[port] = bits
+}
+
+// CommittedUplink reports the admitted peak rate into an input port's
+// uplink (always 0 while uplink admission is off).
+func (m *Manager) CommittedUplink(port int) int64 { return m.committedIn[port] }
+
+// UplinkCapacity reports an input port's uplink capacity.
+func (m *Manager) UplinkCapacity(port int) int64 { return m.capacityIn[port] }
+
+// CanEstablish reports whether Establish would admit the circuit right
+// now — the same leaf and uplink checks, holding nothing. Keep it next
+// to Establish: the two are one admission formula.
+func (m *Manager) CanEstablish(inPort int, outPorts []int, peakRate int64) bool {
+	if len(outPorts) == 0 {
+		return false
+	}
+	if peakRate <= 0 {
+		return true
+	}
+	for _, p := range outPorts {
+		if m.committed[p]+peakRate > m.capacity[p] {
+			return false
+		}
+	}
+	if m.uplink && m.committedIn[inPort]+peakRate > m.capacityIn[inPort] {
+		return false
+	}
+	return true
+}
+
 // Establish sets up a circuit from inPort to one or more output ports
 // at the given peak rate, allocating a fresh VCI. With zero peakRate
 // the circuit is best-effort (no admission, no guarantee) — the class
@@ -86,7 +147,9 @@ func (m *Manager) Establish(inPort int, outPorts []int, peakRate int64, ctrl boo
 	if len(outPorts) == 0 {
 		return nil, errors.New("netsig: circuit needs at least one leaf")
 	}
-	// Admission: every leaf's output link must have headroom.
+	// Admission: every leaf's output link — and, when uplink budgeting
+	// is on, the sender's link into the switch — must have headroom.
+	uplinked := false
 	if peakRate > 0 {
 		for _, p := range outPorts {
 			if m.committed[p]+peakRate > m.capacity[p] {
@@ -94,6 +157,15 @@ func (m *Manager) Establish(inPort int, outPorts []int, peakRate int64, ctrl boo
 				return nil, fmt.Errorf("%w: port %d committed %d + %d > %d",
 					ErrAdmission, p, m.committed[p], peakRate, m.capacity[p])
 			}
+		}
+		if m.uplink {
+			if m.committedIn[inPort]+peakRate > m.capacityIn[inPort] {
+				m.Refused++
+				return nil, fmt.Errorf("%w: uplink %d committed %d + %d > %d",
+					ErrAdmission, inPort, m.committedIn[inPort], peakRate, m.capacityIn[inPort])
+			}
+			m.committedIn[inPort] += peakRate
+			uplinked = true
 		}
 		for _, p := range outPorts {
 			m.committed[p] += peakRate
@@ -108,7 +180,7 @@ func (m *Manager) Establish(inPort int, outPorts []int, peakRate int64, ctrl boo
 	c := &Circuit{
 		ID: m.nextID, VCI: vci, InPort: inPort,
 		OutPorts: append([]int(nil), outPorts...),
-		PeakRate: peakRate, Ctrl: ctrl,
+		PeakRate: peakRate, Ctrl: ctrl, uplinked: uplinked,
 	}
 	m.open[c.ID] = c
 	m.Established++
@@ -161,6 +233,9 @@ func (m *Manager) TearDown(id int) error {
 	if c.PeakRate > 0 {
 		for _, p := range c.OutPorts {
 			m.committed[p] -= c.PeakRate
+		}
+		if c.uplinked {
+			m.committedIn[c.InPort] -= c.PeakRate
 		}
 	}
 	m.TornDown++

@@ -166,3 +166,54 @@ func TestAddLeafMulticastsAndAdmits(t *testing.T) {
 		t.Fatalf("multicast delivered %d/%d", len(recA.Cells), len(recB.Cells))
 	}
 }
+
+// TestUplinkAdmission: with uplink budgeting on, a sender's link into
+// the switch is a budget of its own — charged once per circuit however
+// many leaves fan out, refused when exhausted even though every leaf
+// has room, and released in full on teardown.
+func TestUplinkAdmission(t *testing.T) {
+	s := sim.New()
+	sw := fabric.NewSwitch(s, "sw", 4, 0)
+	m := netsig.NewManager(sw, 100)
+	m.EnableUplinkAdmission()
+	m.SetUplinkCapacity(0, 50)
+
+	// Multipoint: two leaves each charge their downlink, the uplink once.
+	c, err := m.Establish(0, []int{1, 2}, 30, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.CommittedUplink(0); got != 30 {
+		t.Fatalf("uplink committed %d after multipoint, want 30", got)
+	}
+	if m.Committed(1) != 30 || m.Committed(2) != 30 {
+		t.Fatalf("leaf commits %d/%d, want 30/30", m.Committed(1), m.Committed(2))
+	}
+
+	// Leaves have 70 spare each, but the uplink has only 20.
+	if _, err := m.Establish(0, []int{3}, 30, false); !errors.Is(err, netsig.ErrAdmission) {
+		t.Fatalf("uplink over-commit not refused: %v", err)
+	}
+	if m.Committed(3) != 0 {
+		t.Fatalf("refused circuit left %d committed on its leaf", m.Committed(3))
+	}
+
+	// A different sender is untouched by port 0's uplink budget.
+	c2, err := m.Establish(1, []int{3}, 30, false)
+	if err != nil {
+		t.Fatalf("independent uplink refused: %v", err)
+	}
+
+	if err := m.TearDown(c.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.TearDown(c2.ID); err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 4; p++ {
+		if m.CommittedUplink(p) != 0 || m.Committed(p) != 0 {
+			t.Fatalf("port %d: uplink=%d downlink=%d committed after teardown",
+				p, m.CommittedUplink(p), m.Committed(p))
+		}
+	}
+}

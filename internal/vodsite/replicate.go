@@ -1,0 +1,182 @@
+package vodsite
+
+// Reactive replication: when a title's refusals cross the threshold,
+// copy it onto the least-loaded node that doesn't hold it. The copy is
+// background traffic in the strictest sense — every read goes through
+// the source's ReadBestEffort queue, so it is served purely from round
+// slack and an admitted stream's guaranteed rounds are untouched. The
+// replica joins the catalog only once the copy is durable on the
+// target's array.
+
+// maybeReplicate schedules a background copy if the title's refusal
+// count has crossed the threshold and a source/target pair exists.
+func (c *Controller) maybeReplicate(t *Title) {
+	if c.cfg.ReplicationDisabled || t.copying {
+		return
+	}
+	if t.pendingRefusals < c.cfg.RefusalThreshold {
+		return
+	}
+	limit := len(c.nodes)
+	if c.cfg.MaxReplicas > 0 && c.cfg.MaxReplicas < limit {
+		limit = c.cfg.MaxReplicas
+	}
+	alive := 0
+	for _, n := range t.replicas {
+		if !n.failed {
+			alive++
+		}
+	}
+	if alive >= limit {
+		return
+	}
+	target := c.replicationTarget(t)
+	source := c.copySource(t)
+	if target == nil || source == nil || source.SS.CM == nil {
+		return
+	}
+	t.pendingRefusals = 0
+	t.copying = true
+	c.Stats.ReplicasTriggered++
+	j := &copyJob{c: c, t: t, src: source, dst: target}
+	c.copies = append(c.copies, j)
+	j.start()
+}
+
+// replicationTarget picks the copy destination: the alive non-holder
+// with the lowest *runtime* commitment (disk/uplink bottleneck) — not
+// the static placement weight, which says nothing about the load the
+// site has actually admitted since Place. Placement weight, then node
+// ID, break ties deterministically.
+func (c *Controller) replicationTarget(t *Title) *Node {
+	var best *Node
+	var bestScore float64
+	for _, n := range c.nodes {
+		if n.failed || t.holds(n) {
+			continue
+		}
+		s := c.nodeScore(n)
+		if best == nil || s < bestScore ||
+			(s == bestScore && n.weight < best.weight) {
+			best, bestScore = n, s
+		}
+	}
+	return best
+}
+
+// copySource picks the least-committed alive replica to read from —
+// the node with the most round slack for the best-effort copy reads.
+func (c *Controller) copySource(t *Title) *Node {
+	var best *Node
+	for _, n := range t.replicas {
+		if n.failed {
+			continue
+		}
+		if best == nil || c.nodeScore(n) < c.nodeScore(best) {
+			best = n
+		}
+	}
+	return best
+}
+
+// Copying reports background copies in flight.
+func (c *Controller) Copying() int { return len(c.copies) }
+
+// copyJob is one background replication: chunked best-effort reads off
+// the source, ordinary writes onto the target, a sync, then activation.
+type copyJob struct {
+	c        *Controller
+	t        *Title
+	src, dst *Node
+	off      int64
+	created  bool
+	aborted  bool
+}
+
+func (j *copyJob) start() {
+	if err := j.dst.SS.Server.Create(j.t.Name, true); err != nil {
+		j.abort()
+		return
+	}
+	j.created = true
+	j.step()
+}
+
+func (j *copyJob) step() {
+	if j.aborted {
+		return
+	}
+	if j.off >= j.t.Bytes {
+		j.finish()
+		return
+	}
+	off := j.off
+	n := int64(j.c.cfg.CopyChunk)
+	if rest := j.t.Bytes - off; rest < n {
+		n = rest
+	}
+	j.src.SS.CM.ReadBestEffort(j.t.Name, off, int(n), func(data []byte, err error) {
+		if j.aborted {
+			return
+		}
+		if err != nil {
+			j.abort()
+			return
+		}
+		if err := j.dst.SS.Server.Write(j.t.Name, off, data); err != nil {
+			j.abort()
+			return
+		}
+		j.off = off + int64(len(data))
+		j.step()
+	})
+}
+
+// finish makes the copy durable, then activates the replica: only a
+// synced replica may join the catalog (a node that crashes between copy
+// and sync must not be serving the title from volatile buffers).
+func (j *copyJob) finish() {
+	j.dst.SS.Server.FS().Sync(func(err error) {
+		if j.aborted {
+			return
+		}
+		if err != nil {
+			j.abort()
+			return
+		}
+		j.done()
+	})
+}
+
+func (j *copyJob) done() {
+	j.c.removeJob(j)
+	j.t.copying = false
+	j.t.replicas = append(j.t.replicas, j.dst)
+	j.c.Stats.ReplicasCompleted++
+	if cb := j.c.OnReplica; cb != nil {
+		cb(j.t, j.dst)
+	}
+}
+
+func (j *copyJob) abort() {
+	if j.aborted {
+		return
+	}
+	j.aborted = true
+	j.c.removeJob(j)
+	j.t.copying = false
+	j.c.Stats.ReplicasAborted++
+	// Remove the partial copy so a later attempt can start clean.
+	if j.created && !j.dst.failed {
+		_ = j.dst.SS.Server.Delete(j.t.Name)
+	}
+}
+
+func (c *Controller) removeJob(j *copyJob) {
+	for i, x := range c.copies {
+		if x == j {
+			c.copies = append(c.copies[:i], c.copies[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,495 @@
+// Package vodsite is the site controller for a multi-server VoD
+// installation: the layer the paper's distributed file-service model
+// implies once "the" storage server becomes many. Pegasus (§2.2, Fig 4)
+// hangs multiple multimedia storage servers off the ATM fabric and
+// leaves placement and selection to system software; this package is
+// that software.
+//
+//   - The controller owns a *title catalog*: title → replica set across
+//     N storage nodes, where each node is a PR-2 serving stack (a
+//     fileserver.CMService over a striped array) plus its netsig uplink
+//     budget into the switch.
+//   - *Initial placement* is driven by a Zipf popularity model: titles
+//     are placed hottest-first onto the node with the least expected
+//     load, so the catalog's popularity mass is spread across arrays
+//     before the first viewer arrives.
+//   - *Admission* tries a title's replicas in least-committed order and
+//     charges the usual conjunction — the viewer's downlink, the node's
+//     uplink, and the node's disk-time budget must all have room. A
+//     stream is refused only when every replica's (link ∧ disk)
+//     admission fails; the guarantee of any admitted stream is exactly
+//     the single-node guarantee of PR 2, just placed better.
+//   - *Reactive replication*: when a title's refusals cross a
+//     threshold, the controller schedules a background copy onto the
+//     least-loaded node. The copy reads through ReadBestEffort — round
+//     slack only, guaranteed rounds untouched — and the new replica
+//     joins the catalog when the copy is durable.
+//   - *Node failure*: FailNode releases the dead node's circuits and
+//     re-admits its streams on surviving replicas, counting recovered
+//     vs. dropped — the failure mode a distributed site exists to
+//     absorb.
+package vodsite
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/atm"
+	"repro/internal/core"
+	"repro/internal/fileserver"
+	"repro/internal/netsig"
+)
+
+// ErrNoReplica reports a stream refused because every replica's
+// link∧disk admission failed — the site-level refusal.
+var ErrNoReplica = errors.New("vodsite: no replica can carry the stream")
+
+// Config parameterises the site controller.
+type Config struct {
+	// PeakRate is the admitted peak bits/s per stream (required).
+	PeakRate int64
+
+	// ZipfS is the popularity exponent of the catalog's Zipf model
+	// (default 1.3): weight(rank r) ∝ 1/r^ZipfS, rank 1 hottest.
+	ZipfS float64
+
+	// BaseReplicas is the initial replica count per title (default 1).
+	// Placing hot catalogs at 2 keeps every title available across one
+	// node failure without waiting for reactive replication.
+	BaseReplicas int
+
+	// RefusalThreshold is the site-level refusal count on one title that
+	// triggers a reactive replication (default 3).
+	RefusalThreshold int
+
+	// MaxReplicas caps a title's replica set (default: every node).
+	MaxReplicas int
+
+	// ReplicationDisabled turns reactive replication off — the ablation
+	// that shows why a hot title must not stay on one array.
+	ReplicationDisabled bool
+
+	// CopyChunk is the bytes per best-effort read of a replication copy
+	// (default 256 KiB).
+	CopyChunk int
+}
+
+func (c *Config) setDefaults() {
+	if c.ZipfS == 0 {
+		c.ZipfS = 1.3
+	}
+	if c.BaseReplicas == 0 {
+		c.BaseReplicas = 1
+	}
+	if c.RefusalThreshold == 0 {
+		c.RefusalThreshold = 3
+	}
+	if c.CopyChunk == 0 {
+		c.CopyChunk = 256 << 10
+	}
+}
+
+// Stats counts site-level activity.
+type Stats struct {
+	Admitted int64 // streams admitted (some replica said yes)
+	Refused  int64 // streams refused by every replica
+
+	ReplicasTriggered int64 // background copies scheduled
+	ReplicasCompleted int64 // replicas that joined the catalog
+	ReplicasAborted   int64 // copies abandoned (node failure, I/O error)
+
+	FailoverRecovered int64 // streams re-admitted on surviving replicas
+	FailoverDropped   int64 // streams lost with their node
+}
+
+// Node is one storage node under the controller: a PR-2 serving stack
+// plus its uplink budget.
+type Node struct {
+	ID int
+	SS *core.StorageServer
+
+	// Admissions counts streams admitted on this node, cumulative,
+	// including failover re-admissions — the per-node scoreboard column.
+	Admissions int64
+
+	failed  bool
+	weight  float64 // popularity mass placed here (placement balance)
+	streams []*Stream
+}
+
+// Failed reports whether the node has been torn down.
+func (n *Node) Failed() bool { return n.failed }
+
+// Streams reports the node's currently served streams.
+func (n *Node) Streams() int { return len(n.streams) }
+
+func (n *Node) dropStream(st *Stream) {
+	for i, s := range n.streams {
+		if s == st {
+			n.streams = append(n.streams[:i], n.streams[i+1:]...)
+			return
+		}
+	}
+}
+
+// Title is one catalog entry: the stored stream and its replica set.
+type Title struct {
+	Name                string
+	Rank                int // 1-based popularity rank, 1 = hottest
+	Bytes               int64
+	FrameBytes, FrameHz int
+
+	// Refusals counts site-level refusals of this title, cumulative.
+	Refusals int64
+
+	replicas        []*Node
+	pendingRefusals int  // toward the next replication trigger
+	copying         bool // a background copy is in flight
+}
+
+// Replicas reports the nodes currently holding the title.
+func (t *Title) Replicas() []*Node { return append([]*Node(nil), t.replicas...) }
+
+// Stream is one admitted site stream: the chosen replica, its circuit
+// and its disk reservation. Tag is for the caller (the load generator
+// hangs its per-request state there); the controller never touches it.
+type Stream struct {
+	Title *Title
+	Tag   any
+
+	ctrl       *Controller
+	node       *Node
+	circ       *netsig.Circuit
+	cm         *fileserver.CMStream
+	viewerPort int
+	released   bool
+}
+
+// Node reports the replica currently serving the stream.
+func (st *Stream) Node() *Node { return st.node }
+
+// VCI reports the stream's current circuit number (0 when released).
+func (st *Stream) VCI() atm.VCI {
+	if st.circ == nil {
+		return 0
+	}
+	return st.circ.VCI
+}
+
+// CM exposes the stream's disk reservation (playout pulls frames from
+// it); nil after release.
+func (st *Stream) CM() *fileserver.CMStream { return st.cm }
+
+// Released reports whether the stream is down (released or dropped).
+func (st *Stream) Released() bool { return st.released }
+
+// Release tears the stream down end to end: circuit and disk
+// reservation both return to their budgets.
+func (st *Stream) Release() {
+	if st.released {
+		return
+	}
+	st.released = true
+	st.teardown()
+}
+
+func (st *Stream) teardown() {
+	if st.circ != nil {
+		_ = st.ctrl.site.Signalling.TearDown(st.circ.ID)
+		st.circ = nil
+	}
+	if st.cm != nil {
+		st.cm.Release()
+		st.cm = nil
+	}
+	if st.node != nil {
+		st.node.dropStream(st)
+		st.node = nil
+	}
+}
+
+// Controller is the site controller: catalog, placement, admission,
+// replication and failover over N storage nodes.
+type Controller struct {
+	site   *core.Site
+	cfg    Config
+	nodes  []*Node
+	titles map[string]*Title
+	ranked []*Title // rank order, hottest first
+	copies []*copyJob
+
+	// OnReplica fires when a background copy completes and the replica
+	// joins the catalog — the load generator retries refused requests.
+	OnReplica func(t *Title, n *Node)
+	// OnReadmit fires for each stream moved to a surviving replica by
+	// FailNode; the caller rewires its sink to st.VCI() and restarts
+	// playout from st.CM().
+	OnReadmit func(st *Stream)
+	// OnDrop fires for each stream FailNode could not re-admit.
+	OnDrop func(st *Stream)
+
+	Stats Stats
+}
+
+// New builds a controller over the site. It turns on netsig uplink
+// admission: from here on a node's link into the switch is a budget,
+// not a hope.
+func New(site *core.Site, cfg Config) *Controller {
+	cfg.setDefaults()
+	if cfg.PeakRate <= 0 {
+		panic("vodsite: Config.PeakRate is required")
+	}
+	site.Signalling.EnableUplinkAdmission()
+	return &Controller{
+		site:   site,
+		cfg:    cfg,
+		titles: make(map[string]*Title),
+	}
+}
+
+// Site exposes the underlying site.
+func (c *Controller) Site() *core.Site { return c.site }
+
+// Nodes exposes the storage nodes in ID order.
+func (c *Controller) Nodes() []*Node { return c.nodes }
+
+// AddNode registers a storage node with the controller.
+func (c *Controller) AddNode(ss *core.StorageServer) *Node {
+	n := &Node{ID: len(c.nodes), SS: ss}
+	c.nodes = append(c.nodes, n)
+	return n
+}
+
+// AddTitle registers a catalog entry. Call in popularity order, hottest
+// first: the insertion order is the Zipf rank placement works from.
+func (c *Controller) AddTitle(name string, bytes int64, frameBytes, frameHz int) *Title {
+	t := &Title{
+		Name: name, Rank: len(c.ranked) + 1, Bytes: bytes,
+		FrameBytes: frameBytes, FrameHz: frameHz,
+	}
+	c.titles[name] = t
+	c.ranked = append(c.ranked, t)
+	return t
+}
+
+// Lookup returns a catalog entry (nil if unknown).
+func (c *Controller) Lookup(name string) *Title { return c.titles[name] }
+
+// Titles exposes the catalog in rank order.
+func (c *Controller) Titles() []*Title { return c.ranked }
+
+// Place performs initial placement: titles hottest-first, each replica
+// onto the alive node carrying the least popularity mass, and writes
+// the title's bytes there through the ordinary service path. The caller
+// drains the simulator afterwards (the writes are real disk I/O) and
+// then calls Start.
+func (c *Controller) Place() error {
+	if len(c.nodes) == 0 {
+		return errors.New("vodsite: no nodes to place on")
+	}
+	w := Weights(len(c.ranked), c.cfg.ZipfS)
+	for i, t := range c.ranked {
+		r := min(c.cfg.BaseReplicas, len(c.nodes))
+		for j := 0; j < r; j++ {
+			n := c.placementTarget(t)
+			if n == nil {
+				break
+			}
+			t.replicas = append(t.replicas, n)
+			n.weight += w[i] / float64(r)
+			if err := writeTitle(n, t); err != nil {
+				return fmt.Errorf("vodsite: place %s on node %d: %w", t.Name, n.ID, err)
+			}
+		}
+	}
+	for _, n := range c.nodes {
+		n.SS.Server.FS().Sync(func(err error) {
+			if err != nil {
+				panic(fmt.Sprintf("vodsite: placement sync: %v", err))
+			}
+		})
+	}
+	return nil
+}
+
+// placementTarget picks the least-loaded alive node not yet holding t.
+func (c *Controller) placementTarget(t *Title) *Node {
+	var best *Node
+	for _, n := range c.nodes {
+		if n.failed || t.holds(n) {
+			continue
+		}
+		if best == nil || n.weight < best.weight {
+			best = n
+		}
+	}
+	return best
+}
+
+func (t *Title) holds(n *Node) bool {
+	for _, r := range t.replicas {
+		if r == n {
+			return true
+		}
+	}
+	return false
+}
+
+// writeTitle formats a title's bytes onto a node with a deterministic
+// per-rank pattern (replica copies are byte-comparable in tests).
+func writeTitle(n *Node, t *Title) error {
+	if err := n.SS.Server.Create(t.Name, true); err != nil {
+		return err
+	}
+	chunk := make([]byte, 64<<10)
+	for off := int64(0); off < t.Bytes; off += int64(len(chunk)) {
+		m := min(int64(len(chunk)), t.Bytes-off)
+		for i := int64(0); i < m; i++ {
+			chunk[i] = titleByte(t.Rank, off+i)
+		}
+		if err := n.SS.Server.Write(t.Name, off, chunk[:m]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func titleByte(rank int, off int64) byte {
+	return byte((off*131 + int64(rank)*37) % 251)
+}
+
+// Start enables the continuous-media serving service on every node.
+// Call after placement has been drained to the arrays.
+func (c *Controller) Start(cfg fileserver.CMConfig) {
+	for _, n := range c.nodes {
+		n.SS.EnableCM(cfg)
+	}
+}
+
+// nodeScore is a node's bottleneck commitment: the larger of its
+// disk-time fraction and its uplink fraction. Replica selection and
+// replication targeting both order by it.
+func (c *Controller) nodeScore(n *Node) float64 {
+	var s float64
+	if cm := n.SS.CM; cm != nil && cm.Capacity() > 0 {
+		s = float64(cm.Committed()) / float64(cm.Capacity())
+	}
+	m := c.site.Signalling
+	if m.UplinkAdmission() {
+		p := n.SS.Net.Port
+		if cap := m.UplinkCapacity(p); cap > 0 {
+			if up := float64(m.CommittedUplink(p)) / float64(cap); up > s {
+				s = up
+			}
+		}
+	}
+	return s
+}
+
+// candidates returns a title's alive replicas in least-committed order
+// (ties by node ID, so selection is deterministic).
+func (c *Controller) candidates(t *Title) []*Node {
+	out := make([]*Node, 0, len(t.replicas))
+	for _, n := range t.replicas {
+		// A node without a started serving service cannot hold the disk
+		// half of the guarantee: it is not a candidate (Admit before
+		// Start refuses, exactly as CanAdmit reports).
+		if !n.failed && n.SS.CM != nil {
+			out = append(out, n)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		si, sj := c.nodeScore(out[i]), c.nodeScore(out[j])
+		if si != sj {
+			return si < sj
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// tryReplicas attempts link∧disk admission on each candidate replica in
+// least-committed order; it holds nothing on total failure.
+func (c *Controller) tryReplicas(t *Title, viewerPort int) (*Node, *netsig.Circuit, *fileserver.CMStream, error) {
+	var lastErr error
+	for _, n := range c.candidates(t) {
+		circ, h, err := c.site.AdmitGuaranteed(n.SS.Net.Port, []int{viewerPort},
+			c.cfg.PeakRate, n.SS.CM, t.Name, t.FrameBytes, t.FrameHz)
+		if err == nil {
+			return n, circ, h, nil
+		}
+		if errors.Is(err, fileserver.ErrBadStream) || errors.Is(err, fileserver.ErrBadRound) {
+			// A replica that cannot serve the title at all is a catalog
+			// bug, not an over-subscription; surface it.
+			return nil, nil, nil, err
+		}
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = errors.New("no alive replica")
+	}
+	return nil, nil, nil, fmt.Errorf("%w: %s: %v", ErrNoReplica, t.Name, lastErr)
+}
+
+// Admit admits one stream of a title to a viewer's port, trying
+// replicas in least-committed order. A refusal means every replica's
+// (link ∧ disk) admission failed; refusals feed the reactive
+// replication trigger.
+func (c *Controller) Admit(title string, viewerPort int) (*Stream, error) {
+	t := c.titles[title]
+	if t == nil {
+		return nil, fmt.Errorf("vodsite: unknown title %q", title)
+	}
+	n, circ, h, err := c.tryReplicas(t, viewerPort)
+	if err != nil {
+		if errors.Is(err, ErrNoReplica) {
+			c.Stats.Refused++
+			t.Refusals++
+			// Only replica-side refusals feed the replication trigger: a
+			// viewer whose own downlink is full would be refused however
+			// many replicas exist, and copying cannot help.
+			if c.viewerHasRoom(viewerPort) {
+				t.pendingRefusals++
+				c.maybeReplicate(t)
+			}
+		}
+		return nil, err
+	}
+	st := &Stream{Title: t, ctrl: c, node: n, circ: circ, cm: h, viewerPort: viewerPort}
+	n.streams = append(n.streams, st)
+	n.Admissions++
+	c.Stats.Admitted++
+	return st, nil
+}
+
+// viewerHasRoom reports whether the viewer's downlink alone could carry
+// one more stream.
+func (c *Controller) viewerHasRoom(port int) bool {
+	m := c.site.Signalling
+	return m.Committed(port)+c.cfg.PeakRate <= m.Capacity(port)
+}
+
+// CanAdmit reports whether some replica of the title could admit a
+// stream to the viewer right now — the pure probe of exactly the checks
+// Admit performs (netsig.CanEstablish ∧ CMService.CanServe), with no
+// side effects. The site-level admission invariant is Admit ⇔ CanAdmit.
+func (c *Controller) CanAdmit(title string, viewerPort int) bool {
+	t := c.titles[title]
+	if t == nil {
+		return false
+	}
+	for _, n := range t.replicas {
+		if n.failed || n.SS.CM == nil {
+			continue
+		}
+		if !c.site.Signalling.CanEstablish(n.SS.Net.Port, []int{viewerPort}, c.cfg.PeakRate) {
+			continue
+		}
+		if !n.SS.CM.CanServe(t.FrameBytes, t.FrameHz) {
+			continue
+		}
+		return true
+	}
+	return false
+}

@@ -1,0 +1,52 @@
+package vodsite
+
+import (
+	"math"
+	"sort"
+)
+
+// Weights returns the Zipf popularity weights of n ranked titles:
+// weight(rank r) = 1/r^s, hottest first, unnormalised. Placement
+// balances these across nodes; the load generator samples requests
+// from them.
+func Weights(n int, s float64) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1 / math.Pow(float64(i+1), s)
+	}
+	return w
+}
+
+// Zipf is a deterministic sampler over a ranked Zipf catalog: feed it
+// uniform variates, get title indexes (0 = hottest) with Zipf
+// frequencies. It carries no RNG of its own so callers keep full
+// control of determinism.
+type Zipf struct {
+	cdf []float64
+}
+
+// NewZipf builds a sampler over n titles with exponent s.
+func NewZipf(n int, s float64) *Zipf {
+	w := Weights(n, s)
+	var sum float64
+	for _, x := range w {
+		sum += x
+	}
+	cdf := make([]float64, n)
+	var acc float64
+	for i, x := range w {
+		acc += x / sum
+		cdf[i] = acc
+	}
+	cdf[n-1] = 1 // guard against rounding
+	return &Zipf{cdf: cdf}
+}
+
+// Sample maps a uniform variate u ∈ [0,1) to a title index.
+func (z *Zipf) Sample(u float64) int {
+	i := sort.SearchFloat64s(z.cdf, u)
+	if i >= len(z.cdf) {
+		i = len(z.cdf) - 1
+	}
+	return i
+}
