@@ -426,6 +426,95 @@ func BenchmarkNameResolve(b *testing.B) {
 	}
 }
 
+// sessionBenchSite builds a one-server site with a CM-served title for
+// the session-path benchmarks.
+func sessionBenchSite(b *testing.B) (*core.Site, *core.StorageServer, []int) {
+	const (
+		viewers             = 8
+		frameBytes, frameHz = 4800, 100
+		round               = 500 * sim.Millisecond
+	)
+	titleBytes := 2 * int64(frameHz) * int64(round) / int64(sim.Second) * frameBytes
+	siteCfg := core.DefaultSiteConfig()
+	siteCfg.Ports = viewers + 1
+	site := core.NewSite(siteCfg)
+	ss := site.NewStorageServer("vod", 256<<10, 64)
+	ports := make([]int, viewers)
+	for i := range ports {
+		ports[i] = site.Attach("v").Port
+	}
+	if err := ss.Server.Create("t", true); err != nil {
+		b.Fatal(err)
+	}
+	if err := ss.Server.Write("t", 0, make([]byte, titleBytes)); err != nil {
+		b.Fatal(err)
+	}
+	ss.Server.FS().Sync(func(err error) {
+		if err != nil {
+			b.Fatal(err)
+		}
+	})
+	site.Sim.Run()
+	ss.EnableCM(fileserver.CMConfig{Round: round})
+	return site, ss, ports
+}
+
+func sessionBenchSpec(ss *core.StorageServer, port int) core.SessionSpec {
+	return core.SessionSpec{
+		Class:      core.Guaranteed,
+		InPort:     ss.Net.Port,
+		OutPorts:   []int{port},
+		PeakRate:   5_300_000,
+		CM:         ss.CM,
+		Title:      "t",
+		FrameBytes: 4800,
+		FrameHz:    100,
+	}
+}
+
+// BenchmarkSessionOpen measures the end-to-end session admission hot
+// path: one OpenSession (link + uplink + disk conjunction) and its
+// Close, on a one-server site.
+func BenchmarkSessionOpen(b *testing.B) {
+	site, ss, ports := sessionBenchSite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := site.OpenSession(sessionBenchSpec(ss, ports[i%len(ports)]))
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.Close()
+		if i%256 == 255 {
+			// Drain the primed read-ahead I/O outside the timer (the CM
+			// ticker never stops, so a bounded advance, not Run).
+			b.StopTimer()
+			site.Sim.RunFor(20 * sim.Second)
+			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkSessionRenegotiate measures in-place renegotiation: one
+// shrink to half rate and one grow back per iteration, each adjusting
+// the link and disk budgets without teardown.
+func BenchmarkSessionRenegotiate(b *testing.B) {
+	site, ss, ports := sessionBenchSite(b)
+	s, err := site.OpenSession(sessionBenchSpec(ss, ports[0]))
+	if err != nil {
+		b.Fatal(err)
+	}
+	full := s.FullRate()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Renegotiate(full / 2); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Renegotiate(full); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSiteAdmission measures the multi-server replica-selecting
 // admission hot path: one site-level Admit (least-committed replica
 // ordering plus the link∧disk conjunction on the chosen node) and its

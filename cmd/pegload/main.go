@@ -10,6 +10,7 @@
 //	pegload -from-storage -ws 100 -streams 25 -servers 4
 //	pegload -cluster -ws 24 -streams 2 -servers 4 -titles 8 -zipf 1.6
 //	pegload -cluster -base-replicas 2 -fail-node-at 3 -fail-node 0
+//	pegload -adaptive -ws 6 -streams 2 -seconds 4 -expect-degraded
 //	pegload -cell-accurate -ws 8 -seconds 1   # exact per-cell model
 //	pegload -json
 //
@@ -37,7 +38,7 @@ func main() {
 		streams      = flag.Int("streams", 10, "streams admitted per workstation")
 		servers      = flag.Int("servers", 0, "VoD storage servers (0 = auto)")
 		seconds      = flag.Float64("seconds", 10, "simulated seconds")
-		frameBytes   = flag.Int("bytes", 960, "AAL5 payload bytes per frame")
+		frameBytes   = flag.Int("bytes", 0, "AAL5 payload bytes per frame (0 = mode default: 960; 19200 adaptive)")
 		frameHz      = flag.Int("hz", 100, "frames per second per stream")
 		peakRate     = flag.Int64("rate", 0, "admitted peak bits/s per stream (0 = auto)")
 		linkRate     = flag.Int64("linkrate", 0, "link bit rate (0 = 100 Mb/s)")
@@ -53,6 +54,14 @@ func main() {
 		cluster = flag.Bool("cluster", false,
 			"run the multi-server VoD site: -servers nodes under the vodsite controller, "+
 				"Zipf title requests admitted on whichever replica has room, reactive replication")
+		adaptive = flag.Bool("adaptive", false,
+			"run the degrade-instead-of-refuse scenario: unicast disk-backed streams opened "+
+				"as Adaptive-class sessions; an over-subscribed site scales sessions down the "+
+				"tier ladder instead of refusing and restores them as capacity frees")
+		guaranteedOnly = flag.Bool("guaranteed-only", false,
+			"force every -adaptive session to the Guaranteed class (the admit-or-refuse ablation)")
+		releaseAt = flag.Float64("release-at", 0,
+			"seconds into an -adaptive run to close every third stream (0 = half the run)")
 		titles       = flag.Int("titles", 0, "cluster catalog size (0 = 2x servers)")
 		zipfS        = flag.Float64("zipf", 0, "cluster Zipf popularity exponent (0 = 1.3)")
 		seed         = flag.Int64("seed", 0, "cluster request-sampling seed (0 = 1)")
@@ -78,6 +87,10 @@ func main() {
 			"exit 1 unless at least one reactive replication completed (cluster)")
 		expectRecovered = flag.Bool("expect-recovered", false,
 			"exit 1 unless node failure recovered at least one stream (cluster)")
+		expectDegraded = flag.Bool("expect-degraded", false,
+			"exit 1 unless at least one session dropped a quality tier (adaptive)")
+		expectRestored = flag.Bool("expect-restored", false,
+			"exit 1 unless at least one degraded session climbed back up (adaptive)")
 		asJSON = flag.Bool("json", false, "emit the scoreboard as JSON")
 	)
 	flag.Parse()
@@ -108,6 +121,10 @@ func main() {
 		ReplicationDisabled: *noRepl,
 		FailNodeAt:          sim.Duration(math.Round(*failNodeAt * float64(sim.Second))),
 		FailNode:            *failNode,
+
+		Adaptive:       *adaptive,
+		GuaranteedOnly: *guaranteedOnly,
+		ReleaseAt:      sim.Duration(math.Round(*releaseAt * float64(sim.Second))),
 	}
 	switch *pattern {
 	case "mesh":
@@ -146,7 +163,7 @@ func main() {
 		if res.Underruns != 0 {
 			fail("%d buffer underruns among admitted streams", res.Underruns)
 		}
-		if (*fromStorage || *cluster) && res.DiskBytesRead == 0 {
+		if (*fromStorage || *cluster || *adaptive) && res.DiskBytesRead == 0 {
 			fail("storage-backed run read nothing off the disks")
 		}
 	}
@@ -175,6 +192,13 @@ func main() {
 	if *expectRecovered && res.FailoverRecovered == 0 {
 		fail("expected node failure to recover streams; recovered=0 dropped=%d",
 			res.FailoverDropped)
+	}
+	if *expectDegraded && res.DegradeEvents == 0 {
+		fail("expected sessions to degrade instead of refuse; no tier drops happened")
+	}
+	if *expectRestored && res.RestoreEvents == 0 {
+		fail("expected freed capacity to restore degraded sessions; %d degrade events, 0 restores",
+			res.DegradeEvents)
 	}
 	if failed {
 		os.Exit(1)

@@ -1,0 +1,124 @@
+// QoS sessions: open disk-backed streams through the site's one
+// admission API (core.Site.OpenSession), then drive the §3.3
+// negotiate-down policy by hand — renegotiate a stream in place, watch
+// an over-subscribed Adaptive open degrade its peers instead of being
+// refused, and watch a close restore them.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fileserver"
+	"repro/internal/sim"
+)
+
+const (
+	frameBytes = 19200
+	frameHz    = 100
+	peakRate   = 24_000_000
+	round      = 500 * sim.Millisecond
+)
+
+func main() {
+	cfg := core.DefaultSiteConfig()
+	cfg.Ports = 8
+	site := core.NewSite(cfg)
+	site.Signalling.EnableUplinkAdmission()
+
+	// One storage node, one stored title, four viewers.
+	ss := site.NewStorageServer("vod", 64<<10, 128)
+	viewers := make([]*core.Endpoint, 4)
+	for i := range viewers {
+		viewers[i] = site.Attach(fmt.Sprintf("viewer%d", i))
+	}
+	titleBytes := 2 * int64(frameHz) * int64(round) / int64(sim.Second) * frameBytes
+	if err := ss.Server.Create("film", true); err != nil {
+		panic(err)
+	}
+	if err := ss.Server.Write("film", 0, make([]byte, titleBytes)); err != nil {
+		panic(err)
+	}
+	ss.Server.FS().Sync(func(err error) {
+		if err != nil {
+			panic(err)
+		}
+	})
+	site.Sim.Run()
+	ss.EnableCM(fileserver.CMConfig{Round: round})
+
+	spec := func(viewer int, class core.QoSClass) core.SessionSpec {
+		return core.SessionSpec{
+			Class:      class,
+			InPort:     ss.Net.Port,
+			OutPorts:   []int{viewers[viewer].Port},
+			PeakRate:   peakRate,
+			CM:         ss.CM,
+			Title:      "film",
+			FrameBytes: frameBytes,
+			FrameHz:    frameHz,
+		}
+	}
+	show := func(label string, sessions ...*core.Session) {
+		fmt.Printf("%-28s disk %.0f%% committed;", label,
+			100*float64(ss.CM.Committed())/float64(ss.CM.Capacity()))
+		for i, s := range sessions {
+			if s.Closed() {
+				fmt.Printf(" s%d=closed", i)
+			} else {
+				fmt.Printf(" s%d=%2.0f%%", i, 100*s.Factor())
+			}
+		}
+		fmt.Println()
+	}
+
+	// One full-quality stream nearly fills the round budget.
+	a, err := site.OpenSession(spec(0, core.Adaptive))
+	if err != nil {
+		panic(err)
+	}
+	show("opened a:", a)
+
+	// Renegotiate in place: shrink always succeeds, grow is re-admitted.
+	if err := a.Renegotiate(peakRate / 2); err != nil {
+		panic(err)
+	}
+	show("a renegotiated to half:", a)
+	if err := a.Renegotiate(peakRate); err != nil {
+		panic(err)
+	}
+	show("a grown back:", a)
+
+	// A second Adaptive open does not fit at full quality — instead of
+	// a refusal, both sessions slide down the tier ladder.
+	b, err := site.OpenSession(spec(1, core.Adaptive))
+	if err != nil {
+		panic(err)
+	}
+	show("opened b (made room):", a, b)
+	c, err := site.OpenSession(spec(2, core.Adaptive))
+	if err != nil {
+		panic(err)
+	}
+	show("opened c (made room):", a, b, c)
+
+	// A Guaranteed open must take the site as it finds it: it is never
+	// granted by degrading others.
+	if _, err := site.OpenSession(spec(3, core.Guaranteed)); err != nil {
+		fmt.Println("guaranteed open refused:  ", err)
+	}
+
+	// Closing a session returns its budget and the survivors climb back.
+	if err := b.Close(); err != nil {
+		panic(err)
+	}
+	show("b closed, rest restored:", a, b, c)
+
+	site.Sim.RunFor(2 * round) // let read-ahead prime
+	fr, _ := a.CM().NextFrame()
+	fmt.Printf("a serves %d-byte frames at factor %.2f\n", len(fr), a.Factor())
+
+	a.Close()
+	c.Close()
+	show("all closed:", a, b, c)
+}

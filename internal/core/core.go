@@ -68,8 +68,14 @@ type Site struct {
 	// Signalling is the site's connection manager (§2.2): circuits
 	// established through it are admission-controlled against link
 	// capacity. Patch/PlumbVideo bypass it (pre-provisioned circuits);
-	// use Signalling.Establish for guaranteed-rate streams.
+	// use OpenSession for guaranteed-rate streams.
 	Signalling *netsig.Manager
+
+	// QoSStats counts stream-plane activity: sessions opened, refused,
+	// degraded, restored and closed (see session.go).
+	QoSStats SessionStats
+
+	sessions []*Session
 
 	nextPort int
 	nextVCI  atm.VCI
@@ -133,6 +139,14 @@ func (st *Site) Attach(name string) *Endpoint {
 	return ep
 }
 
+// SetSink replaces the endpoint's delivery handler: everything arriving
+// from the switch goes to h instead of the per-VCI demux. The link
+// Attach created is reused in place — no second link object is built or
+// registered with the switch, so nothing dangles.
+func (ep *Endpoint) SetSink(h fabric.Handler) {
+	ep.FromSwitch.SetSink(h)
+}
+
 // Patch routes a one-way circuit between two endpoints (VCI preserved).
 func (st *Site) Patch(from *Endpoint, vci atm.VCI, to *Endpoint) {
 	st.Switch.Route(from.Port, vci, to.Port, vci)
@@ -188,9 +202,9 @@ func (st *Site) NewWorkstation(name string) *Workstation {
 	}
 	w.Transport = rpc.NewTransport(st.Sim)
 	w.Transport.SetOutput(w.Net.ToSwitch)
-	// All cells reaching the CPU endpoint go to the protocol transport
-	// unless a more specific handler is registered.
-	w.Net.Demux.Register(0, w.Transport) // placeholder; real VCIs bound below
+	// RPC circuits are bound per VCI through BindRPC; there is no
+	// catch-all binding, so a misrouted cell surfaces as an unhandled
+	// VCI instead of being silently swallowed by the transport.
 	return w
 }
 
@@ -220,12 +234,9 @@ func (w *Workstation) AttachDisplay(wpx, hpx int) (*devices.Display, *Endpoint) 
 	w.displayN++
 	ep := w.Site.Attach(fmt.Sprintf("%s.disp%d", w.Name, w.displayN))
 	d := devices.NewDisplay(w.Site.Sim, wpx, hpx, 0)
-	// The display consumes everything arriving at its port.
-	ep.FromSwitch = fabric.NewLink(w.Site.Sim, w.Site.Config.LinkRate, w.Site.Config.LinkDelay, 0, d)
-	if w.Site.Config.CellAccurate {
-		ep.FromSwitch.SetCellAccurate(true)
-	}
-	w.Site.Switch.AttachOutput(ep.Port, ep.FromSwitch)
+	// The display consumes everything arriving at its port: repoint the
+	// link Attach built rather than registering a second one.
+	ep.SetSink(d)
 	return d, ep
 }
 

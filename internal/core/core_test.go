@@ -3,8 +3,10 @@ package core_test
 import (
 	"testing"
 
+	"repro/internal/atm"
 	"repro/internal/core"
 	"repro/internal/devices"
+	"repro/internal/fabric"
 	"repro/internal/fileserver"
 	"repro/internal/invoke"
 	"repro/internal/media"
@@ -222,6 +224,28 @@ func TestWorkstationKernelSchedulesApps(t *testing.T) {
 	ws2.Kernel.Shutdown()
 	if done < 20*sim.Millisecond || done > 30*sim.Millisecond {
 		t.Fatalf("loaded machine: app finished at %v, want in (20ms,30ms]", done)
+	}
+}
+
+func TestEndpointSetSinkReplacesDelivery(t *testing.T) {
+	// SetSink repoints the one link Attach built: after the swap the
+	// new handler consumes everything at the port and the demux sees
+	// nothing — the AttachDisplay pattern, without a dangling link.
+	site := core.NewSite(core.DefaultSiteConfig())
+	src := site.Attach("src")
+	dst := site.Attach("dst")
+
+	var direct int
+	demuxed := 0
+	dst.Demux.Register(7, fabric.HandlerFunc(func(atm.Cell) { demuxed++ }))
+	dst.SetSink(fabric.HandlerFunc(func(atm.Cell) { direct++ }))
+
+	site.Patch(src, 7, dst)
+	src.ToSwitch.Send(atm.Cell{VCI: 7})
+	site.Sim.Run()
+
+	if direct != 1 || demuxed != 0 {
+		t.Fatalf("direct=%d demuxed=%d, want 1/0", direct, demuxed)
 	}
 }
 

@@ -140,6 +140,19 @@ func NewLink(s *sim.Sim, rate int64, prop sim.Duration, capacity int, sink Handl
 // CellTime is the serialisation time of one 53-byte cell on this link.
 func (l *Link) CellTime() sim.Duration { return l.ct }
 
+// SetSink redirects delivery to a new handler. Cells already accepted
+// are delivered to the new sink: the link object (and its place in any
+// switch's output table) is reused rather than rebuilt, so swapping a
+// port's consumer never leaves a dangling link registered with the
+// simulator.
+func (l *Link) SetSink(h Handler) {
+	if h == nil {
+		panic("fabric: link needs a sink")
+	}
+	l.sink = h
+	l.bsink, _ = h.(BurstHandler)
+}
+
 // Rate reports the link bit rate.
 func (l *Link) Rate() int64 { return l.rate }
 

@@ -1,0 +1,189 @@
+package fileserver_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/fileserver"
+	"repro/internal/sim"
+)
+
+// TestReshapeShrinkFreesBudget renegotiates a stream to a lower tier
+// and proves the cost difference returns to the budget at once — room
+// another admission can use — and that Release afterwards returns the
+// reshaped cost, leaving the budget at zero.
+func TestReshapeShrinkFreesBudget(t *testing.T) {
+	s := sim.New()
+	sv := newServer(s, 64)
+	loadTitle(t, s, sv, "movie", 2*96000) // 2 rounds of 20×4800 B
+
+	svc := fileserver.NewCMService(sv, fileserver.CMConfig{Round: cmRound})
+	defer svc.Stop()
+	cm, err := svc.Admit("movie", 4800, 100)
+	if err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	full := svc.Committed()
+	if err := svc.Reshape(cm, 2400, 100); err != nil {
+		t.Fatalf("shrink reshape refused: %v", err)
+	}
+	if svc.Committed() >= full {
+		t.Fatalf("committed %v after shrink, was %v — nothing freed", svc.Committed(), full)
+	}
+	if cm.FrameBytes() != 2400 {
+		t.Fatalf("served tier = %d, want 2400", cm.FrameBytes())
+	}
+	if svc.Stats.Reshaped != 1 {
+		t.Fatalf("reshaped = %d", svc.Stats.Reshaped)
+	}
+	cm.Release()
+	if svc.Committed() != 0 {
+		t.Fatalf("committed %v after release, want 0", svc.Committed())
+	}
+}
+
+// TestReshapeGrowAdmissionControlled fills the budget, then proves a
+// grow-back is refused without touching the reservation, succeeds once
+// room frees up, and can never exceed the stored tier.
+func TestReshapeGrowAdmissionControlled(t *testing.T) {
+	s := sim.New()
+	sv := newServer(s, 64)
+	loadTitle(t, s, sv, "movie", 2*96000)
+
+	svc := fileserver.NewCMService(sv, fileserver.CMConfig{Round: cmRound})
+	defer svc.Stop()
+	cm, err := svc.Admit("movie", 4800, 100)
+	if err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	if err := svc.Reshape(cm, 1200, 100); err != nil {
+		t.Fatal(err)
+	}
+	// Pack the freed room with low-tier streams until nothing fits, so
+	// the leftover headroom is smaller than the grow-back delta.
+	var others []*fileserver.CMStream
+	for {
+		o, err := svc.AdmitDegraded("movie", 4800, 1200, 100)
+		if err != nil {
+			break
+		}
+		others = append(others, o)
+	}
+	was := svc.Committed()
+	if err := svc.Reshape(cm, 4800, 100); !errors.Is(err, fileserver.ErrOverCommit) {
+		t.Fatalf("grow into a full budget: err = %v, want ErrOverCommit", err)
+	}
+	if svc.Committed() != was || cm.FrameBytes() != 1200 {
+		t.Fatalf("refused grow changed state: committed %v→%v tier %d",
+			was, svc.Committed(), cm.FrameBytes())
+	}
+	if svc.Stats.ReshapeRefused == 0 {
+		t.Fatal("ReshapeRefused not counted")
+	}
+	for _, o := range others {
+		o.Release()
+	}
+	if err := svc.Reshape(cm, 4800, 100); err != nil {
+		t.Fatalf("grow with room refused: %v", err)
+	}
+	if err := svc.Reshape(cm, 9600, 100); !errors.Is(err, fileserver.ErrBadStream) {
+		t.Fatalf("grow past stored tier: err = %v, want ErrBadStream", err)
+	}
+}
+
+// TestReshapedStreamPlaysCleanAcrossTheSeam degrades a stream to a tier
+// whose round no longer divides the title, then plays several full
+// loops: frames must come at the degraded size, match the stored bytes
+// (wrapping the title seam inside one window), and never underrun.
+func TestReshapedStreamPlaysCleanAcrossTheSeam(t *testing.T) {
+	s := sim.New()
+	sv := newServer(s, 64)
+	title := loadTitle(t, s, sv, "movie", 2*96000) // 192000 B stored
+
+	svc := fileserver.NewCMService(sv, fileserver.CMConfig{Round: cmRound})
+	defer svc.Stop()
+	cm, err := svc.Admit("movie", 4800, 100)
+	if err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	// 3600 B frames → 72000 B rounds: 192000 % 72000 != 0, so every
+	// third window wraps the seam.
+	if err := svc.Reshape(cm, 3600, 100); err != nil {
+		t.Fatalf("Reshape: %v", err)
+	}
+
+	const want = 160 // four loops of the degraded title
+	frames, mismatches := 0, 0
+	var off int
+	var tick func()
+	tick = func() {
+		if frames >= want {
+			return
+		}
+		b, ok := cm.NextFrame()
+		if ok {
+			// The first buffered window was fetched at the full tier
+			// (priming happened before the reshape); follow whatever
+			// size the service delivered. A frame may itself span the
+			// title seam, so compare modulo the title length.
+			want := make([]byte, len(b))
+			for i := range want {
+				want[i] = title[(off+i)%len(title)]
+			}
+			if !bytes.Equal(b, want) {
+				mismatches++
+			}
+			off = (off + len(b)) % len(title)
+			frames++
+		}
+		s.After(10*sim.Millisecond, tick)
+	}
+	cm.OnReady(tick)
+	s.RunFor(cmRound + (want+20)*10*sim.Millisecond)
+
+	if frames != want {
+		t.Fatalf("played %d frames, want %d", frames, want)
+	}
+	if mismatches != 0 {
+		t.Fatalf("%d frames differed from the stored title", mismatches)
+	}
+	if cm.Underruns != 0 || svc.Stats.RoundOverruns != 0 {
+		t.Fatalf("underruns=%d overruns=%d, want 0/0", cm.Underruns, svc.Stats.RoundOverruns)
+	}
+}
+
+// TestAdmitDegradedFromBirth admits a stream straight into a degraded
+// tier: the budget is charged the degraded cost, frames come at the
+// degraded size, and the stored-geometry validation still applies.
+func TestAdmitDegradedFromBirth(t *testing.T) {
+	s := sim.New()
+	sv := newServer(s, 64)
+	loadTitle(t, s, sv, "movie", 2*96000)
+
+	svc := fileserver.NewCMService(sv, fileserver.CMConfig{Round: cmRound})
+	defer svc.Stop()
+	cm, err := svc.AdmitDegraded("movie", 4800, 1200, 100)
+	if err != nil {
+		t.Fatalf("AdmitDegraded: %v", err)
+	}
+	probe, err := svc.StreamCost(1200, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.Cost() != probe || svc.Committed() != probe {
+		t.Fatalf("degraded cost %v committed %v, want %v", cm.Cost(), svc.Committed(), probe)
+	}
+	if cm.FullFrameBytes() != 4800 || cm.FrameBytes() != 1200 {
+		t.Fatalf("tiers full=%d served=%d", cm.FullFrameBytes(), cm.FrameBytes())
+	}
+	s.RunFor(2 * cmRound)
+	b, ok := cm.NextFrame()
+	if !ok || len(b) != 1200 {
+		t.Fatalf("frame = %d bytes ok=%v, want 1200", len(b), ok)
+	}
+	// A served tier above the stored geometry is a misconfiguration.
+	if _, err := svc.AdmitDegraded("movie", 4800, 9600, 100); !errors.Is(err, fileserver.ErrBadStream) {
+		t.Fatalf("tier above stored: err = %v, want ErrBadStream", err)
+	}
+}

@@ -81,6 +81,9 @@ type CMStats struct {
 	BytesStreamed    int64 // bytes delivered into stream buffers
 	BestEffortServed int64 // best-effort reads issued into round slack
 	ReadErrors       int64
+
+	Reshaped       int64 // in-place rate renegotiations that took effect
+	ReshapeRefused int64 // grow renegotiations the budget could not carry
 }
 
 // beReq is one queued best-effort read.
@@ -197,11 +200,16 @@ func (svc *CMService) CanServe(frameBytes, frameHz int) bool {
 	return err == nil && svc.committed+cost <= svc.budget
 }
 
-// cmBuf is one round window of a stream's double buffer.
+// cmBuf is one round window of a stream's double buffer. frameBytes is
+// the frame size the window was fetched under: a reshape between two
+// fetches changes the stream's geometry, but a buffered window always
+// holds exactly framesPerRound frames of its own size, so playout
+// drains exactly one window per round whatever the tier.
 type cmBuf struct {
-	data     []byte
-	ready    bool
-	fetching bool
+	data       []byte
+	frameBytes int
+	ready      bool
+	fetching   bool
 }
 
 // CMStream is one admitted stream: a rate reservation plus its
@@ -212,10 +220,11 @@ type CMStream struct {
 	id   int
 	path string
 
-	frameBytes int
-	roundBytes int64
-	cost       sim.Duration
-	size       int64 // title length; playout loops over it
+	frameBytes     int   // bytes served per frame (current tier)
+	fullFrameBytes int   // bytes stored per frame (the ceiling Reshape may grow back to)
+	roundBytes     int64 // bytes fetched per round at the current tier
+	cost           sim.Duration
+	size           int64 // title length; playout loops over it
 
 	fetchOff int64
 	bufs     [2]cmBuf
@@ -234,17 +243,35 @@ type CMStream struct {
 // are already committed — the storage half of end-to-end admission.
 // The file must be continuous and a whole number of rounds long.
 func (svc *CMService) Admit(path string, frameBytes, frameHz int) (*CMStream, error) {
+	return svc.AdmitDegraded(path, frameBytes, frameBytes, frameHz)
+}
+
+// AdmitDegraded admits a stream whose *stored* geometry is
+// fullFrameBytes×frameHz but which is served at serveFrameBytes per
+// frame — the degraded tier of a scalable stream, admitted degraded
+// from birth. Validation (continuity, whole rounds) runs against the
+// stored geometry; cost and the budget charge run against the served
+// one. With serveFrameBytes == fullFrameBytes this is exactly Admit.
+func (svc *CMService) AdmitDegraded(path string, fullFrameBytes, serveFrameBytes, frameHz int) (*CMStream, error) {
 	st, ok := svc.sv.files[path]
 	if !ok || !st.continuous {
 		return nil, fmt.Errorf("%w: %s", ErrBadStream, path)
 	}
-	roundBytes, err := svc.streamRoundBytes(frameBytes, frameHz)
+	fullRound, err := svc.streamRoundBytes(fullFrameBytes, frameHz)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	if st.size < roundBytes || st.size%roundBytes != 0 {
+	if st.size < fullRound || st.size%fullRound != 0 {
 		return nil, fmt.Errorf("%w: %s: %d bytes is not a whole number of %d-byte rounds",
-			ErrBadStream, path, st.size, roundBytes)
+			ErrBadStream, path, st.size, fullRound)
+	}
+	if serveFrameBytes > fullFrameBytes {
+		return nil, fmt.Errorf("%w: %s: served tier %d exceeds stored frame %d",
+			ErrBadStream, path, serveFrameBytes, fullFrameBytes)
+	}
+	roundBytes, err := svc.streamRoundBytes(serveFrameBytes, frameHz)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	cost := svc.CostPerRound(roundBytes)
 	if svc.committed+cost > svc.budget {
@@ -256,13 +283,14 @@ func (svc *CMService) Admit(path string, frameBytes, frameHz int) (*CMStream, er
 	svc.Stats.Admitted++
 	svc.nextID++
 	cm := &CMStream{
-		svc:        svc,
-		id:         svc.nextID,
-		path:       path,
-		frameBytes: frameBytes,
-		roundBytes: roundBytes,
-		cost:       cost,
-		size:       st.size,
+		svc:            svc,
+		id:             svc.nextID,
+		path:           path,
+		frameBytes:     serveFrameBytes,
+		fullFrameBytes: fullFrameBytes,
+		roundBytes:     roundBytes,
+		cost:           cost,
+		size:           st.size,
 	}
 	svc.streams = append(svc.streams, cm)
 	// Prime the first window immediately; it is one-off startup work,
@@ -271,33 +299,108 @@ func (svc *CMService) Admit(path string, frameBytes, frameHz int) (*CMStream, er
 	return cm, nil
 }
 
+// Reshape renegotiates an admitted stream's service rate in place: the
+// per-round window is re-costed at frameBytes×frameHz against the
+// per-disk round budget, with the stream keeping its buffers, its
+// reservation identity and its position in the title throughout — no
+// release/re-admit instant at which another admission could steal the
+// slot. Shrinking always succeeds and frees the cost difference for
+// other streams immediately; growing may refuse (ErrOverCommit) and
+// then changes nothing. Windows already buffered play out under the
+// geometry they were fetched with; the next fetch uses the new one.
+func (svc *CMService) Reshape(cm *CMStream, frameBytes, frameHz int) error {
+	if cm == nil || cm.released || cm.svc != svc {
+		return fmt.Errorf("%w: reshape of a stream this service does not hold", ErrBadStream)
+	}
+	if frameBytes > cm.fullFrameBytes {
+		return fmt.Errorf("%w: %s: reshaped tier %d exceeds stored frame %d",
+			ErrBadStream, cm.path, frameBytes, cm.fullFrameBytes)
+	}
+	roundBytes, err := svc.streamRoundBytes(frameBytes, frameHz)
+	if err != nil {
+		return fmt.Errorf("%s: %w", cm.path, err)
+	}
+	cost := svc.CostPerRound(roundBytes)
+	if d := cost - cm.cost; d > 0 && svc.committed+d > svc.budget {
+		svc.Stats.ReshapeRefused++
+		return fmt.Errorf("%w: %s reshape needs %v/round more, %v of %v committed",
+			ErrOverCommit, cm.path, d, svc.committed, svc.budget)
+	}
+	svc.committed += cost - cm.cost
+	cm.frameBytes = frameBytes
+	cm.roundBytes = roundBytes
+	cm.cost = cost
+	svc.Stats.Reshaped++
+	return nil
+}
+
 // fetch issues one round window into buffer b. counted windows belong
 // to the current round's guaranteed batch (overrun accounting).
+//
+// A window that crosses the title's end (possible only after a Reshape
+// whose round no longer divides the title length) wraps: the tail and
+// the head of the title are read into one buffer, so every window still
+// holds exactly framesPerRound frames and playout keeps draining one
+// window per round. The extra repositioning a split costs is absorbed
+// by the utilization margin, like segment-boundary seeks.
 func (svc *CMService) fetch(cm *CMStream, b int, counted bool) {
 	buf := &cm.bufs[b]
 	buf.fetching = true
+	buf.frameBytes = cm.frameBytes
 	off := cm.fetchOff
-	cm.fetchOff = (off + cm.roundBytes) % cm.size
+	n := cm.roundBytes
+	cm.fetchOff = (off + n) % cm.size
 	if counted {
 		svc.outstanding++
 		svc.Stats.GuaranteedReads++
 	}
-	svc.sv.Read(cm.path, off, int(cm.roundBytes), func(data []byte, err error) {
-		if counted {
-			svc.outstanding--
+	if off+n <= cm.size {
+		svc.sv.Read(cm.path, off, int(n), func(data []byte, err error) {
+			svc.fetched(cm, buf, counted, data, err)
+		})
+		return
+	}
+	tail := cm.size - off
+	combined := make([]byte, n)
+	parts, failed := 2, false
+	part := func(dst []byte) func([]byte, error) {
+		return func(data []byte, err error) {
+			if err != nil {
+				failed = true
+			} else {
+				copy(dst, data)
+			}
+			if parts--; parts > 0 {
+				return
+			}
+			if failed {
+				svc.fetched(cm, buf, counted, nil, errors.New("fileserver: wrapped window read failed"))
+				return
+			}
+			svc.fetched(cm, buf, counted, combined, nil)
 		}
-		if cm.released {
-			return
-		}
-		buf.fetching = false
-		if err != nil {
-			svc.Stats.ReadErrors++
-			return
-		}
-		buf.data = data
-		buf.ready = true
-		svc.Stats.BytesStreamed += int64(len(data))
-	})
+	}
+	svc.sv.Read(cm.path, off, int(tail), part(combined[:tail]))
+	svc.sv.Read(cm.path, 0, int(n-tail), part(combined[tail:]))
+}
+
+// fetched completes one window fetch (possibly assembled from a wrapped
+// pair of reads).
+func (svc *CMService) fetched(cm *CMStream, buf *cmBuf, counted bool, data []byte, err error) {
+	if counted {
+		svc.outstanding--
+	}
+	if cm.released {
+		return
+	}
+	buf.fetching = false
+	if err != nil {
+		svc.Stats.ReadErrors++
+		return
+	}
+	buf.data = data
+	buf.ready = true
+	svc.Stats.BytesStreamed += int64(len(data))
 }
 
 // round is the scheduler tick: detect overrun of the previous round,
@@ -389,6 +492,13 @@ func (cm *CMStream) OnReady(fn func()) {
 // Cost reports the per-disk round time this stream charges.
 func (cm *CMStream) Cost() sim.Duration { return cm.cost }
 
+// FrameBytes reports the bytes served per frame at the current tier.
+func (cm *CMStream) FrameBytes() int { return cm.frameBytes }
+
+// FullFrameBytes reports the stored per-frame size — the ceiling a
+// Reshape may grow the served tier back to.
+func (cm *CMStream) FullFrameBytes() int { return cm.fullFrameBytes }
+
 // NextFrame returns the next frameBytes of the stream from the playout
 // buffer. It reports false — and counts an underrun — when the buffer
 // has no data, which admission control exists to prevent; playout then
@@ -405,8 +515,12 @@ func (cm *CMStream) NextFrame() ([]byte, bool) {
 		}
 		return nil, false
 	}
-	out := buf.data[cm.pos : cm.pos+cm.frameBytes]
-	cm.pos += cm.frameBytes
+	// Frames come in the size the window was fetched under, so a window
+	// always holds a whole number of them whatever reshapes happened
+	// since.
+	fb := buf.frameBytes
+	out := buf.data[cm.pos : cm.pos+fb]
+	cm.pos += fb
 	if cm.pos >= len(buf.data) {
 		// Window drained: free it for next round's batch and flip to
 		// the window fetched behind it.

@@ -1,0 +1,85 @@
+package loadgen
+
+// Adaptive mode: the degrade-instead-of-refuse scenario. Every request
+// is one unicast disk-backed stream opened as an Adaptive-class
+// core.Session against a deliberately over-subscribable server set.
+// When an open would be refused, the site scales the contending
+// Adaptive sessions down the tier ladder — proportionally,
+// floor-bounded — and admits the newcomer at the shared tier; closing
+// streams mid-run (ReleaseAt/ReleaseEvery) frees budget the site uses
+// to restore degraded survivors. The scoreboard's degraded/restored
+// columns and the zero-underruns check are the proof the §3.3
+// negotiate-down policy holds end to end: more streams than the
+// Guaranteed class can carry, none of them ever starved.
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// buildAdaptive constructs the site, preloads titles onto the servers'
+// arrays and admits every request as an Adaptive session. Unlike plain
+// VoD's shared fan-out, each request is its own circuit, so disk and
+// link load scale with requests — the over-subscription the policy
+// exists for.
+func (sc *Scenario) buildAdaptive() {
+	cfg := sc.cfg
+	n, m := cfg.Workstations, cfg.StreamsPerWS
+
+	siteCfg := core.DefaultSiteConfig()
+	siteCfg.LinkRate = cfg.LinkRate
+	siteCfg.CellAccurate = cfg.CellAccurate
+	siteCfg.Ports = n + cfg.Servers
+	sc.site = core.NewSite(siteCfg)
+
+	viewers := make([]*core.Endpoint, n)
+	for i := 0; i < n; i++ {
+		viewers[i] = sc.site.Attach(fmt.Sprintf("viewer%d", i))
+	}
+
+	framesPerRound := int64(cfg.FrameHz) * int64(cfg.Round) / int64(sim.Second)
+	roundBytes := framesPerRound * int64(cfg.FrameBytes)
+	titleBytes := int64(cfg.TitleRounds) * roundBytes
+	// 64 KiB segments stripe into 16 KiB per-disk chunks, so a degraded
+	// window really costs the disks less; see Config.Adaptive.
+	segSize := int64(64 << 10)
+	titles := cfg.Servers * m
+	perTitle := (titleBytes+segSize-1)/segSize + 1
+	nseg := (int64(titles)*perTitle)/int64(cfg.Servers) + 16
+
+	sc.Servers = make([]*core.StorageServer, cfg.Servers)
+	for s := range sc.Servers {
+		sc.Servers[s] = sc.site.NewStorageServer(fmt.Sprintf("vod%d", s), int(segSize), nseg)
+	}
+	sc.preloadTitles(titles, titleBytes)
+
+	// One unicast request per (viewer, slot), spread across the catalog.
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			t := (i*m + j) % titles
+			st := sc.addStream(sc.Servers[t%cfg.Servers].Net, []*core.Endpoint{viewers[i]}, i*m+j)
+			st.server = sc.Servers[t%cfg.Servers]
+			st.title = titleName(t)
+			st.establish()
+		}
+	}
+}
+
+// releaseSome closes every ReleaseEvery'th admitted stream — the freed
+// budget flows back to degraded survivors through the site's
+// restore-on-close policy.
+func (sc *Scenario) releaseSome() {
+	k := 0
+	for _, st := range sc.streams {
+		if st.sess == nil {
+			continue
+		}
+		if k++; k%sc.cfg.ReleaseEvery == 0 {
+			if err := st.Stop(); err != nil {
+				panic(fmt.Sprintf("loadgen: adaptive release: %v", err))
+			}
+		}
+	}
+}

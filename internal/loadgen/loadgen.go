@@ -23,7 +23,6 @@ import (
 	"repro/internal/devices"
 	"repro/internal/fabric"
 	"repro/internal/fileserver"
-	"repro/internal/netsig"
 	"repro/internal/raid"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -127,9 +126,56 @@ type Config struct {
 	// on surviving replicas.
 	FailNodeAt sim.Duration
 	FailNode   int
+
+	// Adaptive runs the degrade-instead-of-refuse scenario: every
+	// request is one unicast disk-backed stream opened as an
+	// Adaptive-class core.Session, so an over-subscribed site scales
+	// sessions down the tier ladder to admit more streams instead of
+	// refusing, and restores them as capacity frees. Implies
+	// storage-backed VoD; Round defaults to 500 ms and FrameBytes to
+	// 19200 (windows must span many stripe chunks for a tier drop to
+	// shrink the per-disk cost).
+	Adaptive bool
+
+	// GuaranteedOnly forces every session to the Guaranteed class —
+	// the ablation an Adaptive scoreboard is compared against.
+	GuaranteedOnly bool
+
+	// ReleaseAt closes every ReleaseEvery'th admitted stream that far
+	// into an Adaptive run (defaults: half the duration, every 3rd;
+	// ReleaseEvery < 0 disables), freeing budget the site uses to
+	// restore degraded survivors.
+	ReleaseAt    sim.Duration
+	ReleaseEvery int
+}
+
+// class is the QoS class sessions are opened with.
+func (c *Config) class() core.QoSClass {
+	if c.Adaptive && !c.GuaranteedOnly {
+		return core.Adaptive
+	}
+	return core.Guaranteed
 }
 
 func (c *Config) setDefaults() {
+	if c.Adaptive {
+		c.Pattern = VoD
+		if c.Servers == 0 {
+			c.Servers = 1
+		}
+		if c.Round == 0 {
+			c.Round = 500 * sim.Millisecond
+		}
+		if c.TitleRounds == 0 {
+			c.TitleRounds = 2
+		}
+		if c.FrameBytes == 0 {
+			c.FrameBytes = 19200
+		}
+		if c.ReleaseEvery == 0 {
+			c.ReleaseEvery = 3
+		}
+	}
 	if c.Cluster {
 		c.Pattern = VoD
 		if c.Servers == 0 {
@@ -185,6 +231,9 @@ func (c *Config) setDefaults() {
 	if c.Duration == 0 {
 		c.Duration = sim.Second
 	}
+	if c.Adaptive && c.ReleaseAt == 0 {
+		c.ReleaseAt = c.Duration / 2
+	}
 	if c.LinkRate == 0 {
 		c.LinkRate = fabric.Rate100M
 	}
@@ -234,6 +283,12 @@ type Result struct {
 	ReplicasCompleted int64   // replicas that joined the catalog
 	FailoverRecovered int64   // streams re-admitted on surviving replicas
 	FailoverDropped   int64   // streams lost with their node
+
+	// QoS-session scoreboard (Adaptive runs only).
+	SessionsUp       int   // sessions open at end of run
+	SessionsDegraded int   // open sessions currently below full quality
+	DegradeEvents    int64 // times a session dropped a tier
+	RestoreEvents    int64 // times a degraded session climbed back up
 }
 
 // String renders the scoreboard.
@@ -250,7 +305,7 @@ func (r Result) String() string {
 		r.WallSeconds, r.EventsPerSec/1e6, r.CellsPerSec/1e6,
 		sim.Duration(r.LatencyP50), sim.Duration(r.LatencyP99), sim.Duration(r.LatencyMax),
 		sim.Duration(r.JitterP50), sim.Duration(r.JitterP99))
-	if r.Config.FromStorage || r.Config.Cluster {
+	if r.Config.FromStorage || r.Config.Cluster || r.Config.Adaptive {
 		s += fmt.Sprintf(
 			"\n  storage: streams=%d refused=%d underruns=%d overruns=%d"+
 				" streamed=%.1fMB disk-read=%.1fMB",
@@ -266,6 +321,11 @@ func (r Result) String() string {
 			s += fmt.Sprintf("\n  failover: recovered=%d dropped=%d",
 				r.FailoverRecovered, r.FailoverDropped)
 		}
+	}
+	if r.Config.Adaptive {
+		s += fmt.Sprintf(
+			"\n  qos: sessions=%d degraded=%d degrade-events=%d restore-events=%d",
+			r.SessionsUp, r.SessionsDegraded, r.DegradeEvents, r.RestoreEvents)
 	}
 	return s
 }
@@ -381,63 +441,61 @@ func (k *sink) HandleCell(c atm.Cell) {
 	}
 }
 
-// Stream is one admitted circuit: a source endpoint, one or more
-// destination legs, and the signalling state to tear it down and
-// re-admit it (churn).
+// Stream is one admitted stream: a source endpoint, one or more
+// destination legs, and the core.Session owning the admission state to
+// tear it down and re-admit it (churn).
 type Stream struct {
 	sc    *Scenario
 	src   *source
 	from  *core.Endpoint
 	dsts  []*core.Endpoint
-	circ  *netsig.Circuit
+	sess  *core.Session
 	phase sim.Duration
 
-	// Storage-backed streams: the serving node, the title it plays and
-	// the disk-bandwidth reservation (nil while down).
+	// Storage-backed streams: the serving node and the title it plays.
 	server *core.StorageServer
 	title  string
-	cmh    *fileserver.CMStream
 }
 
 // Down reports whether the stream is currently torn down.
-func (st *Stream) Down() bool { return st.circ == nil }
+func (st *Stream) Down() bool { return st.sess == nil }
+
+// Session exposes the stream's session (nil while down).
+func (st *Stream) Session() *core.Session { return st.sess }
 
 // VCI reports the stream's current circuit number (0 when down).
 func (st *Stream) VCI() atm.VCI {
-	if st.circ == nil {
+	if st.sess == nil {
 		return 0
 	}
-	return st.circ.VCI
+	return st.sess.VCI()
 }
 
 // Stop tears the stream down end to end: the source stops emitting, the
-// circuit is released (freeing its admitted rate and switch routes) and
-// every destination demux registration is removed.
+// session closes (freeing its admitted rate, disk reservation and
+// switch routes) and every destination demux registration is removed.
 func (st *Stream) Stop() error {
-	if st.circ == nil {
+	if st.sess == nil {
 		return nil
 	}
 	st.src.stop()
-	if err := st.sc.site.Signalling.TearDown(st.circ.ID); err != nil {
+	st.src.cm = nil
+	vci := st.sess.VCI()
+	if err := st.sess.Close(); err != nil {
 		return err
 	}
-	if st.cmh != nil {
-		st.cmh.Release()
-		st.cmh = nil
-		st.src.cm = nil
-	}
+	st.sess = nil
 	for _, d := range st.dsts {
-		d.Demux.Unregister(st.circ.VCI)
+		d.Demux.Unregister(vci)
 	}
-	st.circ = nil
 	st.sc.tornDown++
 	return nil
 }
 
-// establish admits the stream's circuit and wires its sinks, without
+// establish admits the stream's session and wires its sinks, without
 // starting the source.
 func (st *Stream) establish() error {
-	if st.circ != nil {
+	if st.sess != nil {
 		return nil
 	}
 	ports := make([]int, len(st.dsts))
@@ -445,14 +503,26 @@ func (st *Stream) establish() error {
 		ports[i] = d.Port
 	}
 	// End-to-end admission is a conjunction: the links must say yes AND,
-	// for storage-backed titles, the disk heads too. The helper holds
+	// for storage-backed titles, the disk heads too. OpenSession holds
 	// nothing on refusal by either half.
-	var cm *fileserver.CMService
-	if st.title != "" {
-		cm = st.server.CM
+	spec := core.SessionSpec{
+		Class:    st.sc.cfg.class(),
+		InPort:   st.from.Port,
+		OutPorts: ports,
+		PeakRate: st.sc.cfg.PeakRate,
 	}
-	circ, h, err := st.sc.site.AdmitGuaranteed(st.from.Port, ports, st.sc.cfg.PeakRate,
-		cm, st.title, st.sc.cfg.FrameBytes, st.sc.cfg.FrameHz)
+	if st.title != "" {
+		spec.CM = st.server.CM
+		spec.Title = st.title
+		spec.FrameBytes = st.sc.cfg.FrameBytes
+		spec.FrameHz = st.sc.cfg.FrameHz
+		// A degraded frame still carries the timestamp header: keep the
+		// floor tier at or above headerSize bytes per frame.
+		if f := float64(headerSize) / float64(spec.FrameBytes); f > core.DefaultMinRateFrac {
+			spec.MinRateFrac = f
+		}
+	}
+	sess, err := st.sc.site.OpenSession(spec)
 	switch {
 	case err == nil:
 	case errors.Is(err, fileserver.ErrOverCommit):
@@ -467,25 +537,24 @@ func (st *Stream) establish() error {
 		st.sc.rejected += len(ports)
 		return err
 	}
-	if h != nil {
-		st.cmh = h
+	if h := sess.CM(); h != nil {
 		st.src.cm = h
 		h.OnReady(func() {
-			if st.cmh == h {
+			if st.sess == sess {
 				st.src.start(st.phase)
 			}
 		})
 	}
-	st.circ = circ
+	st.sess = sess
 	for _, d := range st.dsts {
-		d.Demux.Register(circ.VCI, &sink{sc: st.sc, period: st.src.period})
+		d.Demux.Register(sess.VCI(), &sink{sc: st.sc, period: st.src.period})
 	}
 	st.sc.admitted += len(ports)
-	st.src.vci = circ.VCI
+	st.src.vci = sess.VCI()
 	return nil
 }
 
-// Restart re-admits a stopped stream: a fresh circuit (new VCI) through
+// Restart re-admits a stopped stream: a fresh session (new VCI) through
 // admission control — link and, for storage-backed streams, disk — new
 // demux registrations, and the source resumes (storage-backed sources
 // wait for their first read-ahead window).
@@ -493,7 +562,7 @@ func (st *Stream) Restart() error {
 	if err := st.establish(); err != nil {
 		return err
 	}
-	if st.src.cm == nil || st.cmh.Ready() {
+	if st.src.cm == nil || st.src.cm.Ready() {
 		st.src.start(st.phase)
 	}
 	return nil
@@ -539,6 +608,10 @@ func Build(cfg Config) *Scenario {
 	sc := &Scenario{cfg: cfg}
 	if cfg.Cluster {
 		sc.buildCluster()
+		return sc
+	}
+	if cfg.Adaptive {
+		sc.buildAdaptive()
 		return sc
 	}
 
@@ -687,9 +760,12 @@ func (sc *Scenario) addStream(from *core.Endpoint, dsts []*core.Endpoint, idx in
 // buffered (one scheduler round into the run).
 func (sc *Scenario) Run() Result {
 	for _, st := range sc.streams {
-		if st.circ != nil && st.src.cm == nil {
+		if st.sess != nil && st.src.cm == nil {
 			st.src.start(st.phase)
 		}
+	}
+	if sc.cfg.Adaptive && sc.cfg.ReleaseAt > 0 && sc.cfg.ReleaseEvery > 0 {
+		sc.site.Sim.PostAfter(sc.cfg.ReleaseAt, sc.releaseSome)
 	}
 	if sc.cfg.Cluster && sc.cfg.FailNodeAt > 0 {
 		idx := sc.cfg.FailNode % len(sc.ctrl.Nodes())
@@ -728,10 +804,10 @@ func (sc *Scenario) collect(wall time.Duration) Result {
 		r.EventsPerSec = float64(r.EventsFired) / r.WallSeconds
 		r.CellsPerSec = float64(r.CellsDelivered) / r.WallSeconds
 	}
-	if sc.cfg.FromStorage || sc.cfg.Cluster {
+	if sc.cfg.FromStorage || sc.cfg.Cluster || sc.cfg.Adaptive {
 		r.StorageRefused = sc.storageRefused
 		for _, st := range sc.streams {
-			if st.cmh != nil {
+			if st.sess != nil && st.sess.CM() != nil {
 				r.StorageStreams++
 			}
 		}
@@ -763,6 +839,19 @@ func (sc *Scenario) collect(wall time.Duration) Result {
 		for _, nd := range sc.ctrl.Nodes() {
 			r.NodeAdmissions = append(r.NodeAdmissions, nd.Admissions)
 		}
+	}
+	if sc.cfg.Adaptive {
+		for _, st := range sc.streams {
+			if st.sess == nil {
+				continue
+			}
+			r.SessionsUp++
+			if st.sess.Degraded() {
+				r.SessionsDegraded++
+			}
+		}
+		r.DegradeEvents = sc.site.QoSStats.Degraded
+		r.RestoreEvents = sc.site.QoSStats.Restored
 	}
 	return r
 }

@@ -120,7 +120,7 @@ func TestVoDFromStorageChurn(t *testing.T) {
 
 	site.Sim.RunFor(500 * sim.Millisecond) // streams up and playing
 	st := sc.Streams()[0]
-	cost := st.cmh.Cost()
+	cost := st.Session().CM().Cost()
 	if err := st.Stop(); err != nil {
 		t.Fatalf("Stop: %v", err)
 	}

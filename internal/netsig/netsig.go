@@ -63,6 +63,7 @@ type Manager struct {
 	Established int64
 	Refused     int64
 	TornDown    int64
+	Modified    int64 // in-place rate renegotiations that took effect
 }
 
 // NewManager takes control of a switch. linkRate is the capacity of
@@ -219,6 +220,58 @@ func (m *Manager) AddLeaf(id, outPort int) error {
 	}
 	m.sw.Route(c.InPort, c.VCI, outPort, c.VCI)
 	c.OutPorts = append(c.OutPorts, outPort)
+	return nil
+}
+
+// ModifyRate renegotiates an established circuit's admitted peak rate
+// in place: no teardown, no re-route, no VCI change, so there is no
+// instant at which the stream is unprotected or the budget double
+// counts it. Shrinking always succeeds and releases the difference
+// immediately. Growing is admission-controlled against every leaf's
+// output link and — when the circuit was charged against its sender's
+// uplink — that uplink too; a refusal (ErrAdmission) leaves the circuit
+// and every budget exactly as they were.
+//
+// Both rates must be positive: a best-effort circuit (PeakRate 0) has
+// no reservation to renegotiate, and a guaranteed circuit leaves its
+// class only by teardown.
+func (m *Manager) ModifyRate(id int, newRate int64) error {
+	c, ok := m.open[id]
+	if !ok {
+		return ErrNoCircuit
+	}
+	if newRate <= 0 {
+		return fmt.Errorf("netsig: circuit %d: renegotiated rate must be positive, got %d", id, newRate)
+	}
+	if c.PeakRate <= 0 {
+		return fmt.Errorf("netsig: circuit %d is best-effort; no reservation to renegotiate", id)
+	}
+	delta := newRate - c.PeakRate
+	if delta == 0 {
+		return nil
+	}
+	if delta > 0 {
+		for _, p := range c.OutPorts {
+			if m.committed[p]+delta > m.capacity[p] {
+				m.Refused++
+				return fmt.Errorf("%w: port %d committed %d + %d > %d",
+					ErrAdmission, p, m.committed[p], delta, m.capacity[p])
+			}
+		}
+		if c.uplinked && m.committedIn[c.InPort]+delta > m.capacityIn[c.InPort] {
+			m.Refused++
+			return fmt.Errorf("%w: uplink %d committed %d + %d > %d",
+				ErrAdmission, c.InPort, m.committedIn[c.InPort], delta, m.capacityIn[c.InPort])
+		}
+	}
+	for _, p := range c.OutPorts {
+		m.committed[p] += delta
+	}
+	if c.uplinked {
+		m.committedIn[c.InPort] += delta
+	}
+	c.PeakRate = newRate
+	m.Modified++
 	return nil
 }
 

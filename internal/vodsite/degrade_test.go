@@ -1,0 +1,221 @@
+package vodsite_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fileserver"
+	"repro/internal/sim"
+	"repro/internal/vodsite"
+)
+
+// TestDegradeBeforeReplicate drives the paper's negotiate-down policy
+// through the replication window: when a hot title's refusals trigger a
+// background copy, the title's current viewers on the source node drop
+// a quality tier (freeing slack the copy rides and budget new viewers
+// use), and are restored once the replica joins the catalog.
+func TestDegradeBeforeReplicate(t *testing.T) {
+	h := build(t, 2, 8, 1, vodsite.Config{
+		RefusalThreshold:       3,
+		DegradeBeforeReplicate: true,
+	}, fileserver.CMConfig{Utilization: 0.7})
+	ctrl := h.ctrl
+	title := ctrl.Titles()[0]
+
+	var admitted []*vodsite.Stream
+	refusals := 0
+	for i := 0; i < 6; i++ {
+		st, err := ctrl.Admit(title.Name, h.viewers[i].Port)
+		if err != nil {
+			refusals++
+		} else {
+			admitted = append(admitted, st)
+		}
+	}
+	if len(admitted) != 3 || refusals != 3 {
+		t.Fatalf("admits=%d refusals=%d, want 3/3", len(admitted), refusals)
+	}
+	if ctrl.Copying() != 1 {
+		t.Fatalf("copying=%d, want 1", ctrl.Copying())
+	}
+	// The copy window is open: every viewer of the hot title dropped a
+	// tier.
+	if ctrl.Stats.DegradedForCopy != int64(len(admitted)) {
+		t.Fatalf("DegradedForCopy=%d, want %d", ctrl.Stats.DegradedForCopy, len(admitted))
+	}
+	for i, st := range admitted {
+		if !st.Session().Degraded() || st.Session().Factor() != 0.5 {
+			t.Fatalf("viewer %d at factor %g during the copy, want 0.5", i, st.Session().Factor())
+		}
+	}
+
+	h.site.Sim.RunFor(3 * sim.Second) // copy rides round slack
+	if ctrl.Stats.ReplicasCompleted != 1 {
+		t.Fatalf("replica did not complete: %+v", ctrl.Stats)
+	}
+	// The window closed: viewers are back at full quality.
+	if ctrl.Stats.RestoredAfterCopy != int64(len(admitted)) {
+		t.Fatalf("RestoredAfterCopy=%d, want %d", ctrl.Stats.RestoredAfterCopy, len(admitted))
+	}
+	for i, st := range admitted {
+		if st.Session().Degraded() {
+			t.Fatalf("viewer %d still at factor %g after the copy", i, st.Session().Factor())
+		}
+	}
+	// Guaranteed service stayed clean throughout.
+	if ur := ctrl.Nodes()[0].SS.CM.Stats.Underruns; ur != 0 {
+		t.Fatalf("%d underruns on the source during the copy", ur)
+	}
+}
+
+// TestAdaptiveClassPrefersReplicaWithRoom: with Adaptive-class viewers,
+// a replica with full-quality room must win over the least-committed
+// replica degrading its viewers — nobody loses quality while site
+// capacity sits idle.
+func TestAdaptiveClassPrefersReplicaWithRoom(t *testing.T) {
+	h := build(t, 2, 8, 1, vodsite.Config{
+		Class:        core.Adaptive,
+		BaseReplicas: 2,
+	}, fileserver.CMConfig{Utilization: 0.7})
+	ctrl := h.ctrl
+	title := ctrl.Titles()[0]
+
+	// Each array holds 3 full-quality streams at 0.7 utilization; 6
+	// admissions fill both replicas exactly, and every one must come up
+	// at full quality — no degrade-to-make-room while a replica has
+	// full-tier room.
+	var streams []*vodsite.Stream
+	for i := 0; i < 6; i++ {
+		st, err := ctrl.Admit(title.Name, h.viewers[i].Port)
+		if err != nil {
+			t.Fatalf("admit %d refused with room on some replica: %v", i, err)
+		}
+		streams = append(streams, st)
+	}
+	for i, st := range streams {
+		if st.Session().Degraded() {
+			t.Fatalf("stream %d degraded (factor %g) while full-quality room existed", i, st.Session().Factor())
+		}
+	}
+	nodes := map[int]int{}
+	for _, st := range streams {
+		nodes[st.Node().ID]++
+	}
+	if len(nodes) != 2 {
+		t.Fatalf("streams landed on %d node(s) %v, want both replicas", len(nodes), nodes)
+	}
+}
+
+// bigFrameHarness is a 2-node site whose windows span many stripe
+// chunks (19200-byte frames, 16 KiB chunks, 500 ms rounds), so a tier
+// drop genuinely shrinks the per-disk cost; with tiny windows the
+// chunk-quantised cost model hides the savings. One full-quality
+// stream fills an array at 0.75 utilization; a ¼-tier stream costs
+// less than a third of it.
+func bigFrameHarness(t *testing.T, cfg vodsite.Config) (*vodsite.Controller, []*core.Endpoint, *vodsite.Title) {
+	t.Helper()
+	const (
+		fb     = 19200
+		hz     = 100
+		round  = 500 * sim.Millisecond
+		rounds = 2
+	)
+	bytes := int64(rounds) * int64(hz) * int64(round) / int64(sim.Second) * fb
+
+	siteCfg := core.DefaultSiteConfig()
+	siteCfg.Ports = 2 + 8
+	site := core.NewSite(siteCfg)
+	cfg.PeakRate = 24_000_000
+	ctrl := vodsite.New(site, cfg)
+	for i := 0; i < 2; i++ {
+		ctrl.AddNode(site.NewStorageServer("node", 64<<10, 128))
+	}
+	var viewers []*core.Endpoint
+	for i := 0; i < 8; i++ {
+		viewers = append(viewers, site.Attach("viewer"))
+	}
+	title := ctrl.AddTitle("hot", bytes, fb, hz)
+	if err := ctrl.Place(); err != nil {
+		t.Fatal(err)
+	}
+	site.Sim.Run()
+	ctrl.Start(fileserver.CMConfig{Round: round, Utilization: 0.75})
+	return ctrl, viewers, title
+}
+
+// TestRefusedRestoreRetriedOnRelease: a copy-window restore the budget
+// refuses (a new viewer took the freed room) is parked and retried when
+// a stream releases — a Guaranteed viewer must not stay degraded for
+// life.
+func TestRefusedRestoreRetriedOnRelease(t *testing.T) {
+	ctrl, viewers, title := bigFrameHarness(t, vodsite.Config{
+		RefusalThreshold:       3,
+		DegradeBeforeReplicate: true,
+		DegradeFactor:          0.25,
+	})
+
+	// One full-quality viewer fills the home array; three refusals open
+	// the copy window and deep-degrade it.
+	var first *vodsite.Stream
+	for i := 0; i < 4; i++ {
+		if st, err := ctrl.Admit(title.Name, viewers[i].Port); err == nil {
+			first = st
+		}
+	}
+	if first == nil || ctrl.Copying() != 1 || ctrl.Stats.DegradedForCopy != 1 {
+		t.Fatalf("copy window not open: copying=%d degraded=%d", ctrl.Copying(), ctrl.Stats.DegradedForCopy)
+	}
+	// A new full-rate viewer eats the freed budget during the window.
+	taker, err := ctrl.Admit(title.Name, viewers[4].Port)
+	if err != nil {
+		t.Fatalf("window admission refused: %v", err)
+	}
+	// The loaded rounds leave slack for ~one 256 KiB copy read each:
+	// the 1.92 MB title takes ~8 rounds plus the sync.
+	ctrl.Site().Sim.RunFor(8 * sim.Second)
+	if ctrl.Stats.ReplicasCompleted != 1 {
+		t.Fatalf("copy did not complete: %+v", ctrl.Stats)
+	}
+	if !first.Session().Degraded() {
+		t.Fatal("restore fit despite the taker — geometry no longer parks it")
+	}
+	// Releasing the taker must un-park the refused restore.
+	taker.Release()
+	if first.Session().Degraded() {
+		t.Fatal("viewer still degraded after release freed the budget")
+	}
+	if ctrl.Stats.RestoredAfterCopy != 1 {
+		t.Fatalf("RestoredAfterCopy=%d, want 1", ctrl.Stats.RestoredAfterCopy)
+	}
+}
+
+// TestDegradeBeforeReplicateFreesRoomForViewers: the freed tier budget
+// is real — while the copy is in flight, the source node admits a
+// viewer it refused at full commitment.
+func TestDegradeBeforeReplicateFreesRoomForViewers(t *testing.T) {
+	ctrl, viewers, title := bigFrameHarness(t, vodsite.Config{
+		RefusalThreshold:       3,
+		DegradeBeforeReplicate: true,
+		DegradeFactor:          0.25,
+	})
+
+	// One full-quality stream fills the home array; the next three
+	// refusals open the copy window and deep-degrade the viewer.
+	admits := 0
+	for i := 0; i < 4; i++ {
+		if _, err := ctrl.Admit(title.Name, viewers[i].Port); err == nil {
+			admits++
+		}
+	}
+	if admits != 1 || ctrl.Copying() != 1 {
+		t.Fatalf("admits=%d copying=%d, want 1/1", admits, ctrl.Copying())
+	}
+	if ctrl.Stats.DegradedForCopy != 1 {
+		t.Fatalf("DegradedForCopy=%d, want 1", ctrl.Stats.DegradedForCopy)
+	}
+	// The deep-degraded viewer left enough budget for one more
+	// full-rate admission during the window.
+	if _, err := ctrl.Admit(title.Name, viewers[4].Port); err != nil {
+		t.Fatalf("admit during the degrade window refused: %v", err)
+	}
+}

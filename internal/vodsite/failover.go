@@ -44,14 +44,13 @@ func (c *Controller) FailNode(n *Node) FailReport {
 	n.streams = nil
 	rep.Streams = len(moved)
 	for _, st := range moved {
-		// Release what the dead node held: the circuit frees the viewer
-		// downlink and node uplink, the reservation is bookkeeping on a
-		// stopped scheduler.
-		_ = c.site.Signalling.TearDown(st.circ.ID)
-		st.cm.Release()
-		st.circ, st.cm, st.node = nil, nil, nil
+		// Release what the dead node held: closing the session frees the
+		// viewer downlink and node uplink; the disk reservation is
+		// bookkeeping on a stopped scheduler.
+		_ = st.sess.Close()
+		st.sess, st.node = nil, nil
 
-		nn, circ, h, err := c.tryReplicas(st.Title, st.viewerPort)
+		nn, sess, err := c.tryReplicas(st.Title, st.viewerPort)
 		if err != nil {
 			st.released = true
 			rep.Dropped++
@@ -61,7 +60,7 @@ func (c *Controller) FailNode(n *Node) FailReport {
 			}
 			continue
 		}
-		st.node, st.circ, st.cm = nn, circ, h
+		st.node, st.sess = nn, sess
 		nn.streams = append(nn.streams, st)
 		nn.Admissions++
 		rep.Recovered++
@@ -70,5 +69,6 @@ func (c *Controller) FailNode(n *Node) FailReport {
 			cb(st)
 		}
 	}
+	c.retryRestores()
 	return rep
 }

@@ -40,7 +40,76 @@ func (c *Controller) maybeReplicate(t *Title) {
 	c.Stats.ReplicasTriggered++
 	j := &copyJob{c: c, t: t, src: source, dst: target}
 	c.copies = append(c.copies, j)
+	if c.cfg.DegradeBeforeReplicate {
+		j.degradeViewers()
+	}
 	j.start()
+}
+
+// degradeViewers drops the hot title's current viewers on the copy's
+// source node one quality tier for the replication window: their
+// shrunken rounds leave more slack for the best-effort copy reads and
+// more disk budget for new viewers while the copy catches up. They are
+// restored when the replica joins the catalog or the copy aborts.
+func (j *copyJob) degradeViewers() {
+	for _, st := range j.src.streams {
+		if st.Title != j.t || st.sess == nil {
+			continue
+		}
+		if st.sess.Degraded() {
+			continue // already below full quality; leave its tier alone
+		}
+		if st.sess.Degrade(j.c.cfg.DegradeFactor) == nil && st.sess.Degraded() {
+			j.degraded = append(j.degraded, st)
+			j.c.Stats.DegradedForCopy++
+		}
+	}
+}
+
+// restoreViewers climbs the degraded viewers back toward full quality
+// once the replication window closes. A restore the budget refuses
+// right now (new viewers took the freed room during the window) parks
+// on the controller's restore queue and is retried every time a stream
+// releases — the site's own reclaim only covers Adaptive-class
+// sessions, and Guaranteed viewers must not stay degraded for life.
+func (j *copyJob) restoreViewers() {
+	for _, st := range j.degraded {
+		if st.Released() || st.sess == nil || !st.sess.Degraded() ||
+			st.node == nil || st.node.Failed() {
+			// Gone, already back at full quality (e.g. failover
+			// re-admitted it fresh), or dying with its node — FailNode
+			// closes and re-admits those moments after aborting this
+			// copy, so there is nothing here to restore or count.
+			continue
+		}
+		if st.sess.Restore() == nil {
+			j.c.Stats.RestoredAfterCopy++
+		} else {
+			j.c.restorePending = append(j.c.restorePending, st)
+		}
+	}
+	j.degraded = nil
+}
+
+// retryRestores re-attempts parked copy-window restores; called after
+// any stream teardown returns budget.
+func (c *Controller) retryRestores() {
+	if len(c.restorePending) == 0 {
+		return
+	}
+	keep := c.restorePending[:0]
+	for _, st := range c.restorePending {
+		switch {
+		case st.Released() || st.sess == nil || !st.sess.Degraded() ||
+			st.node == nil || st.node.Failed():
+			// Nothing left to restore.
+		case st.sess.Restore() == nil:
+			c.Stats.RestoredAfterCopy++
+		default:
+			keep = append(keep, st)
+		}
+	}
+	c.restorePending = keep
 }
 
 // replicationTarget picks the copy destination: the alive non-holder
@@ -91,6 +160,10 @@ type copyJob struct {
 	off      int64
 	created  bool
 	aborted  bool
+
+	// degraded holds the viewer streams tier-dropped for this copy's
+	// window (DegradeBeforeReplicate); restored when the window closes.
+	degraded []*Stream
 }
 
 func (j *copyJob) start() {
@@ -153,6 +226,7 @@ func (j *copyJob) done() {
 	j.t.copying = false
 	j.t.replicas = append(j.t.replicas, j.dst)
 	j.c.Stats.ReplicasCompleted++
+	j.restoreViewers()
 	if cb := j.c.OnReplica; cb != nil {
 		cb(j.t, j.dst)
 	}
@@ -166,6 +240,7 @@ func (j *copyJob) abort() {
 	j.c.removeJob(j)
 	j.t.copying = false
 	j.c.Stats.ReplicasAborted++
+	j.restoreViewers()
 	// Remove the partial copy so a later attempt can start clean.
 	if j.created && !j.dst.failed {
 		_ = j.dst.SS.Server.Delete(j.t.Name)

@@ -38,7 +38,6 @@ import (
 	"repro/internal/atm"
 	"repro/internal/core"
 	"repro/internal/fileserver"
-	"repro/internal/netsig"
 )
 
 // ErrNoReplica reports a stream refused because every replica's
@@ -49,6 +48,26 @@ var ErrNoReplica = errors.New("vodsite: no replica can carry the stream")
 type Config struct {
 	// PeakRate is the admitted peak bits/s per stream (required).
 	PeakRate int64
+
+	// Class is the QoS class viewer sessions are opened with (default
+	// core.Guaranteed). With core.Adaptive, an over-subscribed replica
+	// degrades its Adaptive viewers to make room instead of refusing
+	// (see core.OpenSession) — note that CanAdmit then under-reports,
+	// since it probes only full-quality admission.
+	Class core.QoSClass
+
+	// DegradeBeforeReplicate drops the quality tier of a hot title's
+	// current viewers on the copy's source node while the background
+	// replication is in flight, restoring them when the replica joins
+	// the catalog (or the copy aborts). The degraded rounds leave more
+	// slack for the best-effort copy reads *and* more disk budget for
+	// new viewers — the paper's negotiate-down policy applied to the
+	// replication window.
+	DegradeBeforeReplicate bool
+
+	// DegradeFactor is the tier drop DegradeBeforeReplicate applies
+	// (default 0.5), floor-bounded per session.
+	DegradeFactor float64
 
 	// ZipfS is the popularity exponent of the catalog's Zipf model
 	// (default 1.3): weight(rank r) ∝ 1/r^ZipfS, rank 1 hottest.
@@ -79,6 +98,9 @@ func (c *Config) setDefaults() {
 	if c.ZipfS == 0 {
 		c.ZipfS = 1.3
 	}
+	if c.DegradeFactor == 0 {
+		c.DegradeFactor = 0.5
+	}
 	if c.BaseReplicas == 0 {
 		c.BaseReplicas = 1
 	}
@@ -101,6 +123,9 @@ type Stats struct {
 
 	FailoverRecovered int64 // streams re-admitted on surviving replicas
 	FailoverDropped   int64 // streams lost with their node
+
+	DegradedForCopy   int64 // viewer sessions tier-dropped for a replication window
+	RestoredAfterCopy int64 // sessions restored when their copy finished or aborted
 }
 
 // Node is one storage node under the controller: a PR-2 serving stack
@@ -151,17 +176,17 @@ type Title struct {
 // Replicas reports the nodes currently holding the title.
 func (t *Title) Replicas() []*Node { return append([]*Node(nil), t.replicas...) }
 
-// Stream is one admitted site stream: the chosen replica, its circuit
-// and its disk reservation. Tag is for the caller (the load generator
-// hangs its per-request state there); the controller never touches it.
+// Stream is one admitted site stream: the chosen replica and the
+// core.Session owning its circuit and disk reservation. Tag is for the
+// caller (the load generator hangs its per-request state there); the
+// controller never touches it.
 type Stream struct {
 	Title *Title
 	Tag   any
 
 	ctrl       *Controller
 	node       *Node
-	circ       *netsig.Circuit
-	cm         *fileserver.CMStream
+	sess       *core.Session
 	viewerPort int
 	released   bool
 }
@@ -169,17 +194,25 @@ type Stream struct {
 // Node reports the replica currently serving the stream.
 func (st *Stream) Node() *Node { return st.node }
 
+// Session exposes the stream's end-to-end session (nil after release).
+func (st *Stream) Session() *core.Session { return st.sess }
+
 // VCI reports the stream's current circuit number (0 when released).
 func (st *Stream) VCI() atm.VCI {
-	if st.circ == nil {
+	if st.sess == nil {
 		return 0
 	}
-	return st.circ.VCI
+	return st.sess.VCI()
 }
 
 // CM exposes the stream's disk reservation (playout pulls frames from
 // it); nil after release.
-func (st *Stream) CM() *fileserver.CMStream { return st.cm }
+func (st *Stream) CM() *fileserver.CMStream {
+	if st.sess == nil {
+		return nil
+	}
+	return st.sess.CM()
+}
 
 // Released reports whether the stream is down (released or dropped).
 func (st *Stream) Released() bool { return st.released }
@@ -195,18 +228,15 @@ func (st *Stream) Release() {
 }
 
 func (st *Stream) teardown() {
-	if st.circ != nil {
-		_ = st.ctrl.site.Signalling.TearDown(st.circ.ID)
-		st.circ = nil
-	}
-	if st.cm != nil {
-		st.cm.Release()
-		st.cm = nil
+	if st.sess != nil {
+		_ = st.sess.Close()
+		st.sess = nil
 	}
 	if st.node != nil {
 		st.node.dropStream(st)
 		st.node = nil
 	}
+	st.ctrl.retryRestores()
 }
 
 // Controller is the site controller: catalog, placement, admission,
@@ -218,6 +248,10 @@ type Controller struct {
 	titles map[string]*Title
 	ranked []*Title // rank order, hottest first
 	copies []*copyJob
+
+	// restorePending holds copy-window viewers whose restore the budget
+	// refused; retried after every stream teardown.
+	restorePending []*Stream
 
 	// OnReplica fires when a background copy completes and the replica
 	// joins the catalog — the load generator retries refused requests.
@@ -409,27 +443,63 @@ func (c *Controller) candidates(t *Title) []*Node {
 	return out
 }
 
-// tryReplicas attempts link∧disk admission on each candidate replica in
-// least-committed order; it holds nothing on total failure.
-func (c *Controller) tryReplicas(t *Title, viewerPort int) (*Node, *netsig.Circuit, *fileserver.CMStream, error) {
+// tryReplicas attempts end-to-end session admission on each candidate
+// replica in least-committed order; it holds nothing on total failure.
+//
+// Two passes when the class is Adaptive: first only replicas with
+// full-quality room (probed, held nothing) — a replica that can serve
+// at full quality must win before any replica degrades its viewers to
+// make room — then, if none had room, each candidate in turn with the
+// degrade-instead-of-refuse machinery live. For Guaranteed the first
+// pass is exactly the old least-committed fallback.
+func (c *Controller) tryReplicas(t *Title, viewerPort int) (*Node, *core.Session, error) {
+	cands := c.candidates(t)
 	var lastErr error
-	for _, n := range c.candidates(t) {
-		circ, h, err := c.site.AdmitGuaranteed(n.SS.Net.Port, []int{viewerPort},
-			c.cfg.PeakRate, n.SS.CM, t.Name, t.FrameBytes, t.FrameHz)
+	open := func(n *Node, class core.QoSClass) (*core.Session, error) {
+		return c.site.OpenSession(core.SessionSpec{
+			Class:      class,
+			InPort:     n.SS.Net.Port,
+			OutPorts:   []int{viewerPort},
+			PeakRate:   c.cfg.PeakRate,
+			CM:         n.SS.CM,
+			Title:      t.Name,
+			FrameBytes: t.FrameBytes,
+			FrameHz:    t.FrameHz,
+		})
+	}
+	for _, n := range cands {
+		if c.cfg.Class == core.Adaptive &&
+			!(c.site.Signalling.CanEstablish(n.SS.Net.Port, []int{viewerPort}, c.cfg.PeakRate) &&
+				n.SS.CM.CanServe(t.FrameBytes, t.FrameHz)) {
+			continue // no full-quality room; maybe in pass 2
+		}
+		sess, err := open(n, c.cfg.Class)
 		if err == nil {
-			return n, circ, h, nil
+			return n, sess, nil
 		}
 		if errors.Is(err, fileserver.ErrBadStream) || errors.Is(err, fileserver.ErrBadRound) {
 			// A replica that cannot serve the title at all is a catalog
 			// bug, not an over-subscription; surface it.
-			return nil, nil, nil, err
+			return nil, nil, err
 		}
 		lastErr = err
+	}
+	if c.cfg.Class == core.Adaptive {
+		for _, n := range cands {
+			sess, err := open(n, c.cfg.Class)
+			if err == nil {
+				return n, sess, nil
+			}
+			if errors.Is(err, fileserver.ErrBadStream) || errors.Is(err, fileserver.ErrBadRound) {
+				return nil, nil, err
+			}
+			lastErr = err
+		}
 	}
 	if lastErr == nil {
 		lastErr = errors.New("no alive replica")
 	}
-	return nil, nil, nil, fmt.Errorf("%w: %s: %v", ErrNoReplica, t.Name, lastErr)
+	return nil, nil, fmt.Errorf("%w: %s: %v", ErrNoReplica, t.Name, lastErr)
 }
 
 // Admit admits one stream of a title to a viewer's port, trying
@@ -441,7 +511,7 @@ func (c *Controller) Admit(title string, viewerPort int) (*Stream, error) {
 	if t == nil {
 		return nil, fmt.Errorf("vodsite: unknown title %q", title)
 	}
-	n, circ, h, err := c.tryReplicas(t, viewerPort)
+	n, sess, err := c.tryReplicas(t, viewerPort)
 	if err != nil {
 		if errors.Is(err, ErrNoReplica) {
 			c.Stats.Refused++
@@ -456,7 +526,7 @@ func (c *Controller) Admit(title string, viewerPort int) (*Stream, error) {
 		}
 		return nil, err
 	}
-	st := &Stream{Title: t, ctrl: c, node: n, circ: circ, cm: h, viewerPort: viewerPort}
+	st := &Stream{Title: t, ctrl: c, node: n, sess: sess, viewerPort: viewerPort}
 	n.streams = append(n.streams, st)
 	n.Admissions++
 	c.Stats.Admitted++
@@ -471,9 +541,12 @@ func (c *Controller) viewerHasRoom(port int) bool {
 }
 
 // CanAdmit reports whether some replica of the title could admit a
-// stream to the viewer right now — the pure probe of exactly the checks
-// Admit performs (netsig.CanEstablish ∧ CMService.CanServe), with no
-// side effects. The site-level admission invariant is Admit ⇔ CanAdmit.
+// full-quality stream to the viewer right now — the pure probe of
+// exactly the checks a Guaranteed-class Admit performs
+// (netsig.CanEstablish ∧ CMService.CanServe), with no side effects.
+// For Guaranteed controllers the site-level admission invariant is
+// Admit ⇔ CanAdmit; an Adaptive-class controller can admit beyond it
+// by degrading (CanAdmit then under-reports).
 func (c *Controller) CanAdmit(title string, viewerPort int) bool {
 	t := c.titles[title]
 	if t == nil {
