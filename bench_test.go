@@ -494,6 +494,66 @@ func BenchmarkSessionOpen(b *testing.B) {
 	}
 }
 
+// BenchmarkSessionOpenWithCPU measures the full four-leg admission hot
+// path: one OpenSession charging link + uplink + disk + CPU (spawning
+// and reserving the stream's protocol domain) and its Close (killing
+// the domain), on a one-server site with CPU admission enabled.
+func BenchmarkSessionOpenWithCPU(b *testing.B) {
+	site, ss, ports := sessionBenchSite(b)
+	ss.EnableCPU(core.CPUConfig{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spec := sessionBenchSpec(ss, ports[i%len(ports)])
+		spec.CPU = ss.CPU
+		s, err := site.OpenSession(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.Close()
+		if i%256 == 255 {
+			// Drain the primed read-ahead I/O outside the timer (the CM
+			// ticker never stops, so a bounded advance, not Run).
+			b.StopTimer()
+			site.Sim.RunFor(20 * sim.Second)
+			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkQoSRebalance measures the QoS manager's allocation update
+// with a population of reserved stream contracts and elastic requests
+// registered: one Request (which re-runs the proportional rebalance
+// over every entry) per iteration.
+func BenchmarkQoSRebalance(b *testing.B) {
+	s := sim.New()
+	edf := sched.NewEDFShares()
+	k := nemesis.NewKernel(s, nemesis.Config{SingleAddressSpace: true}, edf)
+	m := sched.NewQoSManager(s, edf)
+	defer k.Shutdown()
+	const doms = 64
+	sleep := func(c *nemesis.Ctx) {
+		for {
+			c.Sleep(sim.Second)
+		}
+	}
+	var ds [doms]*nemesis.Domain
+	for i := range ds {
+		ds[i] = k.Spawn("d", nemesis.SchedParams{Slice: 1, Period: 40 * sim.Millisecond}, sleep)
+		if i%2 == 0 {
+			if err := m.Reserve(ds[i], sim.Duration(i/4+1)*sim.Microsecond, 10*sim.Millisecond); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			m.Request(ds[i], sim.Duration(i+1)*sim.Millisecond, 40*sim.Millisecond)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := ds[(i*2+1)%doms]
+		m.Request(d, sim.Duration(i%24+1)*sim.Millisecond, 40*sim.Millisecond)
+	}
+}
+
 // BenchmarkSessionRenegotiate measures in-place renegotiation: one
 // shrink to half rate and one grow back per iteration, each adjusting
 // the link and disk budgets without teardown.

@@ -60,6 +60,14 @@ func main() {
 				"tier ladder instead of refusing and restores them as capacity frees")
 		guaranteedOnly = flag.Bool("guaranteed-only", false,
 			"force every -adaptive session to the Guaranteed class (the admit-or-refuse ablation)")
+		cpuBound = flag.Bool("cpu-bound", false,
+			"run the CPU-constrained scenario: unicast disk-backed streams with per-node "+
+				"Nemesis CPU admission (small per-stream rates, high per-stream CPU cost), so "+
+				"admission is the full link AND disk AND cpu conjunction and the processor "+
+				"refuses/degrades strictly before the disks fill; combine with -adaptive for "+
+				"degrade-instead-of-refuse on CPU")
+		cpuThroughput = flag.Int64("cpu-throughput", 0,
+			"node protocol-processing throughput in bytes/s for -cpu-bound (0 = 1 MiB/s)")
 		releaseAt = flag.Float64("release-at", 0,
 			"seconds into an -adaptive run to close every third stream (0 = half the run)")
 		titles       = flag.Int("titles", 0, "cluster catalog size (0 = 2x servers)")
@@ -91,6 +99,9 @@ func main() {
 			"exit 1 unless at least one session dropped a quality tier (adaptive)")
 		expectRestored = flag.Bool("expect-restored", false,
 			"exit 1 unless at least one degraded session climbed back up (adaptive)")
+		expectCPURefusals = flag.Bool("expect-cpu-refusals", false,
+			"exit 1 unless the CPU leg refused at least one open while the disks still had "+
+				"room and no disk refusal occurred (the cpu-bound over-subscription proof)")
 		asJSON = flag.Bool("json", false, "emit the scoreboard as JSON")
 	)
 	flag.Parse()
@@ -125,6 +136,9 @@ func main() {
 		Adaptive:       *adaptive,
 		GuaranteedOnly: *guaranteedOnly,
 		ReleaseAt:      sim.Duration(math.Round(*releaseAt * float64(sim.Second))),
+
+		CPUBound:       *cpuBound,
+		CPUBytesPerSec: *cpuThroughput,
 	}
 	switch *pattern {
 	case "mesh":
@@ -133,6 +147,10 @@ func main() {
 		cfg.Pattern = loadgen.VoD
 	default:
 		fmt.Fprintf(os.Stderr, "pegload: unknown pattern %q\n", *pattern)
+		os.Exit(2)
+	}
+	if *cluster && *cpuBound {
+		fmt.Fprintln(os.Stderr, "pegload: -cluster does not support -cpu-bound (cluster nodes do not enable CPU admission)")
 		os.Exit(2)
 	}
 
@@ -163,8 +181,11 @@ func main() {
 		if res.Underruns != 0 {
 			fail("%d buffer underruns among admitted streams", res.Underruns)
 		}
-		if (*fromStorage || *cluster || *adaptive) && res.DiskBytesRead == 0 {
+		if (*fromStorage || *cluster || *adaptive || *cpuBound) && res.DiskBytesRead == 0 {
 			fail("storage-backed run read nothing off the disks")
+		}
+		if res.DeadlineMisses != 0 {
+			fail("%d EDF deadline misses among admitted streams' CPU domains", res.DeadlineMisses)
 		}
 	}
 	if *minStorage > 0 && res.StorageStreams < *minStorage {
@@ -199,6 +220,21 @@ func main() {
 	if *expectRestored && res.RestoreEvents == 0 {
 		fail("expected freed capacity to restore degraded sessions; %d degrade events, 0 restores",
 			res.DegradeEvents)
+	}
+	if *expectCPURefusals {
+		// The cpu-bound proof is strict ordering: the CPU said no while
+		// the disks never did and still have room.
+		if res.CPURefused == 0 {
+			fail("expected the CPU leg to refuse opens; it admitted everything")
+		}
+		if res.StorageRefused != 0 {
+			fail("disk admission refused %d opens; CPU was supposed to be the bottleneck",
+				res.StorageRefused)
+		}
+		if res.DiskCommitted >= 1 {
+			fail("disk budget exhausted (%.0f%% committed); CPU did not refuse first",
+				100*res.DiskCommitted)
+		}
 	}
 	if failed {
 		os.Exit(1)

@@ -3,20 +3,42 @@
 // negotiate-down policy by hand — renegotiate a stream in place, watch
 // an over-subscribed Adaptive open degrade its peers instead of being
 // refused, and watch a close restore them.
+//
+// Admission here is a three-resource conjunction. Every open charges,
+// atomically:
+//
+//   - the link leg: each receiver's output link, plus the server's
+//     uplink into the switch (netsig);
+//   - the disk leg: the title's share of the per-disk round-time budget
+//     (fileserver.CMService);
+//   - the CPU leg: a per-stream protocol-processing domain on the
+//     serving node's Nemesis kernel, holding an EDF {slice, period}
+//     reservation proportional to the stream's rate (core.NodeCPU over
+//     sched.QoSManager).
+//
+// If any leg refuses, the other two are rolled back and nothing is
+// held. This example sizes the node so the *processor* is the scarce
+// resource — the disks stay around a third committed while the CPU
+// runs out — so every refusal below is a CPU refusal (errors.Is(err,
+// sched.ErrOverCommit)), and every verb (Renegotiate, Degrade, Restore,
+// Close) visibly reshapes the CPU reservation alongside the link and
+// disk budgets.
 package main
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/fileserver"
+	"repro/internal/sched"
 	"repro/internal/sim"
 )
 
 const (
-	frameBytes = 19200
+	frameBytes = 4800
 	frameHz    = 100
-	peakRate   = 24_000_000
+	peakRate   = 6_000_000
 	round      = 500 * sim.Millisecond
 )
 
@@ -26,8 +48,12 @@ func main() {
 	site := core.NewSite(cfg)
 	site.Signalling.EnableUplinkAdmission()
 
-	// One storage node, one stored title, four viewers.
+	// One storage node, one stored title, four viewers. The node's CPU
+	// is admission-controlled at 1 MiB/s of protocol throughput: one
+	// full-quality stream reserves ~51% of the utilisation cap, so the
+	// processor fills long before the disks (~20% per stream) do.
 	ss := site.NewStorageServer("vod", 64<<10, 128)
+	ss.EnableCPU(core.CPUConfig{BytesPerSec: 1 << 20})
 	viewers := make([]*core.Endpoint, 4)
 	for i := range viewers {
 		viewers[i] = site.Attach(fmt.Sprintf("viewer%d", i))
@@ -57,11 +83,13 @@ func main() {
 			Title:      "film",
 			FrameBytes: frameBytes,
 			FrameHz:    frameHz,
+			CPU:        ss.CPU,
 		}
 	}
 	show := func(label string, sessions ...*core.Session) {
-		fmt.Printf("%-28s disk %.0f%% committed;", label,
-			100*float64(ss.CM.Committed())/float64(ss.CM.Capacity()))
+		fmt.Printf("%-28s disk %2.0f%%, cpu %2.0f%% committed;", label,
+			100*float64(ss.CM.Committed())/float64(ss.CM.Capacity()),
+			100*ss.CPU.CommittedFrac())
 		for i, s := range sessions {
 			if s.Closed() {
 				fmt.Printf(" s%d=closed", i)
@@ -72,14 +100,15 @@ func main() {
 		fmt.Println()
 	}
 
-	// One full-quality stream nearly fills the round budget.
+	// One full-quality stream reserves half the CPU cap.
 	a, err := site.OpenSession(spec(0, core.Adaptive))
 	if err != nil {
 		panic(err)
 	}
 	show("opened a:", a)
 
-	// Renegotiate in place: shrink always succeeds, grow is re-admitted.
+	// Renegotiate in place: shrink always succeeds (every leg releases
+	// the difference — watch the cpu column), grow is re-admitted.
 	if err := a.Renegotiate(peakRate / 2); err != nil {
 		panic(err)
 	}
@@ -89,8 +118,17 @@ func main() {
 	}
 	show("a grown back:", a)
 
-	// A second Adaptive open does not fit at full quality — instead of
-	// a refusal, both sessions slide down the tier ladder.
+	// A Guaranteed open must take the site as it finds it: the CPU leg
+	// refuses (the links and disks had room), and the rollback holds
+	// nothing — no circuit, no round time, no domain.
+	if _, err := site.OpenSession(spec(3, core.Guaranteed)); errors.Is(err, sched.ErrOverCommit) {
+		fmt.Println("guaranteed open CPU-refused:", err)
+	} else {
+		panic(fmt.Sprintf("expected a CPU refusal, got %v", err))
+	}
+
+	// The same open as Adaptive does not give up: the site walks a (and
+	// the newcomer) down the tier ladder until the CPU reservations fit.
 	b, err := site.OpenSession(spec(1, core.Adaptive))
 	if err != nil {
 		panic(err)
@@ -102,21 +140,17 @@ func main() {
 	}
 	show("opened c (made room):", a, b, c)
 
-	// A Guaranteed open must take the site as it finds it: it is never
-	// granted by degrading others.
-	if _, err := site.OpenSession(spec(3, core.Guaranteed)); err != nil {
-		fmt.Println("guaranteed open refused:  ", err)
-	}
-
-	// Closing a session returns its budget and the survivors climb back.
+	// Closing a session returns its budgets — all three — and the
+	// degraded survivors climb back up the ladder.
 	if err := b.Close(); err != nil {
 		panic(err)
 	}
 	show("b closed, rest restored:", a, b, c)
 
-	site.Sim.RunFor(2 * round) // let read-ahead prime
+	site.Sim.RunFor(2 * round) // let read-ahead prime, protocol domains run
 	fr, _ := a.CM().NextFrame()
-	fmt.Printf("a serves %d-byte frames at factor %.2f\n", len(fr), a.Factor())
+	fmt.Printf("a serves %d-byte frames at factor %.2f; CPU deadline misses: %d\n",
+		len(fr), a.Factor(), ss.CPU.Stats.DeadlineMisses)
 
 	a.Close()
 	c.Close()

@@ -181,6 +181,10 @@ type Workstation struct {
 	Net       *Endpoint
 	Transport *rpc.Transport
 
+	// CPU wraps the workstation's kernel as a stream-admissible
+	// protocol-processing CPU; nil until EnableCPU.
+	CPU *NodeCPU
+
 	cameraN, displayN, audioN int
 }
 
@@ -206,6 +210,19 @@ func (st *Site) NewWorkstation(name string) *Workstation {
 	// catch-all binding, so a misrouted cell surfaces as an unhandled
 	// VCI instead of being silently swallowed by the transport.
 	return w
+}
+
+// EnableCPU adopts the workstation's existing kernel/EDF/QoS trio as a
+// stream-admissible CPU, so sessions terminating here can carry a CPU
+// leg (receive-side protocol processing) in their admission
+// conjunction. An explicit config Cap replaces the QoS manager's (a
+// zero Cap keeps whatever the manager already uses); SwitchCost stays
+// whatever the kernel was built with. Idempotent.
+func (w *Workstation) EnableCPU(cfg CPUConfig) *NodeCPU {
+	if w.CPU == nil {
+		w.CPU = wrapNodeCPU(w.Kernel, w.EDF, w.QoS, cfg)
+	}
+	return w.CPU
 }
 
 // BindRPC binds the workstation's transport to a circuit so RPC frames
@@ -289,6 +306,11 @@ type StorageServer struct {
 	// rate-admitted reads off the array); nil until EnableCM.
 	CM *fileserver.CMService
 
+	// CPU is the node's protocol-processing CPU: the Nemesis kernel
+	// whose per-stream domains join the admission conjunction; nil
+	// until EnableCPU.
+	CPU *NodeCPU
+
 	Transport *rpc.Transport
 }
 
@@ -319,6 +341,18 @@ func (ss *StorageServer) EnableCM(cfg fileserver.CMConfig) *fileserver.CMService
 		ss.CM = fileserver.NewCMService(ss.Server, cfg)
 	}
 	return ss.CM
+}
+
+// EnableCPU starts the node's protocol-processing CPU: a Nemesis
+// kernel under EDF-over-shares where every admitted stream holds a
+// per-stream domain. From then on, sessions opened with the node's CPU
+// in their spec are admitted against the processor too — the third leg
+// of the conjunction. Idempotent.
+func (ss *StorageServer) EnableCPU(cfg CPUConfig) *NodeCPU {
+	if ss.CPU == nil {
+		ss.CPU = NewNodeCPU(ss.Site.Sim, cfg)
+	}
+	return ss.CPU
 }
 
 // BindRPC exposes the storage transport on a circuit.

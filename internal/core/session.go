@@ -10,10 +10,12 @@ package core
 // scaled down proportionally when demand exceeds capacity. A Session
 // carries that negotiation through the stream's whole lifetime:
 //
-//   - OpenSession admits the link half (netsig: every leaf's output
-//     link plus, when uplink budgeting is on, the sender's uplink) and
-//     the disk half (fileserver.CMService per-disk round time) as one
-//     atomic conjunction — a refusal by either half holds nothing;
+//   - OpenSession admits the link leg (netsig: every leaf's output
+//     link plus, when uplink budgeting is on, the sender's uplink), the
+//     disk leg (fileserver.CMService per-disk round time) and the CPU
+//     leg (NodeCPU: a per-stream protocol-processing domain under an
+//     EDF contract) as one atomic conjunction
+//     link ∧ uplink ∧ disk ∧ CPU — a refusal by any leg holds nothing;
 //   - Renegotiate/Degrade/Restore move an open session between quality
 //     tiers in place (netsig.ModifyRate + CMService.Reshape), shrink
 //     always succeeding, grow admission-controlled, and a refused grow
@@ -32,6 +34,7 @@ import (
 	"repro/internal/atm"
 	"repro/internal/fileserver"
 	"repro/internal/netsig"
+	"repro/internal/sched"
 )
 
 // QoSClass is the service class a session is admitted under.
@@ -44,7 +47,7 @@ const (
 	// Adaptive sessions accept proportional, floor-bounded degradation
 	// so that an over-subscribed site admits more streams at reduced
 	// quality instead of refusing outright — the §3.3 QoS-manager
-	// policy applied to links and disks.
+	// policy applied to links, disks and CPUs.
 	Adaptive
 	// BestEffort sessions carry no reservation at all: a zero-rate
 	// circuit in the class ordinary data travels in, never admitted
@@ -52,6 +55,7 @@ const (
 	BestEffort
 )
 
+// String names the class for scoreboards and errors.
 func (c QoSClass) String() string {
 	switch c {
 	case Guaranteed:
@@ -103,7 +107,23 @@ type SessionSpec struct {
 	Title      string
 	FrameBytes int
 	FrameHz    int
+
+	// CPU, when non-nil, makes the session CPU-admitted too: a
+	// per-stream protocol-processing domain is created on the serving
+	// node's Nemesis kernel with an EDF contract derived from the
+	// session's rate, admission becomes the full conjunction
+	// link ∧ uplink ∧ disk ∧ CPU, and the session owns the domain. The
+	// contract's period is one frame time (FrameHz, or DefaultCPUHz
+	// for link-only streams) and its slice scales with the served
+	// bytes, so degrading a session frees processor time for real.
+	// BestEffort sessions must leave CPU nil.
+	CPU *NodeCPU
 }
+
+// DefaultCPUHz is the CPU-contract frame rate assumed for link-only
+// sessions (no FrameHz in the spec): protocol processing is charged as
+// if the stream delivered DefaultCPUHz frames per second.
+const DefaultCPUHz = 100
 
 func (sp *SessionSpec) floorFrac() float64 {
 	if sp.MinRateFrac > 0 {
@@ -135,6 +155,25 @@ func (sp *SessionSpec) frameBytesAt(f float64) int {
 	return fb
 }
 
+// cpuGeometryAt derives the CPU contract's frame geometry at quality
+// factor f: the served frame size and rate for disk-backed streams, or
+// a DefaultCPUHz equivalent carved from the admitted link rate for
+// link-only streams — either way, slice/period ∝ the session's rate.
+func (sp *SessionSpec) cpuGeometryAt(f float64) (frameBytes, frameHz int) {
+	frameHz = sp.FrameHz
+	if frameHz <= 0 {
+		frameHz = DefaultCPUHz
+	}
+	if sp.FrameBytes > 0 {
+		return sp.frameBytesAt(f), frameHz
+	}
+	fb := int(sp.rateAt(f) / 8 / int64(frameHz))
+	if fb < 1 {
+		fb = 1
+	}
+	return fb, frameHz
+}
+
 // SessionStats counts stream-plane activity on a site.
 type SessionStats struct {
 	Opened   int64 // sessions admitted (any class)
@@ -145,9 +184,10 @@ type SessionStats struct {
 }
 
 // Session is one admitted end-to-end stream: the circuit, the disk
-// reservation (when disk-backed) and the uplink charge are owned by the
-// session and travel together through renegotiation and teardown. It is
-// the only public admission handle the site hands out.
+// reservation (when disk-backed), the CPU domain (when CPU-admitted)
+// and the uplink charge are owned by the session and travel together
+// through renegotiation and teardown. It is the only public admission
+// handle the site hands out.
 type Session struct {
 	site *Site
 	spec SessionSpec
@@ -155,6 +195,7 @@ type Session struct {
 
 	circ *netsig.Circuit
 	cm   *fileserver.CMStream
+	cpu  *StreamDomain
 
 	// factor is the current quality level: 1 is full quality, lower is
 	// a degraded tier; never below spec.floorFrac() while open.
@@ -188,6 +229,10 @@ func (s *Session) Circuit() *netsig.Circuit { return s.circ }
 // link-only and closed sessions).
 func (s *Session) CM() *fileserver.CMStream { return s.cm }
 
+// CPU exposes the stream's protocol-processing domain (nil for
+// sessions without a CPU leg and for closed sessions).
+func (s *Session) CPU() *StreamDomain { return s.cpu }
+
 // Rate reports the currently admitted peak rate in bits/s (0 for
 // best-effort and closed sessions).
 func (s *Session) Rate() int64 {
@@ -217,12 +262,14 @@ var qosLadder = [...]float64{0.75, 0.5, 0.25}
 // OpenSession is the site's one admission API: it admits the described
 // stream end to end and returns the session that owns every resource
 // the admission charged. Refusals hold nothing — in particular a disk
-// refusal releases the link (and uplink) reservation taken a moment
-// earlier, so a stream that cannot be served never occupies a circuit.
+// or CPU refusal releases every reservation taken a moment earlier, so
+// a stream that cannot be served never occupies a circuit, a round
+// budget or a domain slot.
 //
 // Refusal classification, for callers that retry or count: a link
 // refusal satisfies errors.Is(err, netsig.ErrAdmission), a disk
-// refusal errors.Is(err, fileserver.ErrOverCommit); anything else
+// refusal errors.Is(err, fileserver.ErrOverCommit), a CPU refusal
+// errors.Is(err, sched.ErrOverCommit); anything else
 // (fileserver.ErrBadStream, ErrBadRound, a bad spec) is a
 // misconfiguration, not an over-subscription.
 //
@@ -237,6 +284,9 @@ func (st *Site) OpenSession(spec SessionSpec) (*Session, error) {
 	case BestEffort:
 		if spec.CM != nil {
 			return nil, errors.New("core: best-effort sessions carry no disk reservation; spec.CM must be nil")
+		}
+		if spec.CPU != nil {
+			return nil, errors.New("core: best-effort sessions carry no CPU reservation; spec.CPU must be nil")
 		}
 		if spec.PeakRate != 0 {
 			return nil, errors.New("core: best-effort sessions have no admitted rate; spec.PeakRate must be 0")
@@ -272,11 +322,14 @@ func (st *Site) OpenSession(spec SessionSpec) (*Session, error) {
 // isOverSubscription distinguishes budget refusals (which degradation
 // can cure) from misconfigurations (which it cannot).
 func isOverSubscription(err error) bool {
-	return errors.Is(err, netsig.ErrAdmission) || errors.Is(err, fileserver.ErrOverCommit)
+	return errors.Is(err, netsig.ErrAdmission) ||
+		errors.Is(err, fileserver.ErrOverCommit) ||
+		errors.Is(err, sched.ErrOverCommit)
 }
 
-// openAt performs one end-to-end admission attempt at quality factor f,
-// holding nothing on refusal by either half.
+// openAt performs one end-to-end admission attempt at quality factor f:
+// link, then disk, then CPU, with full rollback so a refusal by any leg
+// holds nothing.
 func (st *Site) openAt(spec SessionSpec, f float64) (*Session, error) {
 	circ, err := st.Signalling.Establish(spec.InPort, spec.OutPorts, spec.rateAt(f), false)
 	if err != nil {
@@ -292,7 +345,21 @@ func (st *Site) openAt(spec SessionSpec, f float64) (*Session, error) {
 			return nil, err
 		}
 	}
-	s := &Session{site: st, spec: spec, id: circ.ID, circ: circ, cm: cmh, factor: f}
+	var sd *StreamDomain
+	if spec.CPU != nil {
+		fb, hz := spec.cpuGeometryAt(f)
+		sd, err = spec.CPU.AdmitStream(fmt.Sprintf("stream%d", circ.ID), fb, hz)
+		if err != nil {
+			// Rollback both earlier legs: a stream the CPU cannot carry
+			// must hold neither a circuit nor a disk reservation.
+			if cmh != nil {
+				cmh.Release()
+			}
+			_ = st.Signalling.TearDown(circ.ID)
+			return nil, err
+		}
+	}
+	s := &Session{site: st, spec: spec, id: circ.ID, circ: circ, cm: cmh, cpu: sd, factor: f}
 	st.sessions = append(st.sessions, s)
 	st.QoSStats.Opened++
 	if f < 1 {
@@ -377,6 +444,9 @@ func (s *Session) contendsWith(spec SessionSpec) bool {
 	if spec.CM != nil && s.spec.CM == spec.CM {
 		return true
 	}
+	if spec.CPU != nil && s.spec.CPU == spec.CPU {
+		return true
+	}
 	// A shared input port is contention only while uplink budgeting is
 	// on; otherwise the sender's link is not a budget anyone is refused
 	// against.
@@ -405,10 +475,10 @@ func (st *Site) Sessions() []*Session {
 }
 
 // setLevel moves the session to quality factor f atomically: the link
-// half renegotiates first, then the disk half; if the disk refuses a
-// grow, the link grow is rolled back (a shrink, which cannot fail), so
-// a refused renegotiation leaves the session exactly as it was. Shrinks
-// cannot be refused by either half.
+// leg renegotiates first, then the disk leg, then the CPU leg; if a
+// later leg refuses a grow, the earlier grows are rolled back (shrinks,
+// which cannot fail), so a refused renegotiation leaves the session
+// exactly as it was. Shrinks cannot be refused by any leg.
 func (s *Session) setLevel(f float64) error {
 	if s.closed {
 		return ErrSessionClosed
@@ -420,8 +490,22 @@ func (s *Session) setLevel(f float64) error {
 			return err
 		}
 	}
+	oldFB := 0
 	if s.cm != nil {
+		oldFB = s.cm.FrameBytes()
 		if err := s.spec.CM.Reshape(s.cm, s.spec.frameBytesAt(f), s.spec.FrameHz); err != nil {
+			if newRate != oldRate {
+				_ = s.site.Signalling.ModifyRate(s.circ.ID, oldRate)
+			}
+			return err
+		}
+	}
+	if s.cpu != nil {
+		fb, _ := s.spec.cpuGeometryAt(f)
+		if err := s.cpu.Reshape(fb); err != nil {
+			if s.cm != nil {
+				_ = s.spec.CM.Reshape(s.cm, oldFB, s.spec.FrameHz)
+			}
 			if newRate != oldRate {
 				_ = s.site.Signalling.ModifyRate(s.circ.ID, oldRate)
 			}
@@ -435,8 +519,9 @@ func (s *Session) setLevel(f float64) error {
 // Renegotiate re-admits the session at newRate bits/s in place: no
 // teardown, no new VCI, no instant without the guarantee. Shrinking
 // always succeeds and frees the difference immediately; growing is
-// admission-controlled on links and disks and a refusal never drops
-// the session — it stays open at its previous rate. The session
+// admission-controlled on links, disks and CPU (a refusal surfaces the
+// refusing leg's error — sched.ErrOverCommit for the processor) and
+// never drops the session — it stays open at its previous rate. The session
 // renegotiates within [floor, PeakRate]: a shrink below the
 // MinRateFrac floor lands at the floor rate (and still succeeds), and
 // PeakRate — the stored tier, for disk-backed streams — is the
@@ -550,10 +635,11 @@ func (s *Session) restoreTo(target float64) error {
 	return firstErr
 }
 
-// Close tears the session down end to end — circuit, uplink charge and
-// disk reservation all return to their budgets — and then lets
-// degraded Adaptive survivors climb back into the freed room. Close is
-// idempotent; it returns the teardown error of the first close only.
+// Close tears the session down end to end — circuit, uplink charge,
+// disk reservation and CPU domain all return to their budgets — and
+// then lets degraded Adaptive survivors climb back into the freed
+// room. Close is idempotent; it returns the teardown error of the
+// first close only.
 func (s *Session) Close() error {
 	if s.closed {
 		return nil
@@ -567,6 +653,10 @@ func (s *Session) Close() error {
 	if s.cm != nil {
 		s.cm.Release()
 		s.cm = nil
+	}
+	if s.cpu != nil {
+		s.cpu.Release()
+		s.cpu = nil
 	}
 	st := s.site
 	for i, x := range st.sessions {

@@ -24,6 +24,13 @@ import (
 // VoD's shared fan-out, each request is its own circuit, so disk and
 // link load scale with requests — the over-subscription the policy
 // exists for.
+//
+// CPUBound runs share this topology: each server additionally gets an
+// admission-controlled protocol-processing CPU (core.NodeCPU) with a
+// deliberately small throughput, every session carries the CPU leg, and
+// the class stays Guaranteed unless Adaptive is also set — so the run
+// proves a node refuses (or degrades) on CPU strictly before its disks
+// fill, with zero EDF deadline misses among admitted streams.
 func (sc *Scenario) buildAdaptive() {
 	cfg := sc.cfg
 	n, m := cfg.Workstations, cfg.StreamsPerWS
@@ -52,6 +59,12 @@ func (sc *Scenario) buildAdaptive() {
 	sc.Servers = make([]*core.StorageServer, cfg.Servers)
 	for s := range sc.Servers {
 		sc.Servers[s] = sc.site.NewStorageServer(fmt.Sprintf("vod%d", s), int(segSize), nseg)
+		if cfg.CPUBound {
+			sc.Servers[s].EnableCPU(core.CPUConfig{
+				BytesPerSec: cfg.CPUBytesPerSec,
+				PerFrame:    cfg.CPUPerFrame,
+			})
+		}
 	}
 	sc.preloadTitles(titles, titleBytes)
 

@@ -1,0 +1,109 @@
+package loadgen
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// cpuBoundCfg is the shared geometry of the CPU-bound tests: 16 unicast
+// requests against one server whose protocol CPU carries ~6 full
+// streams while its disks could carry ~17.
+func cpuBoundCfg() Config {
+	return Config{
+		CPUBound:     true,
+		Workstations: 4,
+		StreamsPerWS: 4,
+		Servers:      1,
+		Duration:     4 * sim.Second,
+	}
+}
+
+// TestCPUBoundRefusesOnCPUBeforeDisk is the scenario's core claim: a
+// CPU-constrained node refuses Guaranteed streams on the processor
+// strictly before any disk budget fills, and every admitted stream
+// both plays without underruns and meets every EDF deadline.
+func TestCPUBoundRefusesOnCPUBeforeDisk(t *testing.T) {
+	res := Build(cpuBoundCfg()).Run()
+	if res.SessionsUp == 0 {
+		t.Fatal("no sessions admitted")
+	}
+	if res.CPURefused == 0 {
+		t.Fatal("CPU leg refused nothing; the scenario is not CPU-bound")
+	}
+	if res.StorageRefused != 0 {
+		t.Fatalf("disk admission refused %d streams; CPU was supposed to refuse first", res.StorageRefused)
+	}
+	if res.DiskCommitted >= 1 {
+		t.Fatalf("disk budget exhausted (%.0f%%); refusals were not strictly CPU-first", 100*res.DiskCommitted)
+	}
+	if res.CPUReserved > 1 {
+		t.Fatalf("CPU reserved %.0f%% of its cap — over-committed", 100*res.CPUReserved)
+	}
+	if res.Underruns != 0 {
+		t.Fatalf("%d underruns among admitted streams", res.Underruns)
+	}
+	if res.DeadlineMisses != 0 {
+		t.Fatalf("%d EDF deadline misses among admitted streams", res.DeadlineMisses)
+	}
+	if res.DegradeEvents != 0 {
+		t.Fatalf("%d degrade events in a Guaranteed run", res.DegradeEvents)
+	}
+	if res.FramesDelivered == 0 || res.DiskBytesRead == 0 {
+		t.Fatal("admitted streams served nothing")
+	}
+}
+
+// TestCPUBoundAdaptiveDegradesInsteadOfRefusing: the same CPU-bound
+// site under the Adaptive class walks contending sessions down the
+// tier ladder on a CPU refusal, admitting strictly more streams than
+// the Guaranteed run — still with zero underruns and zero deadline
+// misses, because every degraded tier's contract shrank with its work.
+func TestCPUBoundAdaptiveDegradesInsteadOfRefusing(t *testing.T) {
+	guaranteed := Build(cpuBoundCfg()).Run()
+
+	cfg := cpuBoundCfg()
+	cfg.Adaptive = true
+	cfg.ReleaseEvery = -1 // no churn: compare steady-state admission
+	res := Build(cfg).Run()
+	if res.SessionsUp <= guaranteed.SessionsUp {
+		t.Fatalf("adaptive run admitted %d sessions, want strictly more than guaranteed's %d",
+			res.SessionsUp, guaranteed.SessionsUp)
+	}
+	if res.DegradeEvents == 0 {
+		t.Fatal("no degrade events; the tier ladder never walked on CPU refusals")
+	}
+	// The refusals that survive the tier walk are CPU refusals too: the
+	// disks never say no even with every contender at its floor.
+	if res.StorageRefused != 0 {
+		t.Fatalf("disk admission refused %d opens during the tier walk; CPU was supposed to stay the bottleneck", res.StorageRefused)
+	}
+	if res.CPURefused == 0 {
+		t.Fatal("no CPU refusals; the over-subscription never bound on the processor")
+	}
+	if res.DiskCommitted >= 1 {
+		t.Fatalf("disk budget exhausted (%.0f%%) in a CPU-bound run", 100*res.DiskCommitted)
+	}
+	if res.CPUReserved > 1 {
+		t.Fatalf("CPU reserved %.0f%% of its cap — over-committed", 100*res.CPUReserved)
+	}
+	if res.Underruns != 0 {
+		t.Fatalf("%d underruns among admitted streams", res.Underruns)
+	}
+	if res.DeadlineMisses != 0 {
+		t.Fatalf("%d EDF deadline misses among admitted streams", res.DeadlineMisses)
+	}
+}
+
+// TestCPUBoundDeterministic: two identical CPU-bound runs produce the
+// same scoreboard — the Nemesis kernels join the simulation without
+// breaking determinism.
+func TestCPUBoundDeterministic(t *testing.T) {
+	a := Build(cpuBoundCfg()).Run()
+	b := Build(cpuBoundCfg()).Run()
+	if a.SessionsUp != b.SessionsUp || a.CPURefused != b.CPURefused ||
+		a.FramesSent != b.FramesSent || a.FramesDelivered != b.FramesDelivered ||
+		a.EventsFired != b.EventsFired || a.DiskBytesRead != b.DiskBytesRead {
+		t.Fatalf("runs differ:\n%+v\n%+v", a, b)
+	}
+}

@@ -10,6 +10,13 @@
 // fixed frame rate, stamped with the emission instant) rather than full
 // camera devices: the point is to stress the event kernel, fabric and
 // signalling layers at populations the pixel pipeline would drown out.
+//
+// The scenarios exercise the paper's whole guarantee chain at site
+// scale: §2.2's ATM signalling admission on every link, §5's
+// round-scheduled continuous-media file service on every disk array
+// (-from-storage, -cluster), and §3.3's QoS-managed sessions — CPU
+// reservations included — under the negotiate-down policy (-adaptive,
+// -cpu-bound).
 package loadgen
 
 import (
@@ -24,6 +31,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/fileserver"
 	"repro/internal/raid"
+	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/vodsite"
@@ -141,6 +149,28 @@ type Config struct {
 	// the ablation an Adaptive scoreboard is compared against.
 	GuaranteedOnly bool
 
+	// CPUBound runs the CPU-constrained scenario: unicast disk-backed
+	// streams as in Adaptive mode, but every serving node's Nemesis CPU
+	// is admission-controlled (core.NodeCPU) with a deliberately small
+	// protocol-processing throughput and small per-stream rates, so the
+	// processor — not the disks or links — is the scarce resource.
+	// Admission is then the full link ∧ uplink ∧ disk ∧ CPU
+	// conjunction: a Guaranteed run refuses on CPU strictly before any
+	// disk budget fills, an Adaptive run (-adaptive) walks sessions
+	// down the tier ladder on a CPU refusal exactly as it does for
+	// links and disks, and every admitted stream's protocol domain must
+	// meet every EDF deadline.
+	CPUBound bool
+
+	// CPUBytesPerSec is the nodes' protocol-processing throughput in
+	// bytes/s (default 1 MiB/s — CPU-bound on purpose). CPUPerFrame is
+	// the fixed per-frame protocol cost (default 1 ms); it does not
+	// shrink with a degraded tier, which is what keeps the CPU — not
+	// the disks — the binding constraint even when every Adaptive
+	// session sits at its floor.
+	CPUBytesPerSec int64
+	CPUPerFrame    sim.Duration
+
 	// ReleaseAt closes every ReleaseEvery'th admitted stream that far
 	// into an Adaptive run (defaults: half the duration, every 3rd;
 	// ReleaseEvery < 0 disables), freeing budget the site uses to
@@ -158,6 +188,29 @@ func (c *Config) class() core.QoSClass {
 }
 
 func (c *Config) setDefaults() {
+	if c.CPUBound {
+		c.Pattern = VoD
+		if c.Servers == 0 {
+			c.Servers = 1
+		}
+		if c.Round == 0 {
+			c.Round = 500 * sim.Millisecond
+		}
+		if c.TitleRounds == 0 {
+			c.TitleRounds = 2
+		}
+		// Small frames: the disks and links barely notice a stream the
+		// CPU model below finds expensive.
+		if c.FrameBytes == 0 {
+			c.FrameBytes = 1200
+		}
+		if c.CPUBytesPerSec == 0 {
+			c.CPUBytesPerSec = 1 << 20
+		}
+		if c.CPUPerFrame == 0 {
+			c.CPUPerFrame = sim.Millisecond
+		}
+	}
 	if c.Adaptive {
 		c.Pattern = VoD
 		if c.Servers == 0 {
@@ -284,11 +337,17 @@ type Result struct {
 	FailoverRecovered int64   // streams re-admitted on surviving replicas
 	FailoverDropped   int64   // streams lost with their node
 
-	// QoS-session scoreboard (Adaptive runs only).
+	// QoS-session scoreboard (Adaptive and CPUBound runs).
 	SessionsUp       int   // sessions open at end of run
 	SessionsDegraded int   // open sessions currently below full quality
 	DegradeEvents    int64 // times a session dropped a tier
 	RestoreEvents    int64 // times a degraded session climbed back up
+
+	// CPU scoreboard (CPUBound runs only).
+	CPURefused     int     // session opens refused by the CPU leg
+	DeadlineMisses int64   // EDF deadline overruns across all stream domains
+	CPUReserved    float64 // worst node's reserved fraction of its CPU cap
+	DiskCommitted  float64 // worst node's committed fraction of its disk budget
 }
 
 // String renders the scoreboard.
@@ -322,10 +381,15 @@ func (r Result) String() string {
 				r.FailoverRecovered, r.FailoverDropped)
 		}
 	}
-	if r.Config.Adaptive {
+	if r.Config.Adaptive || r.Config.CPUBound {
 		s += fmt.Sprintf(
 			"\n  qos: sessions=%d degraded=%d degrade-events=%d restore-events=%d",
 			r.SessionsUp, r.SessionsDegraded, r.DegradeEvents, r.RestoreEvents)
+	}
+	if r.Config.CPUBound {
+		s += fmt.Sprintf(
+			"\n  cpu: refused=%d deadline-misses=%d reserved=%.0f%% disk-committed=%.0f%%",
+			r.CPURefused, r.DeadlineMisses, 100*r.CPUReserved, 100*r.DiskCommitted)
 	}
 	return s
 }
@@ -522,9 +586,16 @@ func (st *Stream) establish() error {
 			spec.MinRateFrac = f
 		}
 	}
+	if st.server != nil {
+		// nil unless the scenario enabled CPU admission on the node.
+		spec.CPU = st.server.CPU
+	}
 	sess, err := st.sc.site.OpenSession(spec)
 	switch {
 	case err == nil:
+	case errors.Is(err, sched.ErrOverCommit):
+		st.sc.cpuRefused++
+		return err
 	case errors.Is(err, fileserver.ErrOverCommit):
 		st.sc.storageRefused++
 		return err
@@ -587,6 +658,7 @@ type Scenario struct {
 
 	admitted, rejected, tornDown int
 	storageRefused               int
+	cpuRefused                   int
 	framesSent                   int64
 	framesDelivered              int64
 	cellsDelivered               int64
@@ -604,13 +676,22 @@ func (sc *Scenario) Streams() []*Stream { return sc.streams }
 // Build constructs the site, admits every stream through signalling and
 // wires sources and measuring sinks. Sources are not yet started.
 func Build(cfg Config) *Scenario {
+	if cfg.Cluster && cfg.CPUBound {
+		// Cluster nodes do not enable CPU admission (yet): dispatching
+		// to the cluster builder would silently drop the CPU leg while
+		// the CPUBound defaults had already rewritten the geometry.
+		panic("loadgen: Cluster and CPUBound cannot be combined")
+	}
 	cfg.setDefaults()
 	sc := &Scenario{cfg: cfg}
 	if cfg.Cluster {
 		sc.buildCluster()
 		return sc
 	}
-	if cfg.Adaptive {
+	if cfg.Adaptive || cfg.CPUBound {
+		// CPUBound shares the unicast disk-backed topology; it just
+		// turns on per-node CPU admission (and keeps the Guaranteed
+		// class unless Adaptive is also set).
 		sc.buildAdaptive()
 		return sc
 	}
@@ -804,7 +885,7 @@ func (sc *Scenario) collect(wall time.Duration) Result {
 		r.EventsPerSec = float64(r.EventsFired) / r.WallSeconds
 		r.CellsPerSec = float64(r.CellsDelivered) / r.WallSeconds
 	}
-	if sc.cfg.FromStorage || sc.cfg.Cluster || sc.cfg.Adaptive {
+	if sc.cfg.FromStorage || sc.cfg.Cluster || sc.cfg.Adaptive || sc.cfg.CPUBound {
 		r.StorageRefused = sc.storageRefused
 		for _, st := range sc.streams {
 			if st.sess != nil && st.sess.CM() != nil {
@@ -840,7 +921,7 @@ func (sc *Scenario) collect(wall time.Duration) Result {
 			r.NodeAdmissions = append(r.NodeAdmissions, nd.Admissions)
 		}
 	}
-	if sc.cfg.Adaptive {
+	if sc.cfg.Adaptive || sc.cfg.CPUBound {
 		for _, st := range sc.streams {
 			if st.sess == nil {
 				continue
@@ -852,6 +933,22 @@ func (sc *Scenario) collect(wall time.Duration) Result {
 		}
 		r.DegradeEvents = sc.site.QoSStats.Degraded
 		r.RestoreEvents = sc.site.QoSStats.Restored
+	}
+	if sc.cfg.CPUBound {
+		r.CPURefused = sc.cpuRefused
+		for _, ss := range sc.Servers {
+			if cpu := ss.CPU; cpu != nil {
+				r.DeadlineMisses += cpu.Stats.DeadlineMisses
+				if f := cpu.CommittedFrac(); f > r.CPUReserved {
+					r.CPUReserved = f
+				}
+			}
+			if cm := ss.CM; cm != nil && cm.Capacity() > 0 {
+				if f := float64(cm.Committed()) / float64(cm.Capacity()); f > r.DiskCommitted {
+					r.DiskCommitted = f
+				}
+			}
+		}
 	}
 	return r
 }

@@ -132,6 +132,7 @@ type Domain struct {
 
 	inKPS           int // KPS nesting depth
 	deferredPreempt bool
+	killed          bool // unwound by Kill/Shutdown, not by its own exit
 
 	channels []*EventChannel // receive ends
 	segs     map[*Segment]Rights

@@ -114,7 +114,8 @@ func (k *Kernel) Sim() *sim.Sim { return k.sim }
 // Scheduler returns the installed scheduling policy.
 func (k *Kernel) Scheduler() Scheduler { return k.sched }
 
-// Domains returns all domains ever spawned (including dead ones).
+// Domains returns all domains ever spawned, including ones that exited
+// on their own; domains torn down with Kill are removed.
 func (k *Kernel) Domains() []*Domain { return k.domains }
 
 // Spawn creates a domain running fn under the given scheduling contract.
@@ -146,8 +147,13 @@ func (k *Kernel) domainMain(d *Domain, fn func(*Ctx)) {
 	defer func() {
 		// A panic in domain code must not deadlock the kernel thread;
 		// the domain exits (tests can observe Dead state). KPS cleanup
-		// already ran via Ctx.KPS's deferred LeaveKPS.
+		// already ran via Ctx.KPS's deferred LeaveKPS. A killed domain's
+		// goroutine unwinds via Goexit: the kernel already retired it, so
+		// sending an exit request would block against nobody forever.
 		_ = recover()
+		if d.killed {
+			return
+		}
 		d.req <- request{kind: reqExit}
 	}()
 	fn(&Ctx{d: d, k: k})
@@ -486,6 +492,49 @@ func (k *Kernel) finishExit(d *Domain) {
 	}
 }
 
+// Kill terminates one domain from outside domain code: the domain is
+// removed from the scheduler (and from Domains()), marked Dead, and its
+// goroutine unwound — the per-domain form of Shutdown, for per-stream
+// protocol domains that die with their session while the kernel keeps
+// running. An in-flight CPU grant is cancelled uncharged; blocked,
+// runnable and never-started domains are unwound where they park.
+// Killing a Dead domain is a no-op.
+//
+// Unlike a domain that exits on its own (which stays visible in
+// Domains() for post-run accounting), a killed domain is dropped from
+// the kernel's domain list: sessions churn, and a graveyard growing by
+// one entry per stream ever opened would be a leak.
+func (k *Kernel) Kill(d *Domain) {
+	if d.state == Dead {
+		return
+	}
+	wasCur := k.cur == d
+	if wasCur && k.grantEv != nil {
+		k.sim.Cancel(k.grantEv)
+		k.grantEv = nil
+	}
+	d.state = Dead
+	d.sleeping = false
+	d.killed = true
+	k.sched.Remove(d, k.sim.Now())
+	for i, x := range k.domains {
+		if x == d {
+			k.domains = append(k.domains[:i], k.domains[i+1:]...)
+			break
+		}
+	}
+	// The goroutine is parked on its resume channel whichever state it
+	// was in (initial activation, parked request, in-flight grant): the
+	// kill grant unwinds it, and the killed flag keeps its deferred exit
+	// path from writing into a kernel that no longer serves it.
+	d.resume <- grant{kill: true}
+	if wasCur {
+		k.cur = nil
+		k.chargeTo = nil
+		k.maybeDispatch()
+	}
+}
+
 // Shutdown kills every live domain goroutine. Call it after the
 // simulation run, from outside any domain code.
 func (k *Kernel) Shutdown() {
@@ -504,6 +553,7 @@ func (k *Kernel) Shutdown() {
 	for _, d := range k.domains {
 		if d.state != Dead {
 			d.state = Dead
+			d.killed = true
 			d.resume <- grant{kill: true}
 		}
 	}

@@ -1,9 +1,18 @@
 package sched
 
 import (
+	"errors"
+	"fmt"
+
 	"repro/internal/nemesis"
 	"repro/internal/sim"
 )
+
+// ErrOverCommit reports a CPU reservation refused because the requested
+// utilisation does not fit under the manager's cap — the CPU analogue of
+// netsig.ErrAdmission and fileserver.ErrOverCommit, and the third leg of
+// a site's end-to-end admission conjunction.
+var ErrOverCommit = errors.New("sched: CPU reservation exceeds utilisation cap")
 
 // QoSManager is the Quality-of-Service manager domain of §3.3: it sits
 // above the primitive EDF-over-shares scheduler and updates allocations
@@ -11,6 +20,24 @@ import (
 // adaptively as they change behaviour. Users "will not always get what
 // they want": when the requested utilisation exceeds Cap, grants are
 // scaled down proportionally.
+//
+// Domains register in one of two modes:
+//
+//   - Request registers an *elastic* contract: never refused, but its
+//     grant is scaled proportionally with every other elastic contract
+//     when demand exceeds the cap, and the adaptation ticker shrinks or
+//     regrows it to follow observed behaviour.
+//   - Reserve registers an *admitted* contract: admission-controlled
+//     against the cap (ErrOverCommit when it does not fit), pinned at
+//     exactly its requested share thereafter — never scaled, never
+//     adapted — and reshaped only explicitly via ReshapeReservation.
+//     This is the contract a per-stream protocol domain holds, so that
+//     an admitted stream's CPU guarantee is as hard as its link and
+//     disk guarantees.
+//
+// Elastic contracts share whatever the cap leaves above the reserved
+// total, so reservations squeeze best-effort work before they are ever
+// refused.
 type QoSManager struct {
 	// Cap is the maximum total utilisation handed out as guarantees
 	// (the remainder keeps the system responsive and feeds slack time).
@@ -40,6 +67,9 @@ type qosEntry struct {
 	d *nemesis.Domain
 	// requested contract
 	slice, period sim.Duration
+	// reserved contracts were admission-controlled and are pinned at
+	// their requested share: no proportional scaling, no adaptation.
+	reserved bool
 	// effective demand after adaptation (<= requested slice)
 	effective sim.Duration
 	// granted after cap scaling
@@ -50,6 +80,10 @@ type qosEntry struct {
 	// from oscillating when the domain period does not divide Interval.
 	avg     sim.Duration
 	haveAvg bool
+}
+
+func (e *qosEntry) util() float64 {
+	return float64(e.effective) / float64(e.period)
 }
 
 // NewQoSManager builds a manager driving the given EDF scheduler.
@@ -65,11 +99,19 @@ func NewQoSManager(s *sim.Sim, edf *EDFShares) *QoSManager {
 	}
 }
 
-// Request registers (or updates) a domain's desired contract and
+// Request registers (or updates) a domain's desired elastic contract and
 // rebalances. It returns the granted slice, which may be smaller than
 // requested when the system is overcommitted.
+//
+// A domain holding an admitted reservation cannot be demoted this way:
+// Request on a reserved domain changes nothing and returns the pinned
+// grant — the guarantee ends only with Release, and is resized only
+// through ReshapeReservation.
 func (m *QoSManager) Request(d *nemesis.Domain, slice, period sim.Duration) sim.Duration {
 	e := m.byDom[d]
+	if e != nil && e.reserved {
+		return e.granted
+	}
 	if e == nil {
 		e = &qosEntry{d: d}
 		m.byDom[d] = e
@@ -78,6 +120,93 @@ func (m *QoSManager) Request(d *nemesis.Domain, slice, period sim.Duration) sim.
 	e.slice, e.period, e.effective = slice, period, slice
 	m.rebalance()
 	return e.granted
+}
+
+// ReservedUtilization reports the total utilisation currently held by
+// admitted reservations — the CPU analogue of netsig.Committed and
+// CMService.Committed, and what replica selection orders by.
+func (m *QoSManager) ReservedUtilization() float64 {
+	total := 0.0
+	for _, e := range m.reqs {
+		if e.reserved {
+			total += e.util()
+		}
+	}
+	return total
+}
+
+// reserveEps absorbs float rounding so a contract that exactly fills the
+// cap is admitted, not refused by the last ulp.
+const reserveEps = 1e-9
+
+// CanReserve reports whether Reserve would admit the contract right now
+// — the pure probe, holding nothing, that replica selection and
+// degrade-instead-of-refuse retries use.
+func (m *QoSManager) CanReserve(slice, period sim.Duration) bool {
+	if slice <= 0 || period <= 0 {
+		return false
+	}
+	u := float64(slice) / float64(period)
+	return m.ReservedUtilization()+u <= m.Cap+reserveEps
+}
+
+// Reserve admits a domain's contract against the utilisation cap: on
+// success the domain holds slice per period as a pinned guarantee until
+// Release (or an explicit ReshapeReservation); on refusal
+// (ErrOverCommit) nothing is held. Reserving a domain that already
+// holds a reservation reshapes it.
+func (m *QoSManager) Reserve(d *nemesis.Domain, slice, period sim.Duration) error {
+	if slice <= 0 || period <= 0 {
+		return fmt.Errorf("sched: reservation needs a positive contract, got {%v, %v}", slice, period)
+	}
+	if e := m.byDom[d]; e != nil && e.reserved {
+		return m.ReshapeReservation(d, slice, period)
+	}
+	if !m.CanReserve(slice, period) {
+		u := float64(slice) / float64(period)
+		return fmt.Errorf("%w: %.3f requested, %.3f of %.3f reserved",
+			ErrOverCommit, u, m.ReservedUtilization(), m.Cap)
+	}
+	e := m.byDom[d]
+	if e == nil {
+		e = &qosEntry{d: d}
+		m.byDom[d] = e
+		m.reqs = append(m.reqs, e)
+	}
+	e.slice, e.period, e.effective = slice, period, slice
+	e.reserved = true
+	m.rebalance()
+	return nil
+}
+
+// ReshapeReservation renegotiates an admitted reservation in place:
+// shrinking always succeeds and frees the difference for elastic
+// contracts immediately; growing is admission-controlled against the
+// cap and a refusal (ErrOverCommit) changes nothing. The domain keeps
+// its reservation identity throughout — there is no instant at which
+// another admission could steal the slot.
+func (m *QoSManager) ReshapeReservation(d *nemesis.Domain, slice, period sim.Duration) error {
+	e := m.byDom[d]
+	if e == nil || !e.reserved {
+		return fmt.Errorf("sched: reshape of a domain holding no reservation: %v", d)
+	}
+	if slice <= 0 || period <= 0 {
+		return fmt.Errorf("sched: reservation needs a positive contract, got {%v, %v}", slice, period)
+	}
+	newU := float64(slice) / float64(period)
+	if others := m.ReservedUtilization() - e.util(); newU > e.util() && others+newU > m.Cap+reserveEps {
+		return fmt.Errorf("%w: reshape to %.3f, %.3f of %.3f reserved by others",
+			ErrOverCommit, newU, others, m.Cap)
+	}
+	e.slice, e.period, e.effective = slice, period, slice
+	m.rebalance()
+	return nil
+}
+
+// Reserved reports whether the domain holds an admitted reservation.
+func (m *QoSManager) Reserved(d *nemesis.Domain) bool {
+	e := m.byDom[d]
+	return e != nil && e.reserved
 }
 
 // Release drops a domain's registration and redistributes.
@@ -104,19 +233,30 @@ func (m *QoSManager) Granted(d *nemesis.Domain) sim.Duration {
 	return 0
 }
 
-// rebalance scales effective demands so total utilisation fits the cap.
+// rebalance hands every reserved contract exactly its share and scales
+// elastic demands so they fit what the cap leaves.
 func (m *QoSManager) rebalance() {
-	total := 0.0
+	reserved, elastic := 0.0, 0.0
 	for _, e := range m.reqs {
-		total += float64(e.effective) / float64(e.period)
+		if e.reserved {
+			reserved += e.util()
+		} else {
+			elastic += e.util()
+		}
 	}
 	factor := 1.0
-	if total > m.Cap {
-		factor = m.Cap / total
+	if avail := m.Cap - reserved; elastic > avail {
+		if avail < 0 {
+			avail = 0
+		}
+		factor = avail / elastic
 	}
 	now := m.sim.Now()
 	for _, e := range m.reqs {
-		granted := sim.Duration(float64(e.effective) * factor)
+		granted := e.effective
+		if !e.reserved {
+			granted = sim.Duration(float64(e.effective) * factor)
+		}
 		if granted < 1 {
 			granted = 1
 		}
@@ -144,13 +284,17 @@ func (m *QoSManager) Stop() {
 	}
 }
 
-// adapt observes each domain's consumption over the last interval and
-// adjusts effective demand: persistent under-use shrinks the grant
-// (freeing capacity for others); saturation grows it back toward the
-// full request.
+// adapt observes each elastic domain's consumption over the last
+// interval and adjusts effective demand: persistent under-use shrinks
+// the grant (freeing capacity for others); saturation grows it back
+// toward the full request. Reserved contracts are never adapted — an
+// admitted stream's guarantee does not decay while it blocks.
 func (m *QoSManager) adapt() {
 	changed := false
 	for _, e := range m.reqs {
+		if e.reserved {
+			continue
+		}
 		// Total consumption (guaranteed + slack) is the domain's real
 		// demand; measuring only guaranteed time would under-read any
 		// domain whose grant momentarily undershoots its need.
@@ -162,19 +306,29 @@ func (m *QoSManager) adapt() {
 		if periods <= 0 {
 			continue
 		}
-		perPeriod := sim.Duration(float64(delta) / periods)
+		inst := sim.Duration(float64(delta) / periods)
 		if !e.haveAvg {
-			e.avg = perPeriod
+			e.avg = inst
 			e.haveAvg = true
 		} else {
-			e.avg = (e.avg*3 + perPeriod) / 4
+			e.avg = (e.avg*3 + inst) / 4
 		}
-		perPeriod = e.avg
+		// Demand is the larger of the smoothed average and this
+		// interval's measurement. The EWMA alone goes stale across an
+		// idle interval: right after the domain turns bursty (or right
+		// after a grow step raised the grant) the average still reflects
+		// the starved past, and comparing the stale average against the
+		// fresh grant shrinks a saturated domain — the grow/shrink
+		// oscillation TestQoSIdleThenBurstyNoOscillation pins down.
+		demand := e.avg
+		if inst > demand {
+			demand = inst
+		}
 		switch {
-		case perPeriod < sim.Duration(m.ShrinkBelow*float64(e.granted)):
+		case demand < sim.Duration(m.ShrinkBelow*float64(e.granted)):
 			// Leave 50% headroom above observed usage so measurement
 			// jitter cannot trip the grow threshold and oscillate.
-			target := perPeriod + perPeriod/2
+			target := demand + demand/2
 			if target < 1 {
 				target = 1
 			}
@@ -182,7 +336,11 @@ func (m *QoSManager) adapt() {
 				e.effective = target
 				changed = true
 			}
-		case perPeriod >= sim.Duration(m.GrowAbove*float64(e.granted)):
+		case demand > 0 && demand >= sim.Duration(m.GrowAbove*float64(e.granted)):
+			// demand > 0: a fully idle domain's grow threshold truncates
+			// to zero (its grant is at the 1ns floor), and without the
+			// guard its grant flaps between the floor and half its
+			// request on alternating intervals — while it is asleep.
 			if e.effective < e.slice {
 				e.effective += (e.slice-e.effective+1)/2 + 1
 				if e.effective > e.slice {

@@ -1,0 +1,204 @@
+package sched_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/nemesis"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// reserveRig is a kernel + QoS manager with helper spawns for the
+// reservation tests.
+type reserveRig struct {
+	s   *sim.Sim
+	k   *nemesis.Kernel
+	edf *sched.EDFShares
+	m   *sched.QoSManager
+}
+
+func newReserveRig() *reserveRig {
+	s := sim.New()
+	edf := sched.NewEDFShares()
+	k := nemesis.NewKernel(s, nemesis.Config{SingleAddressSpace: true}, edf)
+	m := sched.NewQoSManager(s, edf)
+	return &reserveRig{s: s, k: k, edf: edf, m: m}
+}
+
+func (r *reserveRig) hog(name string) *nemesis.Domain {
+	return r.k.Spawn(name, nemesis.SchedParams{Slice: 1, Period: 40 * ms}, func(c *nemesis.Ctx) {
+		sched.RunHog(c, ms, 0)
+	})
+}
+
+// TestQoSReserveAdmissionControlled: reservations are refused past the
+// cap (ErrOverCommit), hold exactly their share once admitted, and
+// release back to zero.
+func TestQoSReserveAdmissionControlled(t *testing.T) {
+	r := newReserveRig()
+	defer r.k.Shutdown()
+	r.m.Cap = 0.9
+
+	a, b, c := r.hog("a"), r.hog("b"), r.hog("c")
+	// 40% + 40% fits; another 40% does not.
+	if err := r.m.Reserve(a, 16*ms, 40*ms); err != nil {
+		t.Fatalf("first reserve: %v", err)
+	}
+	if err := r.m.Reserve(b, 16*ms, 40*ms); err != nil {
+		t.Fatalf("second reserve: %v", err)
+	}
+	if got := r.m.ReservedUtilization(); got < 0.79 || got > 0.81 {
+		t.Fatalf("reserved utilisation = %g, want 0.8", got)
+	}
+	if err := r.m.Reserve(c, 16*ms, 40*ms); !errors.Is(err, sched.ErrOverCommit) {
+		t.Fatalf("over-cap reserve: err = %v, want ErrOverCommit", err)
+	}
+	if r.m.Reserved(c) {
+		t.Fatal("refused reservation left the domain registered")
+	}
+	// A refusal holds nothing: the exact fitting contract still fits.
+	if !r.m.CanReserve(4*ms, 40*ms) {
+		t.Fatal("CanReserve(10%) false with 10% headroom")
+	}
+	// Request cannot demote a reservation: the pinned grant survives and
+	// the reserved total is unchanged.
+	if got := r.m.Request(a, ms, 40*ms); got != 16*ms {
+		t.Fatalf("Request on a reserved domain granted %v, want the pinned 16ms", got)
+	}
+	if !r.m.Reserved(a) || r.m.ReservedUtilization() < 0.79 {
+		t.Fatal("Request demoted an admitted reservation")
+	}
+	r.m.Release(a)
+	r.m.Release(b)
+	if got := r.m.ReservedUtilization(); got != 0 {
+		t.Fatalf("reserved utilisation = %g after release-all, want 0", got)
+	}
+}
+
+// TestQoSReservationPinnedAgainstElasticLoad: an elastic over-request
+// is squeezed into what the cap leaves; the reservation keeps its full
+// grant throughout and the reserved domain's CPU share is honoured.
+func TestQoSReservationPinnedAgainstElasticLoad(t *testing.T) {
+	r := newReserveRig()
+	r.m.Cap = 0.9
+
+	res := r.hog("reserved")
+	el := r.hog("elastic")
+	if err := r.m.Reserve(res, 20*ms, 40*ms); err != nil { // 50%
+		t.Fatal(err)
+	}
+	r.m.Request(el, 32*ms, 40*ms) // asks 80%, only 40% left under the cap
+	if got := r.m.Granted(res); got != 20*ms {
+		t.Fatalf("reserved grant = %v after elastic over-request, want 20ms", got)
+	}
+	if got := r.m.Granted(el); got > 16*ms+ms/2 {
+		t.Fatalf("elastic grant = %v, want scaled to ~16ms", got)
+	}
+	r.s.RunUntil(sim.Second)
+	r.k.Shutdown()
+	if res.Stats.Used < 490*ms {
+		t.Fatalf("reserved domain used %v of its 500ms share", res.Stats.Used)
+	}
+}
+
+// TestQoSReshapeReservation: shrink always succeeds and frees
+// utilisation immediately; a grow past the cap is refused and changes
+// nothing.
+func TestQoSReshapeReservation(t *testing.T) {
+	r := newReserveRig()
+	defer r.k.Shutdown()
+	r.m.Cap = 0.9
+
+	a, b := r.hog("a"), r.hog("b")
+	if err := r.m.Reserve(a, 20*ms, 40*ms); err != nil { // 50%
+		t.Fatal(err)
+	}
+	if err := r.m.Reserve(b, 12*ms, 40*ms); err != nil { // 30%
+		t.Fatal(err)
+	}
+	// Shrink a to 25%: b could now grow into the freed 25%.
+	if err := r.m.ReshapeReservation(a, 10*ms, 40*ms); err != nil {
+		t.Fatalf("shrink refused: %v", err)
+	}
+	if got := r.m.Granted(a); got != 10*ms {
+		t.Fatalf("granted %v after shrink, want 10ms", got)
+	}
+	if err := r.m.ReshapeReservation(b, 24*ms, 40*ms); err != nil { // 60%, total 85%
+		t.Fatalf("grow with room refused: %v", err)
+	}
+	// Grow a past the cap: refused, both contracts unchanged.
+	if err := r.m.ReshapeReservation(a, 16*ms, 40*ms); !errors.Is(err, sched.ErrOverCommit) {
+		t.Fatalf("grow past cap: err = %v, want ErrOverCommit", err)
+	}
+	if r.m.Granted(a) != 10*ms || r.m.Granted(b) != 24*ms {
+		t.Fatalf("refused grow changed grants: a=%v b=%v", r.m.Granted(a), r.m.Granted(b))
+	}
+	if err := r.m.ReshapeReservation(r.hog("stranger"), 1*ms, 40*ms); err == nil {
+		t.Fatal("reshape of an unreserved domain accepted")
+	}
+}
+
+// TestQoSIdleThenBurstyNoOscillation is the regression test for the
+// stale-EWMA adaptation bugs around a domain that blocks for whole
+// intervals. Two oscillations used to hide here: (1) while idle, a
+// zero demand still passed the grow threshold of the 1 ns floor grant
+// (0 >= 0 after truncation), so the grant flapped between the floor
+// and half the request on alternating intervals; (2) once the burst
+// started, the EWMA still reflected the idle past, and comparing that
+// stale average against each freshly-grown grant shrank the saturated
+// domain right back. Pinned behaviour: the idle grant settles at the
+// floor and stays there, and the burst recovery climbs monotonically
+// to the full request.
+func TestQoSIdleThenBurstyNoOscillation(t *testing.T) {
+	r := newReserveRig()
+	r.m.Cap = 0.9
+	r.m.Interval = 100 * ms
+
+	const slice, period = 24 * ms, 40 * ms // 60% request
+	bursty := r.k.Spawn("bursty", nemesis.SchedParams{Slice: 1, Period: period}, func(c *nemesis.Ctx) {
+		c.Sleep(sim.Second) // idle: blocked across ten whole intervals
+		sched.RunHog(c, ms, 0)
+	})
+	// Competing hogs eat the slack, so the bursty domain's observed
+	// usage is capped near its (shrunken) grant — the regime where the
+	// stale average lags the regrowing grant.
+	for i := 0; i < 3; i++ {
+		r.k.Spawn("hog", nemesis.SchedParams{BestEffort: true}, func(c *nemesis.Ctx) {
+			sched.RunHog(c, ms, 0)
+		})
+	}
+	r.m.Request(bursty, slice, period)
+	r.m.Start()
+
+	// Sample the granted share once per adaptation interval.
+	var grants []sim.Duration
+	r.s.Tick(r.s.Now()+r.m.Interval, r.m.Interval, func() {
+		grants = append(grants, r.m.Granted(bursty))
+	})
+	r.s.RunUntil(3 * sim.Second)
+	r.m.Stop()
+	r.k.Shutdown()
+
+	// Idle phase: shrunk to the floor after the first interval and
+	// stable there — no flapping between the floor and half the request.
+	for i, g := range grants[1:10] {
+		if g != 1 {
+			t.Fatalf("idle grant[%d] = %v, want the stable 1ns floor", i+1, g)
+		}
+	}
+	// Burst phase: monotone recovery, no shrink while saturated.
+	burst := grants[9:]
+	for i := 1; i < len(burst); i++ {
+		if burst[i] < burst[i-1] {
+			t.Fatalf("grant oscillated during the burst: %v then %v (interval %d)",
+				burst[i-1], burst[i], i)
+		}
+	}
+	// The grow step halves the remaining gap each interval, so "full"
+	// means within 1% — the last few nanoseconds take as many intervals
+	// as the first 23 milliseconds.
+	if final := burst[len(burst)-1]; final < slice-slice/100 {
+		t.Fatalf("grant recovered only to %v, want ~the full %v request", final, slice)
+	}
+}

@@ -1,0 +1,122 @@
+package vodsite_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fileserver"
+	"repro/internal/vodsite"
+)
+
+// cpuBuild is build() with every node's protocol CPU admission-
+// controlled at the given throughput: the site-level conjunction grows
+// its CPU leg (link ∧ disk ∧ CPU).
+func cpuBuild(t *testing.T, nodes, viewers, titles int, bytesPerSec int64, cfg vodsite.Config) *harness {
+	t.Helper()
+	siteCfg := core.DefaultSiteConfig()
+	siteCfg.Ports = nodes + viewers
+	site := core.NewSite(siteCfg)
+	if cfg.PeakRate == 0 {
+		cfg.PeakRate = peakRate
+	}
+	ctrl := vodsite.New(site, cfg)
+	for i := 0; i < nodes; i++ {
+		ss := site.NewStorageServer("node", 256<<10, int64(titles*2+16))
+		ss.EnableCPU(core.CPUConfig{BytesPerSec: bytesPerSec})
+		ctrl.AddNode(ss)
+	}
+	h := &harness{ctrl: ctrl, site: site}
+	for i := 0; i < viewers; i++ {
+		h.viewers = append(h.viewers, site.Attach("viewer"))
+	}
+	for i := 0; i < titles; i++ {
+		ctrl.AddTitle(titleName(i), titleBytes(), frameBytes, frameHz)
+	}
+	if err := ctrl.Place(); err != nil {
+		t.Fatal(err)
+	}
+	site.Sim.Run() // drain placement I/O
+	ctrl.Start(fileserver.CMConfig{Round: round})
+	return h
+}
+
+// TestSiteCPURefusalAndCanAdmit: when every replica's CPU is full, the
+// site refuses even though the disks and links have room, and CanAdmit
+// agrees with Admit throughout (the Guaranteed-class invariant now
+// covering the third resource).
+func TestSiteCPURefusalAndCanAdmit(t *testing.T) {
+	// 1 MiB/s protocol throughput: one 4800-byte 100 Hz stream costs
+	// 4800/2^20 s + 20 µs ≈ 4.6 ms per 10 ms period ≈ 51% of the cap —
+	// each node's CPU carries exactly one stream, its disks four.
+	h := cpuBuild(t, 2, 4, 1, 1<<20, vodsite.Config{BaseReplicas: 2})
+	var admitted []*vodsite.Stream
+	for i := 0; i < 4; i++ {
+		if !h.ctrl.CanAdmit(titleName(0), h.viewers[i].Port) {
+			break
+		}
+		st, err := h.ctrl.Admit(titleName(0), h.viewers[i].Port)
+		if err != nil {
+			t.Fatalf("admit %d with CanAdmit true: %v", i, err)
+		}
+		admitted = append(admitted, st)
+	}
+	if len(admitted) != 2 {
+		t.Fatalf("admitted %d streams, want 2 (one per node CPU)", len(admitted))
+	}
+	// Both CPUs full: CanAdmit and Admit must both say no, with disk
+	// room to spare on every node.
+	if h.ctrl.CanAdmit(titleName(0), h.viewers[2].Port) {
+		t.Fatal("CanAdmit true with every replica's CPU full")
+	}
+	if _, err := h.ctrl.Admit(titleName(0), h.viewers[2].Port); !errors.Is(err, vodsite.ErrNoReplica) {
+		t.Fatalf("admit with full CPUs: err = %v, want ErrNoReplica", err)
+	}
+	for _, n := range h.ctrl.Nodes() {
+		if cm := n.SS.CM; cm.Committed() >= cm.Capacity() {
+			t.Fatalf("node %d disk exhausted in a CPU-bound site", n.ID)
+		}
+		if cm := n.SS.CM; cm.Stats.Refused != 0 {
+			t.Fatalf("node %d disk refused a stream; CPU was supposed to refuse first", n.ID)
+		}
+	}
+	// Releasing a stream reopens exactly its CPU slot.
+	admitted[0].Release()
+	if !h.ctrl.CanAdmit(titleName(0), h.viewers[2].Port) {
+		t.Fatal("CanAdmit false after a release freed a CPU slot")
+	}
+	if _, err := h.ctrl.Admit(titleName(0), h.viewers[2].Port); err != nil {
+		t.Fatalf("re-admit into freed CPU slot: %v", err)
+	}
+}
+
+// TestSiteSelectionPrefersCPULeastCommitted: with identical disks and
+// links, replica selection orders by reserved CPU — the least-committed
+// metric now takes the max over link, disk and CPU fractions, so a
+// node whose processor is busy loses admissions it would have won on
+// disk and ID tie-breaks alone.
+func TestSiteSelectionPrefersCPULeastCommitted(t *testing.T) {
+	// 4 MiB/s: each viewer stream reserves ~13% of a node CPU.
+	h := cpuBuild(t, 2, 4, 1, 4<<20, vodsite.Config{BaseReplicas: 2})
+	// Node 0's CPU is half-busy with a background stream (a codec, a
+	// copy agent — anything protocol-shaped); its disks stay empty, so
+	// the old disk∧uplink score still ties the nodes at zero and
+	// tie-breaks to node 0.
+	n0 := h.ctrl.Nodes()[0]
+	if _, err := n0.SS.CPU.AdmitStream("background", 20900, frameHz); err != nil {
+		t.Fatalf("background reservation: %v", err)
+	}
+	counts := map[int]int{}
+	for i := 0; i < 3; i++ {
+		st, err := h.ctrl.Admit(titleName(0), h.viewers[i].Port)
+		if err != nil {
+			t.Fatalf("admit %d: %v", i, err)
+		}
+		counts[st.Node().ID]++
+	}
+	// Node 1 stays the less CPU-committed replica through all three
+	// admissions (3 viewer streams ≈ 39% of its cap vs node 0's ~56%).
+	if counts[1] != 3 {
+		t.Fatalf("admissions %v, want all 3 on node 1 (the CPU-idle replica)", counts)
+	}
+}

@@ -15,10 +15,12 @@
 //     before the first viewer arrives.
 //   - *Admission* tries a title's replicas in least-committed order and
 //     charges the usual conjunction — the viewer's downlink, the node's
-//     uplink, and the node's disk-time budget must all have room. A
-//     stream is refused only when every replica's (link ∧ disk)
-//     admission fails; the guarantee of any admitted stream is exactly
-//     the single-node guarantee of PR 2, just placed better.
+//     uplink, the node's disk-time budget and (on nodes with an
+//     admission-controlled CPU) the node's processor must all have
+//     room. A stream is refused only when every replica's
+//     (link ∧ disk ∧ CPU) admission fails; the guarantee of any
+//     admitted stream is exactly the single-node guarantee of PR 2,
+//     just placed better.
 //   - *Reactive replication*: when a title's refusals cross a
 //     threshold, the controller schedules a background copy onto the
 //     least-loaded node. The copy reads through ReadBestEffort — round
@@ -401,9 +403,12 @@ func (c *Controller) Start(cfg fileserver.CMConfig) {
 	}
 }
 
-// nodeScore is a node's bottleneck commitment: the larger of its
-// disk-time fraction and its uplink fraction. Replica selection and
-// replication targeting both order by it.
+// nodeScore is a node's bottleneck commitment: the largest of its
+// disk-time fraction, its uplink fraction and — when the node's CPU is
+// admission-controlled — its reserved CPU fraction. Replica selection
+// and replication targeting both order by it, so "least committed"
+// means least committed on whichever of the three resources the node
+// is closest to exhausting.
 func (c *Controller) nodeScore(n *Node) float64 {
 	var s float64
 	if cm := n.SS.CM; cm != nil && cm.Capacity() > 0 {
@@ -416,6 +421,11 @@ func (c *Controller) nodeScore(n *Node) float64 {
 			if up := float64(m.CommittedUplink(p)) / float64(cap); up > s {
 				s = up
 			}
+		}
+	}
+	if cpu := n.SS.CPU; cpu != nil {
+		if u := cpu.CommittedFrac(); u > s {
+			s = u
 		}
 	}
 	return s
@@ -465,12 +475,11 @@ func (c *Controller) tryReplicas(t *Title, viewerPort int) (*Node, *core.Session
 			Title:      t.Name,
 			FrameBytes: t.FrameBytes,
 			FrameHz:    t.FrameHz,
+			CPU:        n.SS.CPU,
 		})
 	}
 	for _, n := range cands {
-		if c.cfg.Class == core.Adaptive &&
-			!(c.site.Signalling.CanEstablish(n.SS.Net.Port, []int{viewerPort}, c.cfg.PeakRate) &&
-				n.SS.CM.CanServe(t.FrameBytes, t.FrameHz)) {
+		if c.cfg.Class == core.Adaptive && !c.nodeHasRoom(n, t, viewerPort) {
 			continue // no full-quality room; maybe in pass 2
 		}
 		sess, err := open(n, c.cfg.Class)
@@ -543,10 +552,11 @@ func (c *Controller) viewerHasRoom(port int) bool {
 // CanAdmit reports whether some replica of the title could admit a
 // full-quality stream to the viewer right now — the pure probe of
 // exactly the checks a Guaranteed-class Admit performs
-// (netsig.CanEstablish ∧ CMService.CanServe), with no side effects.
-// For Guaranteed controllers the site-level admission invariant is
-// Admit ⇔ CanAdmit; an Adaptive-class controller can admit beyond it
-// by degrading (CanAdmit then under-reports).
+// (netsig.CanEstablish ∧ CMService.CanServe ∧, on CPU-admitted nodes,
+// NodeCPU.CanServe), with no side effects. For Guaranteed controllers
+// the site-level admission invariant is Admit ⇔ CanAdmit; an
+// Adaptive-class controller can admit beyond it by degrading (CanAdmit
+// then under-reports).
 func (c *Controller) CanAdmit(title string, viewerPort int) bool {
 	t := c.titles[title]
 	if t == nil {
@@ -556,13 +566,27 @@ func (c *Controller) CanAdmit(title string, viewerPort int) bool {
 		if n.failed || n.SS.CM == nil {
 			continue
 		}
-		if !c.site.Signalling.CanEstablish(n.SS.Net.Port, []int{viewerPort}, c.cfg.PeakRate) {
-			continue
+		if c.nodeHasRoom(n, t, viewerPort) {
+			return true
 		}
-		if !n.SS.CM.CanServe(t.FrameBytes, t.FrameHz) {
-			continue
-		}
-		return true
 	}
 	return false
+}
+
+// nodeHasRoom is the one per-node full-quality admission probe — the
+// viewer's downlink ∧ the node's uplink (CanEstablish covers both),
+// the node's disk-time budget, and, when the node's CPU is
+// admission-controlled, its processor — shared by CanAdmit and the
+// Adaptive first pass so the two can never drift apart.
+func (c *Controller) nodeHasRoom(n *Node, t *Title, viewerPort int) bool {
+	if !c.site.Signalling.CanEstablish(n.SS.Net.Port, []int{viewerPort}, c.cfg.PeakRate) {
+		return false
+	}
+	if !n.SS.CM.CanServe(t.FrameBytes, t.FrameHz) {
+		return false
+	}
+	if cpu := n.SS.CPU; cpu != nil && !cpu.CanServe(t.FrameBytes, t.FrameHz) {
+		return false
+	}
+	return true
 }
