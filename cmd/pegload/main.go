@@ -10,6 +10,7 @@
 //	pegload -from-storage -ws 100 -streams 25 -servers 4
 //	pegload -cluster -ws 24 -streams 2 -servers 4 -titles 8 -zipf 1.6
 //	pegload -cluster -base-replicas 2 -fail-node-at 3 -fail-node 0
+//	pegload -cluster -partitions 4 -ws 64 -streams 4  # sharded kernel, one goroutine per core
 //	pegload -adaptive -ws 6 -streams 2 -seconds 4 -expect-degraded
 //	pegload -cell-accurate -ws 8 -seconds 1   # exact per-cell model
 //	pegload -json
@@ -54,6 +55,13 @@ func main() {
 		cluster = flag.Bool("cluster", false,
 			"run the multi-server VoD site: -servers nodes under the vodsite controller, "+
 				"Zipf title requests admitted on whichever replica has room, reactive replication")
+		partitions = flag.Int("partitions", 0,
+			"shard the event kernel across this many conservative-lookahead partitions, one "+
+				"goroutine each (requires -cluster; 0 = serial kernel; 1 = cluster machinery, "+
+				"bit-identical to serial; N>1 deterministic per N)")
+		fastDisks = flag.Bool("fast-disks", false,
+			"flash-era disk mechanics instead of the 1994 drive (storage-backed modes); "+
+				"lifts per-node stream ceilings from tens to tens of thousands")
 		adaptive = flag.Bool("adaptive", false,
 			"run the degrade-instead-of-refuse scenario: unicast disk-backed streams opened "+
 				"as Adaptive-class sessions; an over-subscribed site scales sessions down the "+
@@ -123,6 +131,8 @@ func main() {
 		TitleRounds: *titleRounds,
 
 		Cluster:             *cluster,
+		Partitions:          *partitions,
+		FastDisks:           *fastDisks,
 		Titles:              *titles,
 		ZipfS:               *zipfS,
 		Seed:                *seed,
@@ -151,6 +161,10 @@ func main() {
 	}
 	if *cluster && *cpuBound {
 		fmt.Fprintln(os.Stderr, "pegload: -cluster does not support -cpu-bound (cluster nodes do not enable CPU admission)")
+		os.Exit(2)
+	}
+	if *partitions != 0 && !*cluster {
+		fmt.Fprintln(os.Stderr, "pegload: -partitions requires -cluster (only the unicast node-owned topology shards)")
 		os.Exit(2)
 	}
 

@@ -76,7 +76,7 @@ func main() {
 	fmt.Printf("  tile latency:      mean %v  p99 %v  max %v\n",
 		sim.Duration(lat.Mean()), sim.Duration(lat.Quantile(0.99)), sim.Duration(lat.Max()))
 	fmt.Printf("  cells switched:    %d (%d unrouted)\n",
-		site.Switch.Stats.Switched, site.Switch.Stats.Unrouted)
+		site.Switch.Stats().Switched, site.Switch.Stats().Unrouted)
 	if spk != nil {
 		fmt.Printf("  audio:             %d blocks, late %d, gaps %d, mean transit %v\n",
 			spk.Stats.Played, spk.Stats.Late, spk.Stats.Gaps,

@@ -109,5 +109,5 @@ func main() {
 		float64(store.Server.FS().Stats.BytesAppended)/1e6,
 		store.Server.FS().Stats.SegmentsSealed)
 	fmt.Printf("  switch carried %d cells; no CPU copied any video\n",
-		site.Switch.Stats.Switched)
+		site.Switch.Stats().Switched)
 }

@@ -97,5 +97,5 @@ func main() {
 			sim.Duration(s.spkr.Stats.JitterNS.Max()))
 	}
 	fmt.Printf("\ncells through the switch: %d; CPU bytes copied: 0\n",
-		site.Switch.Stats.Switched)
+		site.Switch.Stats().Switched)
 }

@@ -24,7 +24,13 @@ const (
 // VCI identifies a virtual circuit on a link. The paper's devices use the
 // VCI directly as a demultiplexing key (e.g. the display indexes its window
 // table by VCI), so we keep it as a first-class type.
-type VCI uint16
+//
+// The type is 32 bits wide so a 100k-session site can hand out
+// site-unique circuit numbers, but the UNI cell header still carries
+// only the low 16 bits on the wire (Marshal truncates; Unmarshal can
+// only restore those 16 bits). In-memory switching and demultiplexing —
+// every data path in this repository — use the full value.
+type VCI uint32
 
 // PTI payload-type values (only the user-data bits matter to AAL5; bit 0 of
 // the user-data encoding marks the last cell of a CS-PDU).
@@ -74,11 +80,13 @@ func hec(h []byte) byte {
 	return crc ^ 0x55
 }
 
-// Marshal encodes the cell into the 53-byte wire format.
+// Marshal encodes the cell into the 53-byte wire format. Only the low
+// 16 bits of the VCI fit the UNI header; higher bits are truncated on
+// the wire (see VCI).
 func (c *Cell) Marshal() [CellSize]byte {
 	var w [CellSize]byte
 	w[0] = c.GFC<<4 | c.VPI>>4
-	w[1] = c.VPI<<4 | byte(c.VCI>>12)
+	w[1] = c.VPI<<4 | byte(c.VCI>>12&0x0f)
 	w[2] = byte(c.VCI >> 4)
 	w[3] = byte(c.VCI)<<4 | c.PTI<<1
 	if c.CLP {

@@ -46,6 +46,20 @@ type SiteConfig struct {
 	// cost of one event per cell. Leave it false for site-scale runs;
 	// see the fabric package docs for when cell-accurate mode matters.
 	CellAccurate bool
+	// Partitions shards the event kernel: nodes are distributed
+	// round-robin over this many sim partitions, synchronised with a
+	// lookahead window equal to the node-to-node cell latency
+	// (FabricDelay + one cell's serialisation time + LinkDelay). Zero
+	// keeps today's serial kernel; one runs the cluster machinery with
+	// results bit-identical to serial. Incompatible with CellAccurate
+	// for more than one partition (the cell-by-cell path replays cells
+	// under the lookahead floor).
+	Partitions int
+	// DiskParams overrides the storage servers' disk geometry (nil =
+	// disk.DefaultParams, the paper's 1994-era drive). Site-scale runs
+	// use this to model modern flash so per-node stream counts reach
+	// paper-argument scale.
+	DiskParams *disk.Params
 }
 
 // DefaultSiteConfig matches the paper's testbed: 100 Mb/s links,
@@ -62,9 +76,16 @@ func DefaultSiteConfig() SiteConfig {
 
 // Site is one Pegasus installation: a switch and everything attached.
 type Site struct {
+	// Sim is the control-plane partition (partition 0 of a partitioned
+	// site; the only Sim of a serial one). Site-level services —
+	// signalling, sessions, the VoD control plane — schedule here.
 	Sim    *sim.Sim
 	Switch *fabric.Switch
 	Config SiteConfig
+	// Clock drives the run loop: the serial Sim when Partitions is
+	// zero, the partition cluster otherwise. Harnesses call
+	// Clock.Run/RunUntil/CallAfter instead of touching Sim directly.
+	Clock sim.Scheduler
 	// Signalling is the site's connection manager (§2.2): circuits
 	// established through it are admission-controlled against link
 	// capacity. Patch/PlumbVideo bypass it (pre-provisioned circuits);
@@ -77,21 +98,49 @@ type Site struct {
 
 	sessions []*Session
 
-	nextPort int
-	nextVCI  atm.VCI
+	clu        *sim.Cluster
+	nextAttach int
+	nextPort   int
+	nextVCI    atm.VCI
 }
 
 // NewSite builds an empty site.
 func NewSite(cfg SiteConfig) *Site {
-	s := sim.New()
-	sw := fabric.NewSwitch(s, "site", cfg.Ports, cfg.FabricDelay)
-	return &Site{
-		Sim:        s,
-		Switch:     sw,
-		Config:     cfg,
-		Signalling: netsig.NewManager(sw, cfg.LinkRate),
-		nextVCI:    100,
+	st := &Site{Config: cfg, nextVCI: 100}
+	if cfg.Partitions > 0 {
+		if cfg.CellAccurate && cfg.Partitions > 1 {
+			panic("core: CellAccurate is incompatible with more than one partition")
+		}
+		// The lookahead is the minimum time a cell needs to cross from
+		// one node to another: switch transit + serialisation on the
+		// output link + propagation. fabric's cross-partition sends
+		// stamp messages with exactly this latency.
+		ct := sim.Duration(int64(atm.CellSize*8) * int64(sim.Second) / cfg.LinkRate)
+		st.clu = sim.NewCluster(cfg.Partitions, cfg.FabricDelay+ct+cfg.LinkDelay)
+		st.Sim = st.clu.Part(0)
+		st.Clock = st.clu
+	} else {
+		st.Sim = sim.New()
+		st.Clock = st.Sim
 	}
+	st.Switch = fabric.NewSwitch(st.Sim, "site", cfg.Ports, cfg.FabricDelay)
+	st.Signalling = netsig.NewManager(st.Switch, cfg.LinkRate)
+	return st
+}
+
+// Cluster returns the site's partition cluster, or nil when the site
+// runs on the serial kernel.
+func (st *Site) Cluster() *sim.Cluster { return st.clu }
+
+// partSim picks the partition for the next attachment (round-robin over
+// the cluster; the serial Sim otherwise).
+func (st *Site) partSim() *sim.Sim {
+	if st.clu == nil {
+		return st.Sim
+	}
+	s := st.clu.Part(st.nextAttach % st.clu.Parts())
+	st.nextAttach++
+	return s
 }
 
 // AllocVCI hands out a site-unique circuit number.
@@ -115,6 +164,10 @@ func (st *Site) allocPort() int {
 // into the switch and the switch's output link to the device.
 type Endpoint struct {
 	Port int
+	// Sim is the partition that owns this attachment: its links, demux
+	// and the node behind it all schedule here. On a serial site it is
+	// the site Sim.
+	Sim *sim.Sim
 	// ToSwitch carries the device's cells into the fabric.
 	ToSwitch *fabric.Link
 	// FromSwitch delivers fabric cells to the device's handler.
@@ -124,13 +177,15 @@ type Endpoint struct {
 	Demux *devices.Demux
 }
 
-// Attach creates an endpoint on a fresh switch port.
+// Attach creates an endpoint on a fresh switch port, owned by the next
+// partition in round-robin order.
 func (st *Site) Attach(name string) *Endpoint {
 	port := st.allocPort()
+	s := st.partSim()
 	dm := devices.NewDemux()
-	ep := &Endpoint{Port: port, Demux: dm}
-	ep.ToSwitch = fabric.NewLink(st.Sim, st.Config.LinkRate, st.Config.LinkDelay, 0, st.Switch.In(port))
-	ep.FromSwitch = fabric.NewLink(st.Sim, st.Config.LinkRate, st.Config.LinkDelay, 0, dm)
+	ep := &Endpoint{Port: port, Sim: s, Demux: dm}
+	ep.ToSwitch = fabric.NewLink(s, st.Config.LinkRate, st.Config.LinkDelay, 0, st.Switch.BindIn(port, s))
+	ep.FromSwitch = fabric.NewLink(s, st.Config.LinkRate, st.Config.LinkDelay, 0, dm)
 	if st.Config.CellAccurate {
 		ep.ToSwitch.SetCellAccurate(true)
 		ep.FromSwitch.SetCellAccurate(true)
@@ -188,10 +243,13 @@ type Workstation struct {
 	cameraN, displayN, audioN int
 }
 
-// NewWorkstation adds a workstation with an EDF-over-shares kernel.
+// NewWorkstation adds a workstation with an EDF-over-shares kernel. The
+// whole node — kernel, QoS manager, transport — lives on its network
+// endpoint's partition.
 func (st *Site) NewWorkstation(name string) *Workstation {
+	net := st.Attach(name + ".net")
 	edf := sched.NewEDFShares()
-	k := nemesis.NewKernel(st.Sim, nemesis.Config{
+	k := nemesis.NewKernel(net.Sim, nemesis.Config{
 		SwitchCost:         st.Config.SwitchCost,
 		SingleAddressSpace: true,
 	}, edf)
@@ -200,11 +258,11 @@ func (st *Site) NewWorkstation(name string) *Workstation {
 		Name:   name,
 		Kernel: k,
 		EDF:    edf,
-		QoS:    sched.NewQoSManager(st.Sim, edf),
+		QoS:    sched.NewQoSManager(net.Sim, edf),
 		NS:     names.New(),
-		Net:    st.Attach(name + ".net"),
+		Net:    net,
 	}
-	w.Transport = rpc.NewTransport(st.Sim)
+	w.Transport = rpc.NewTransport(net.Sim)
 	w.Transport.SetOutput(w.Net.ToSwitch)
 	// RPC circuits are bound per VCI through BindRPC; there is no
 	// catch-all binding, so a misrouted cell surfaces as an unhandled
@@ -242,7 +300,7 @@ func (w *Workstation) AttachCamera(cfg devices.CameraConfig) (*devices.Camera, *
 	if cfg.CtrlVCI == 0 {
 		cfg.CtrlVCI = w.Site.AllocVCI()
 	}
-	cam := devices.NewCamera(w.Site.Sim, cfg, ep.ToSwitch)
+	cam := devices.NewCamera(ep.Sim, cfg, ep.ToSwitch)
 	return cam, ep
 }
 
@@ -250,7 +308,7 @@ func (w *Workstation) AttachCamera(cfg devices.CameraConfig) (*devices.Camera, *
 func (w *Workstation) AttachDisplay(wpx, hpx int) (*devices.Display, *Endpoint) {
 	w.displayN++
 	ep := w.Site.Attach(fmt.Sprintf("%s.disp%d", w.Name, w.displayN))
-	d := devices.NewDisplay(w.Site.Sim, wpx, hpx, 0)
+	d := devices.NewDisplay(ep.Sim, wpx, hpx, 0)
 	// The display consumes everything arriving at its port: repoint the
 	// link Attach built rather than registering a second one.
 	ep.SetSink(d)
@@ -267,7 +325,7 @@ func (w *Workstation) AttachAudioSource(cfg devices.AudioSourceConfig) (*devices
 	if cfg.CtrlVCI == 0 {
 		cfg.CtrlVCI = w.Site.AllocVCI()
 	}
-	src := devices.NewAudioSource(w.Site.Sim, cfg, ep.ToSwitch)
+	src := devices.NewAudioSource(ep.Sim, cfg, ep.ToSwitch)
 	return src, ep
 }
 
@@ -276,7 +334,7 @@ func (w *Workstation) AttachAudioSource(cfg devices.AudioSourceConfig) (*devices
 func (w *Workstation) AttachAudioSink(vci atm.VCI, delay sim.Duration) (*devices.AudioSink, *Endpoint) {
 	w.audioN++
 	ep := w.Site.Attach(fmt.Sprintf("%s.dac%d", w.Name, w.audioN))
-	sink := devices.NewAudioSink(w.Site.Sim, delay)
+	sink := devices.NewAudioSink(ep.Sim, delay)
 	ep.Demux.Register(vci, sink)
 	return sink, ep
 }
@@ -314,19 +372,25 @@ type StorageServer struct {
 	Transport *rpc.Transport
 }
 
-// NewStorageServer adds a storage node with the given log geometry.
+// NewStorageServer adds a storage node with the given log geometry. The
+// node's whole storage stack lives on its network endpoint's partition.
 func (st *Site) NewStorageServer(name string, segSize int, nseg int64) *StorageServer {
-	arr := raid.New(st.Sim, disk.DefaultParams(), segSize, nseg)
-	fs := lfs.New(st.Sim, arr, lfs.DefaultConfig(segSize))
-	sv := fileserver.NewServer(st.Sim, fs)
+	net := st.Attach(name)
+	p := disk.DefaultParams()
+	if st.Config.DiskParams != nil {
+		p = *st.Config.DiskParams
+	}
+	arr := raid.New(net.Sim, p, segSize, nseg)
+	fs := lfs.New(net.Sim, arr, lfs.DefaultConfig(segSize))
+	sv := fileserver.NewServer(net.Sim, fs)
 	ss := &StorageServer{
 		Site:   st,
 		Name:   name,
 		Server: sv,
-		Net:    st.Attach(name),
+		Net:    net,
 	}
 	ss.Ingest = NewIngest(sv)
-	ss.Transport = rpc.NewTransport(st.Sim)
+	ss.Transport = rpc.NewTransport(net.Sim)
 	ss.Transport.SetOutput(ss.Net.ToSwitch)
 	return ss
 }
@@ -350,7 +414,7 @@ func (ss *StorageServer) EnableCM(cfg fileserver.CMConfig) *fileserver.CMService
 // of the conjunction. Idempotent.
 func (ss *StorageServer) EnableCPU(cfg CPUConfig) *NodeCPU {
 	if ss.CPU == nil {
-		ss.CPU = NewNodeCPU(ss.Site.Sim, cfg)
+		ss.CPU = NewNodeCPU(ss.Net.Sim, cfg)
 	}
 	return ss.CPU
 }
@@ -407,7 +471,7 @@ func (st *Site) NewUnixNode(name string) *UnixNode {
 		Net:  st.Attach(name),
 		NS:   names.New(),
 	}
-	u.Transport = rpc.NewTransport(st.Sim)
+	u.Transport = rpc.NewTransport(u.Net.Sim)
 	u.Transport.SetOutput(u.Net.ToSwitch)
 	return u
 }

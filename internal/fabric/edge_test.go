@@ -81,10 +81,10 @@ func TestSwitchNoOutportCounted(t *testing.T) {
 	sw.Route(0, 1, 1, 1) // port 1 never attached
 	in.Send(atm.Cell{VCI: 1})
 	s.Run()
-	if sw.Stats.NoOutport != 1 {
-		t.Fatalf("NoOutport = %d, want 1", sw.Stats.NoOutport)
+	if sw.Stats().NoOutport != 1 {
+		t.Fatalf("NoOutport = %d, want 1", sw.Stats().NoOutport)
 	}
-	if sw.Stats.Switched != 0 {
-		t.Fatalf("Switched = %d, want 0", sw.Stats.Switched)
+	if sw.Stats().Switched != 0 {
+		t.Fatalf("Switched = %d, want 0", sw.Stats().Switched)
 	}
 }

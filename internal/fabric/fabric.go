@@ -315,11 +315,19 @@ type routeVal struct {
 	vci  atm.VCI
 }
 
-// SwitchStats counts switch-level events.
+// SwitchStats counts switch-level events. Counters are kept per input
+// port (each port belongs to one partition); Switch.Stats sums them.
 type SwitchStats struct {
 	Switched  int64 // cells forwarded
 	Unrouted  int64 // cells with no routing entry (dropped)
 	NoOutport int64 // cells routed to a port with no attached link
+}
+
+// add accumulates o into s.
+func (s *SwitchStats) add(o *SwitchStats) {
+	s.Switched += o.Switched
+	s.Unrouted += o.Unrouted
+	s.NoOutport += o.NoOutport
 }
 
 // Switch is an output-queued ATM switch. Each input cell is looked up in
@@ -328,19 +336,21 @@ type SwitchStats struct {
 //
 // The paper's key architectural point (§2) is that the workstation manages
 // this table, so streams flow device-to-device without touching any CPU.
+//
+// Partitioning: a switch is the one object that spans partitions. Each
+// input port carries its own partition context (see portIn), the routing
+// table is read-only during lookahead windows (Route/Unroute run in
+// global context only), and forwarding onto a link owned by another
+// partition goes through sim.Cross with the fabric + serialisation +
+// propagation latency as the timestamp — which is exactly the cluster's
+// lookahead, so the conservative window is always safe.
 type Switch struct {
 	sim         *sim.Sim
 	name        string
 	fabricDelay sim.Duration
 	outputs     []*Link
 	routes      map[routeKey][]routeVal
-
-	// One-entry route cache: streams are bursty, so consecutive cells
-	// overwhelmingly share a circuit. Invalidated by Route/Unroute.
-	cacheKey routeKey
-	cacheVal []routeVal
-
-	Stats SwitchStats
+	ins         []*portIn
 }
 
 // NewSwitch builds a switch with nports ports and the given per-cell
@@ -355,11 +365,24 @@ func NewSwitch(s *sim.Sim, name string, nports int, fabricDelay sim.Duration) *S
 		fabricDelay: fabricDelay,
 		outputs:     make([]*Link, nports),
 		routes:      make(map[routeKey][]routeVal),
+		ins:         make([]*portIn, nports),
 	}
 }
 
 // Name returns the switch's name (for diagnostics).
 func (sw *Switch) Name() string { return sw.name }
+
+// Stats sums the per-input-port forwarding counters. Call it in global
+// context (or after a run), not from another partition's events.
+func (sw *Switch) Stats() SwitchStats {
+	var t SwitchStats
+	for _, p := range sw.ins {
+		if p != nil {
+			t.add(&p.stats)
+		}
+	}
+	return t
+}
 
 // Ports reports the port count.
 func (sw *Switch) Ports() int { return len(sw.outputs) }
@@ -376,21 +399,52 @@ func (sw *Switch) Output(port int) *Link {
 	return sw.outputs[port]
 }
 
-// portIn is the receive side of one switch port; it understands both
-// single cells and bursts.
+// portIn is the receive side of one switch port. It is the per-port
+// partition context: it knows which Sim the feeding link (and therefore
+// the node behind it) belongs to, and it owns the port-local mutable
+// state — the one-entry route cache and the forwarding counters — so
+// input ports on different partitions never write shared memory.
 type portIn struct {
 	sw   *Switch
 	port int
+	sim  *sim.Sim
+
+	// One-entry route cache: streams are bursty, so consecutive cells
+	// overwhelmingly share a circuit. Invalidated by Route/Unroute.
+	cacheKey routeKey
+	cacheVal []routeVal
+
+	stats SwitchStats
 }
 
-func (p *portIn) HandleCell(c atm.Cell) { p.sw.receive(p.port, &c) }
-func (p *portIn) HandleBurst(b Burst)   { p.sw.receiveBurst(p.port, b) }
+// HandleCell forwards one arriving cell through the switch.
+func (p *portIn) HandleCell(c atm.Cell) { p.sw.receive(p, &c) }
+
+// HandleBurst forwards an arriving cell train through the switch.
+func (p *portIn) HandleBurst(b Burst) { p.sw.receiveBurst(p, b) }
 
 // In returns the handler for cells arriving on the given input port; wire
-// it as the sink of the link feeding this switch.
+// it as the sink of the link feeding this switch. The port runs on the
+// switch's own Sim; use BindIn when the feeding link belongs to another
+// partition.
 func (sw *Switch) In(port int) Handler {
+	return sw.BindIn(port, sw.sim)
+}
+
+// BindIn returns the handler for cells arriving on the given input port,
+// bound to the partition Sim that owns the feeding link. Handlers are
+// memoised per port; binding an already-bound port to a different Sim
+// rebinds it (legal only in global context).
+func (sw *Switch) BindIn(port int, s *sim.Sim) Handler {
 	sw.checkPort(port)
-	return &portIn{sw: sw, port: port}
+	p := sw.ins[port]
+	if p == nil {
+		p = &portIn{sw: sw, port: port, sim: s}
+		sw.ins[port] = p
+	} else {
+		p.sim = s
+	}
+	return p
 }
 
 // Route installs a routing entry: cells arriving on inPort with circuit
@@ -403,7 +457,7 @@ func (sw *Switch) Route(inPort int, inVCI atm.VCI, outPort int, outVCI atm.VCI) 
 	sw.checkPort(outPort)
 	k := routeKey{inPort, inVCI}
 	sw.routes[k] = append(sw.routes[k], routeVal{outPort, outVCI})
-	sw.cacheVal = nil
+	sw.invalidate()
 }
 
 // Unroute removes a routing entry; it reports whether one existed.
@@ -411,8 +465,19 @@ func (sw *Switch) Unroute(inPort int, inVCI atm.VCI) bool {
 	k := routeKey{inPort, inVCI}
 	_, ok := sw.routes[k]
 	delete(sw.routes, k)
-	sw.cacheVal = nil
+	sw.invalidate()
 	return ok
+}
+
+// invalidate drops every port's route cache after a table change. Table
+// changes happen only in global context (all partitions quiescent), so
+// touching every port's cache here is race-free.
+func (sw *Switch) invalidate() {
+	for _, p := range sw.ins {
+		if p != nil {
+			p.cacheVal = nil
+		}
+	}
 }
 
 // Routed reports whether a circuit is routed from the given input port.
@@ -431,53 +496,79 @@ func (sw *Switch) Leaves(inPort int, inVCI atm.VCI) int {
 // RouteEntries reports the number of installed routing-table entries.
 func (sw *Switch) RouteEntries() int { return len(sw.routes) }
 
-// lookup resolves a circuit through the one-entry cache.
-func (sw *Switch) lookup(k routeKey) []routeVal {
-	if sw.cacheVal != nil && sw.cacheKey == k {
-		return sw.cacheVal
+// lookup resolves a circuit through the port's one-entry cache. The
+// routes map itself is only read here; writes (Route/Unroute) happen in
+// global context, so concurrent lookups from many ports are safe.
+func (p *portIn) lookup(k routeKey) []routeVal {
+	if p.cacheVal != nil && p.cacheKey == k {
+		return p.cacheVal
 	}
-	leaves := sw.routes[k]
+	leaves := p.sw.routes[k]
 	if leaves != nil {
-		sw.cacheKey, sw.cacheVal = k, leaves
+		p.cacheKey, p.cacheVal = k, leaves
 	}
 	return leaves
 }
 
-func (sw *Switch) receive(port int, c *atm.Cell) {
-	leaves := sw.lookup(routeKey{port, c.VCI})
+func (sw *Switch) receive(p *portIn, c *atm.Cell) {
+	leaves := p.lookup(routeKey{p.port, c.VCI})
 	if leaves == nil {
-		sw.Stats.Unrouted++
+		p.stats.Unrouted++
 		return
 	}
 	// The fabric transit delay folds into the output link's earliest
 	// serialisation start — no event per cell.
-	earliest := sw.sim.Now() + sw.fabricDelay
+	now := p.sim.Now()
+	earliest := now + sw.fabricDelay
 	if len(leaves) == 1 {
 		v := &leaves[0]
 		out := sw.outputs[v.port]
 		if out == nil {
-			sw.Stats.NoOutport++
+			p.stats.NoOutport++
 			return
 		}
-		inVCI := c.VCI
-		c.VCI = v.vci
-		sw.Stats.Switched++
-		out.sendCellEarliest(c, earliest)
-		c.VCI = inVCI
+		p.stats.Switched++
+		if out.sim == p.sim {
+			inVCI := c.VCI
+			c.VCI = v.vci
+			out.sendCellEarliest(c, earliest)
+			c.VCI = inVCI
+			return
+		}
+		sw.crossCell(p, out, c, v.vci, now, earliest)
 		return
 	}
 	for i := range leaves {
 		v := &leaves[i]
 		out := sw.outputs[v.port]
 		if out == nil {
-			sw.Stats.NoOutport++
+			p.stats.NoOutport++
 			continue
 		}
-		cc := *c
-		cc.VCI = v.vci
-		sw.Stats.Switched++
-		out.sendCellEarliest(&cc, earliest)
+		p.stats.Switched++
+		if out.sim == p.sim {
+			cc := *c
+			cc.VCI = v.vci
+			out.sendCellEarliest(&cc, earliest)
+			continue
+		}
+		sw.crossCell(p, out, c, v.vci, now, earliest)
 	}
+}
+
+// crossCell forwards one cell onto a link owned by another partition.
+// The earliest the destination can observe any effect is the cell's own
+// uncontended arrival — now + fabric transit + serialisation +
+// propagation — which is at least the cluster lookahead, so the message
+// timestamp never lands inside the current window. The closure then
+// replays the send on the owner's timeline; link contention (freeAt)
+// only pushes the delivery later, never earlier.
+func (sw *Switch) crossCell(p *portIn, out *Link, c *atm.Cell, vci atm.VCI, now sim.Time, earliest sim.Time) {
+	cc := *c
+	cc.VCI = vci
+	p.sim.Cross(out.sim, now+sw.fabricDelay+out.ct+out.prop, func() {
+		out.sendCellEarliest(&cc, earliest)
+	})
 }
 
 // sendCellEarliest is Send with a lower bound on the serialisation start
@@ -500,17 +591,17 @@ func (l *Link) sendCellEarliest(c *atm.Cell, earliest sim.Time) {
 	l.sim.Post(end+l.prop, l.deliverF)
 }
 
-func (sw *Switch) receiveBurst(port int, b Burst) {
+func (sw *Switch) receiveBurst(p *portIn, b Burst) {
 	n := len(b.Cells)
-	leaves := sw.lookup(routeKey{port, b.Cells[0].VCI})
+	leaves := p.lookup(routeKey{p.port, b.Cells[0].VCI})
 	if leaves == nil {
-		sw.Stats.Unrouted += int64(n)
+		p.stats.Unrouted += int64(n)
 		return
 	}
 	for i, v := range leaves {
 		out := sw.outputs[v.port]
 		if out == nil {
-			sw.Stats.NoOutport += int64(n)
+			p.stats.NoOutport += int64(n)
 			continue
 		}
 		cells := b.Cells
@@ -518,16 +609,36 @@ func (sw *Switch) receiveBurst(port int, b Burst) {
 			// Additional leaves need their own copy of the train.
 			cells = append([]atm.Cell(nil), b.Cells...)
 		}
-		if v.vci != cells[0].VCI {
-			for j := range cells {
-				cells[j].VCI = v.vci
-			}
-		}
-		sw.Stats.Switched += int64(n)
+		p.stats.Switched += int64(n)
 		// Cut-through: the k-th cell clears the fabric at its own
 		// arrival + fabricDelay; the output link's pacing floor is the
 		// input spacing.
-		out.sendBurstShaped(cells, b.First+sw.fabricDelay, b.Gap)
+		if out.sim == p.sim {
+			if v.vci != cells[0].VCI {
+				for j := range cells {
+					cells[j].VCI = v.vci
+				}
+			}
+			out.sendBurstShaped(cells, b.First+sw.fabricDelay, b.Gap)
+			continue
+		}
+		// Cross-partition leaf. This delivery event fired at the last
+		// cell's arrival (now = First + (n-1)*Gap), and the replayed
+		// send's earliest completion is first cell + fabric + ct + last
+		// cell's pacing + prop ≥ now + fabric + ct + prop — the cluster
+		// lookahead — so the timestamp below is safe, and the closure
+		// schedules nothing before it. VCI rewrite moves inside the
+		// closure: the owning partition mutates the train, not ours.
+		vci := v.vci
+		train := cells
+		p.sim.Cross(out.sim, p.sim.Now()+sw.fabricDelay+out.ct+out.prop, func() {
+			if vci != train[0].VCI {
+				for j := range train {
+					train[j].VCI = vci
+				}
+			}
+			out.sendBurstShaped(train, b.First+sw.fabricDelay, b.Gap)
+		})
 	}
 }
 

@@ -107,8 +107,8 @@ func TestSwitchRoutesAndRemapsVCI(t *testing.T) {
 	if rec.Cells[0].VCI != 20 {
 		t.Fatalf("VCI = %d, want 20 (remapped)", rec.Cells[0].VCI)
 	}
-	if sw.Stats.Switched != 1 {
-		t.Fatalf("switched = %d, want 1", sw.Stats.Switched)
+	if sw.Stats().Switched != 1 {
+		t.Fatalf("switched = %d, want 1", sw.Stats().Switched)
 	}
 	// Latency = 2 serialisations + fabric delay.
 	want := 2*in.CellTime() + 2*sim.Microsecond
@@ -122,8 +122,8 @@ func TestSwitchDropsUnroutedCells(t *testing.T) {
 	in, sw, rec := buildOneSwitchPath(s, 0)
 	in.Send(atm.Cell{VCI: 99})
 	s.Run()
-	if sw.Stats.Unrouted != 1 {
-		t.Fatalf("unrouted = %d, want 1", sw.Stats.Unrouted)
+	if sw.Stats().Unrouted != 1 {
+		t.Fatalf("unrouted = %d, want 1", sw.Stats().Unrouted)
 	}
 	if len(rec.Cells) != 0 {
 		t.Fatalf("delivered %d, want 0", len(rec.Cells))
@@ -254,8 +254,8 @@ func TestNoOutportCounted(t *testing.T) {
 	sw.Route(0, 1, 1, 1) // port 1 has no attached output link
 	in.Send(atm.Cell{VCI: 1})
 	s.Run()
-	if sw.Stats.NoOutport != 1 {
-		t.Fatalf("NoOutport = %d, want 1", sw.Stats.NoOutport)
+	if sw.Stats().NoOutport != 1 {
+		t.Fatalf("NoOutport = %d, want 1", sw.Stats().NoOutport)
 	}
 }
 

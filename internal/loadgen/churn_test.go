@@ -82,9 +82,9 @@ func TestChurnNoLeaks(t *testing.T) {
 	}
 
 	// Streams must actually flow again after the final restart.
-	before := sc.framesDelivered
+	before := sc.framesDeliveredTotal()
 	site.Sim.RunFor(100 * sim.Millisecond)
-	if sc.framesDelivered <= before {
+	if sc.framesDeliveredTotal() <= before {
 		t.Fatal("no frames delivered after churn")
 	}
 	// Re-admission accounting: every torn-down stream was re-admitted.
@@ -94,16 +94,16 @@ func TestChurnNoLeaks(t *testing.T) {
 	}
 	// No duplicate delivery: with every stream on a fresh VCI after
 	// churn, nothing may arrive unrouted or double-registered.
-	if site.Switch.Stats.Unrouted != 0 {
+	if site.Switch.Stats().Unrouted != 0 {
 		// Cells in flight during a teardown legitimately arrive at the
 		// switch after their route vanished; what must NOT happen is
 		// sustained loss after restart. Check the tail window stayed
 		// clean: rerun and compare.
-		unroutedBefore := site.Switch.Stats.Unrouted
+		unroutedBefore := site.Switch.Stats().Unrouted
 		site.Sim.RunFor(100 * sim.Millisecond)
-		if site.Switch.Stats.Unrouted != unroutedBefore {
+		if site.Switch.Stats().Unrouted != unroutedBefore {
 			t.Fatalf("unrouted cells still accumulating after churn settled: %d -> %d",
-				unroutedBefore, site.Switch.Stats.Unrouted)
+				unroutedBefore, site.Switch.Stats().Unrouted)
 		}
 	}
 }

@@ -14,10 +14,24 @@ import (
 
 	"repro/internal/atm"
 	"repro/internal/core"
+	"repro/internal/disk"
 	"repro/internal/fileserver"
 	"repro/internal/sim"
 	"repro/internal/vodsite"
 )
+
+// fastDiskParams is the FastDisks geometry: flash-era mechanics
+// (microsecond repositioning, 500 MB/s media rate). With the 1994
+// drive, AvgPosition ≈ 12.6 ms caps a node at ~50 streams/round; this
+// lifts the ceiling three orders of magnitude for 100k-session runs.
+func fastDiskParams() disk.Params {
+	return disk.Params{
+		SeekMin: 20 * sim.Microsecond,
+		SeekMax: 50 * sim.Microsecond,
+		RotHalf: 25 * sim.Microsecond,
+		Rate:    500_000_000,
+	}
+}
 
 // clusterReq is one viewer's request for one title: the measuring sink,
 // the frame source (rewired to whichever node serves the stream), and
@@ -43,6 +57,11 @@ func (sc *Scenario) buildCluster() {
 	siteCfg.LinkRate = cfg.LinkRate
 	siteCfg.CellAccurate = cfg.CellAccurate
 	siteCfg.Ports = n + k
+	siteCfg.Partitions = cfg.Partitions
+	if cfg.FastDisks {
+		p := fastDiskParams()
+		siteCfg.DiskParams = &p
+	}
 	sc.site = core.NewSite(siteCfg)
 
 	viewers := make([]*core.Endpoint, n)
@@ -78,7 +97,7 @@ func (sc *Scenario) buildCluster() {
 	if err := sc.ctrl.Place(); err != nil {
 		panic(fmt.Sprintf("loadgen: cluster placement: %v", err))
 	}
-	sc.site.Sim.Run() // drain placement I/O; CM starts after
+	sc.site.Clock.Run() // drain placement I/O; CM starts after
 	sc.ctrl.Start(fileserver.CMConfig{Round: cfg.Round})
 
 	// A new replica is fresh capacity: retry every pending request.
@@ -98,13 +117,15 @@ func (sc *Scenario) buildCluster() {
 				viewer: viewers[i],
 				title:  titleName(z.Sample(rng.Float64())),
 				phase:  sim.Duration(int64(idx)*7919) % period,
-				snk:    &sink{sc: sc, period: period},
+				snk:    &sink{sim: viewers[i].Sim, tl: sc.tallyFor(viewers[i].Sim), period: period},
 			}
+			// The source's partition is unknown until admission picks a
+			// serving node; wireReq migrates it there.
 			req.src = &source{
 				sim:     sc.site.Sim,
 				period:  period,
 				payload: make([]byte, cfg.FrameBytes),
-				sent:    &sc.framesSent,
+				sent:    &sc.tallyFor(sc.site.Sim).framesSent,
 			}
 			sc.requests = append(sc.requests, req)
 			if !sc.admitReq(req) {
@@ -140,13 +161,16 @@ func (sc *Scenario) admitReq(req *clusterReq) bool {
 	return true
 }
 
-// wireReq points the request's source at the serving node's uplink and
-// registers its sink under the stream's circuit; playout starts when
-// the replica's first read-ahead window is buffered.
+// wireReq points the request's source at the serving node's uplink —
+// migrating it onto that node's partition — and registers its sink
+// under the stream's circuit; playout starts when the replica's first
+// read-ahead window is buffered.
 func (sc *Scenario) wireReq(req *clusterReq) {
 	st := req.st
+	node := st.Node().SS.Net
+	req.src.migrate(node.Sim, &sc.tallyFor(node.Sim).framesSent)
 	req.vci = st.VCI()
-	req.src.out = st.Node().SS.Net.ToSwitch
+	req.src.out = node.ToSwitch
 	req.src.vci = st.VCI()
 	cm := st.CM()
 	req.src.cm = cm

@@ -52,6 +52,7 @@ const (
 	VoD
 )
 
+// String names the pattern as the pegload -pattern flag spells it.
 func (p Pattern) String() string {
 	switch p {
 	case Mesh:
@@ -177,6 +178,21 @@ type Config struct {
 	// restore degraded survivors.
 	ReleaseAt    sim.Duration
 	ReleaseEvery int
+
+	// Partitions shards the event kernel across that many conservative-
+	// lookahead partitions (see core.SiteConfig.Partitions): nodes are
+	// spread round-robin, each partition runs on its own goroutine, and
+	// the run is deterministic for a given (Seed, Partitions) pair — with
+	// Partitions == 1 bit-identical to the serial kernel. Zero keeps the
+	// serial kernel. Requires Cluster mode, where every stream is
+	// unicast and node-owned; the shared-fabric patterns stay serial.
+	Partitions int
+
+	// FastDisks swaps the 1994 drive mechanics for flash-era ones
+	// (~35 µs repositioning, 500 MB/s media rate), lifting per-node
+	// stream counts from tens to tens of thousands — the knob 100k-
+	// session cluster runs turn.
+	FastDisks bool
 }
 
 // class is the QoS class sessions are opened with.
@@ -403,6 +419,8 @@ const (
 // source is a CBR frame generator on one circuit. With cm set, each
 // frame's payload is pulled from the storage read-ahead buffer instead
 // of synthesized; an underrun skips the frame (counted by the service).
+// A source lives on the partition of the node whose uplink it feeds;
+// migrate moves it when failover rewires the stream to another node.
 type source struct {
 	sim     *sim.Sim
 	out     *fabric.Link
@@ -413,20 +431,36 @@ type source struct {
 	seq     uint32
 	running bool
 	chained bool
-	sent    *int64 // scenario-wide counter
+	ev      *sim.Event // pending tick (nil between ticks)
+	sent    *int64     // partition tally's frames-sent counter
 }
 
 func (s *source) start(phase sim.Duration) {
 	s.running = true
 	if !s.chained {
 		s.chained = true
-		s.sim.PostAfter(phase, s.tick)
+		s.ev = s.sim.After(phase, s.tick)
 	}
 }
 
 func (s *source) stop() { s.running = false }
 
+// migrate rebinds the source to another partition's timeline (the node
+// a failover re-admitted the stream on). Global context only: the
+// pending tick on the old partition is cancelled, so no event chain
+// survives on a timeline the source no longer belongs to.
+func (s *source) migrate(to *sim.Sim, sent *int64) {
+	if s.ev != nil {
+		s.sim.Cancel(s.ev)
+		s.ev = nil
+		s.chained = false
+	}
+	s.sim = to
+	s.sent = sent
+}
+
 func (s *source) tick() {
+	s.ev = nil
 	if !s.running {
 		s.chained = false
 		return
@@ -435,7 +469,7 @@ func (s *source) tick() {
 	if s.cm != nil {
 		data, ok := s.cm.NextFrame()
 		if !ok {
-			s.sim.PostAfter(s.period, s.tick)
+			s.ev = s.sim.After(s.period, s.tick)
 			return
 		}
 		payload = data
@@ -450,15 +484,17 @@ func (s *source) tick() {
 	}
 	s.out.SendBurst(cells)
 	*s.sent++
-	s.sim.PostAfter(s.period, s.tick)
+	s.ev = s.sim.After(s.period, s.tick)
 }
 
 // sink measures one stream leg at its receiving endpoint. It is
 // burst-aware (one callback per frame on the fast path) and falls back
 // to per-cell reassembly bookkeeping in cell-accurate mode; both paths
-// observe identical frame-completion times.
+// observe identical frame-completion times. A sink runs on its viewer's
+// partition and counts into that partition's tally.
 type sink struct {
-	sc     *Scenario
+	sim    *sim.Sim
+	tl     *tally
 	period sim.Duration
 
 	haveLast sim.Time
@@ -472,26 +508,29 @@ type sink struct {
 }
 
 func (k *sink) frameDone(stamp sim.Time, ncells int) {
-	now := k.sc.site.Sim.Now()
-	k.sc.framesDelivered++
-	k.sc.cellsDelivered += int64(ncells)
-	k.sc.latency.Add(float64(now - stamp))
+	now := k.sim.Now()
+	k.tl.framesDelivered++
+	k.tl.cellsDelivered += int64(ncells)
+	k.tl.latency.Add(float64(now - stamp))
 	if k.started {
 		j := float64((now - k.haveLast) - k.period)
 		if j < 0 {
 			j = -j
 		}
-		k.sc.jitter.Add(j)
+		k.tl.jitter.Add(j)
 	}
 	k.started = true
 	k.haveLast = now
 }
 
+// HandleBurst scores a whole frame delivered on the batched fast path.
 func (k *sink) HandleBurst(b fabric.Burst) {
 	stamp := sim.Time(binary.BigEndian.Uint64(b.Cells[0].Payload[0:]))
 	k.frameDone(stamp, len(b.Cells))
 }
 
+// HandleCell reassembles cell-accurate deliveries, scoring the frame
+// when its end-of-frame cell arrives.
 func (k *sink) HandleCell(c atm.Cell) {
 	if !k.midFrame {
 		k.stamp = sim.Time(binary.BigEndian.Uint64(c.Payload[0:]))
@@ -618,7 +657,7 @@ func (st *Stream) establish() error {
 	}
 	st.sess = sess
 	for _, d := range st.dsts {
-		d.Demux.Register(sess.VCI(), &sink{sc: st.sc, period: st.src.period})
+		d.Demux.Register(sess.VCI(), &sink{sim: d.Sim, tl: st.sc.tallyFor(d.Sim), period: st.src.period})
 	}
 	st.sc.admitted += len(ports)
 	st.src.vci = sess.VCI()
@@ -659,12 +698,44 @@ type Scenario struct {
 	admitted, rejected, tornDown int
 	storageRefused               int
 	cpuRefused                   int
-	framesSent                   int64
-	framesDelivered              int64
-	cellsDelivered               int64
-	latency, jitter              stats.Sample
+	tallies                      []*tally
 	runStart                     sim.Time
 	firedStart                   int64
+}
+
+// tally is one partition's share of the scoreboard. Sources and sinks
+// count into the tally of the partition they run on — never across
+// partitions — and collect merges the tallies after the run.
+type tally struct {
+	sim             *sim.Sim
+	framesSent      int64
+	framesDelivered int64
+	cellsDelivered  int64
+	latency, jitter stats.Sample
+}
+
+// tallyFor returns (creating on first use) the tally of a partition.
+// Global context only; the handful of partitions makes the linear scan
+// irrelevant.
+func (sc *Scenario) tallyFor(s *sim.Sim) *tally {
+	for _, t := range sc.tallies {
+		if t.sim == s {
+			return t
+		}
+	}
+	t := &tally{sim: s}
+	sc.tallies = append(sc.tallies, t)
+	return t
+}
+
+// framesDeliveredTotal sums delivered frames across partitions (for
+// tests probing mid-run progress).
+func (sc *Scenario) framesDeliveredTotal() int64 {
+	var n int64
+	for _, t := range sc.tallies {
+		n += t.framesDelivered
+	}
+	return n
 }
 
 // Site exposes the underlying site (switch, signalling) for assertions.
@@ -681,6 +752,11 @@ func Build(cfg Config) *Scenario {
 		// to the cluster builder would silently drop the CPU leg while
 		// the CPUBound defaults had already rewritten the geometry.
 		panic("loadgen: Cluster and CPUBound cannot be combined")
+	}
+	if cfg.Partitions != 0 && !cfg.Cluster {
+		// Only cluster mode keeps every stream unicast and node-owned;
+		// the other patterns share state across the whole site.
+		panic("loadgen: Partitions requires Cluster mode")
 	}
 	cfg.setDefaults()
 	sc := &Scenario{cfg: cfg}
@@ -806,7 +882,7 @@ func (sc *Scenario) preloadTitles(titles int, titleBytes int64) {
 	}
 	// Drain the preload I/O; nothing periodic is running yet, so the
 	// event queue empties. The CM schedulers start only after this.
-	sc.site.Sim.Run()
+	sc.site.Clock.Run()
 	for _, ss := range sc.Servers {
 		ss.EnableCM(fileserver.CMConfig{Round: sc.cfg.Round})
 	}
@@ -824,11 +900,11 @@ func (sc *Scenario) addStream(from *core.Endpoint, dsts []*core.Endpoint, idx in
 		// so the site doesn't emit every frame on the same instant.
 		phase: sim.Duration(int64(idx)*7919) % period,
 		src: &source{
-			sim:     sc.site.Sim,
+			sim:     from.Sim,
 			out:     from.ToSwitch,
 			period:  period,
 			payload: make([]byte, sc.cfg.FrameBytes),
-			sent:    &sc.framesSent,
+			sent:    &sc.tallyFor(from.Sim).framesSent,
 		},
 	}
 	sc.streams = append(sc.streams, st)
@@ -845,8 +921,10 @@ func (sc *Scenario) Run() Result {
 			st.src.start(st.phase)
 		}
 	}
+	// Release and failure are control-plane verbs that touch many
+	// partitions' state: they run in global (barrier) context.
 	if sc.cfg.Adaptive && sc.cfg.ReleaseAt > 0 && sc.cfg.ReleaseEvery > 0 {
-		sc.site.Sim.PostAfter(sc.cfg.ReleaseAt, sc.releaseSome)
+		sc.site.Clock.CallAfter(sc.cfg.ReleaseAt, sc.releaseSome)
 	}
 	if sc.cfg.Cluster && sc.cfg.FailNodeAt > 0 {
 		idx := sc.cfg.FailNode % len(sc.ctrl.Nodes())
@@ -854,32 +932,43 @@ func (sc *Scenario) Run() Result {
 			idx += len(sc.ctrl.Nodes())
 		}
 		node := sc.ctrl.Nodes()[idx]
-		sc.site.Sim.PostAfter(sc.cfg.FailNodeAt, func() { sc.ctrl.FailNode(node) })
+		sc.site.Clock.CallAfter(sc.cfg.FailNodeAt, func() { sc.ctrl.FailNode(node) })
 	}
-	sc.runStart = sc.site.Sim.Now()
-	sc.firedStart = sc.site.Sim.Fired()
+	sc.runStart = sc.site.Clock.Now()
+	sc.firedStart = sc.site.Clock.Fired()
 	wall := time.Now()
-	sc.site.Sim.RunFor(sc.cfg.Duration)
+	sc.site.Clock.RunFor(sc.cfg.Duration)
 	return sc.collect(time.Since(wall))
 }
 
 func (sc *Scenario) collect(wall time.Duration) Result {
+	// Merge the per-partition tallies. Quantiles sort the merged sample,
+	// so the result is independent of merge order.
+	var framesSent, framesDelivered, cellsDelivered int64
+	var latency, jitter stats.Sample
+	for _, t := range sc.tallies {
+		framesSent += t.framesSent
+		framesDelivered += t.framesDelivered
+		cellsDelivered += t.cellsDelivered
+		latency.Merge(&t.latency)
+		jitter.Merge(&t.jitter)
+	}
 	r := Result{
 		Config:          sc.cfg,
 		Admitted:        sc.admitted,
 		Rejected:        sc.rejected,
 		TornDown:        sc.tornDown,
-		FramesSent:      sc.framesSent,
-		FramesDelivered: sc.framesDelivered,
-		CellsDelivered:  sc.cellsDelivered,
-		EventsFired:     sc.site.Sim.Fired() - sc.firedStart,
-		SimSeconds:      (sc.site.Sim.Now() - sc.runStart).Seconds(),
+		FramesSent:      framesSent,
+		FramesDelivered: framesDelivered,
+		CellsDelivered:  cellsDelivered,
+		EventsFired:     sc.site.Clock.Fired() - sc.firedStart,
+		SimSeconds:      (sc.site.Clock.Now() - sc.runStart).Seconds(),
 		WallSeconds:     wall.Seconds(),
-		LatencyP50:      sc.latency.Quantile(0.5),
-		LatencyP99:      sc.latency.Quantile(0.99),
-		LatencyMax:      sc.latency.Max(),
-		JitterP50:       sc.jitter.Quantile(0.5),
-		JitterP99:       sc.jitter.Quantile(0.99),
+		LatencyP50:      latency.Quantile(0.5),
+		LatencyP99:      latency.Quantile(0.99),
+		LatencyMax:      latency.Max(),
+		JitterP50:       jitter.Quantile(0.5),
+		JitterP99:       jitter.Quantile(0.99),
 	}
 	if r.WallSeconds > 0 {
 		r.EventsPerSec = float64(r.EventsFired) / r.WallSeconds

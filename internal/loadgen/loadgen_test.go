@@ -34,8 +34,8 @@ func TestMeshAdmitsAndDelivers(t *testing.T) {
 	if r.JitterP99 != 0 {
 		t.Fatalf("jitter p99 = %v, want 0 on an uncontended mesh", sim.Duration(r.JitterP99))
 	}
-	if sc.Site().Switch.Stats.Unrouted != 0 {
-		t.Fatalf("unrouted cells: %d", sc.Site().Switch.Stats.Unrouted)
+	if sc.Site().Switch.Stats().Unrouted != 0 {
+		t.Fatalf("unrouted cells: %d", sc.Site().Switch.Stats().Unrouted)
 	}
 }
 

@@ -1,0 +1,76 @@
+package loadgen
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// stripWall removes wall-clock measurements (and the Config echo, which
+// legitimately differs in the Partitions field) so two Results can be
+// compared for virtual-time bit-identity.
+func stripWall(r *Result) {
+	r.Config = Config{}
+	r.WallSeconds = 0
+	r.EventsPerSec = 0
+	r.CellsPerSec = 0
+}
+
+// TestClusterPartitionsOneBitIdentical is the determinism contract's
+// strongest clause: -partitions=1 routes every event through the
+// Cluster machinery (windows, barriers, the Scheduler facade) yet must
+// reproduce the serial scoreboard bit for bit — every frame count,
+// every latency percentile, every event.
+func TestClusterPartitionsOneBitIdentical(t *testing.T) {
+	serial := Build(clusterCfg()).Run()
+
+	cfg := clusterCfg()
+	cfg.Partitions = 1
+	part1 := Build(cfg).Run()
+
+	stripWall(&serial)
+	stripWall(&part1)
+	if !reflect.DeepEqual(serial, part1) {
+		t.Fatalf("-partitions=1 diverged from serial:\nserial: %+v\npart1:  %+v", serial, part1)
+	}
+}
+
+// TestClusterPartitionsDeterministic: for a fixed partition count N>1,
+// the sharded run is a pure function of the seed — worker goroutine
+// scheduling must never leak into the scoreboard.
+func TestClusterPartitionsDeterministic(t *testing.T) {
+	cfg := clusterCfg()
+	cfg.Partitions = 3
+
+	a := Build(cfg).Run()
+	b := Build(cfg).Run()
+	stripWall(&a)
+	stripWall(&b)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("two -partitions=3 runs diverged:\nfirst:  %+v\nsecond: %+v", a, b)
+	}
+}
+
+// TestClusterPartitionsSmoke is the short-lane multi-partition run: a
+// small sharded site that must admit everything and deliver cleanly.
+// Under `go test -race -short` this is what proves the worker pool,
+// cross-partition fabric sends and per-partition tallies are race-free.
+func TestClusterPartitionsSmoke(t *testing.T) {
+	cfg := clusterCfg()
+	cfg.Partitions = 2
+	cfg.Workstations = 8
+	cfg.StreamsPerWS = 2
+	cfg.Duration = 3 * sim.Second
+
+	res := Build(cfg).Run()
+	if res.Admitted == 0 {
+		t.Fatal("sharded site admitted nothing")
+	}
+	if res.FramesDelivered == 0 {
+		t.Fatal("sharded site delivered no frames")
+	}
+	if res.Underruns != 0 {
+		t.Fatalf("%d underruns among admitted streams", res.Underruns)
+	}
+}

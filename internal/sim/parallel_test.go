@@ -1,0 +1,182 @@
+package sim
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+// chainWorkload schedules an identical event chain on a Sim: n events,
+// each advancing by a fixed stride, every 5th also posting a second
+// event one stride out. It exercises At/After/Post exactly the same way
+// regardless of which kernel runs it.
+func chainWorkload(s *Sim, n int, log *[]Time) {
+	var step func(i int)
+	step = func(i int) {
+		*log = append(*log, s.Now())
+		if i >= n {
+			return
+		}
+		if i%5 == 0 {
+			s.Post(s.Now()+7, func() { *log = append(*log, s.Now()) })
+		}
+		s.After(13, func() { step(i + 1) })
+	}
+	s.After(1, func() { step(0) })
+}
+
+// TestClusterSinglePartitionMatchesSerial: a 1-partition cluster must
+// reproduce the serial kernel bit for bit — same fire times in the same
+// order, same clock, same event count.
+func TestClusterSinglePartitionMatchesSerial(t *testing.T) {
+	var serialLog, cluLog []Time
+
+	s := New()
+	chainWorkload(s, 500, &serialLog)
+	s.RunUntil(4000)
+
+	c := NewCluster(1, 50)
+	chainWorkload(c.Part(0), 500, &cluLog)
+	c.RunUntil(4000)
+
+	if !reflect.DeepEqual(serialLog, cluLog) {
+		t.Fatalf("fire logs differ: serial %d entries, cluster %d", len(serialLog), len(cluLog))
+	}
+	if s.Now() != c.Now() {
+		t.Fatalf("clocks differ: serial %v cluster %v", s.Now(), c.Now())
+	}
+	if s.Fired() != c.Fired() {
+		t.Fatalf("fired counts differ: serial %d cluster %d", s.Fired(), c.Fired())
+	}
+}
+
+// runOrderingWorkload drives a 4-partition cluster where every
+// partition's chain periodically crosses to its neighbour at now +
+// lookahead + jitter, and every execution is logged on the partition it
+// ran on. It returns the per-partition logs and the count of cross
+// messages that executed at the wrong destination time.
+func runOrderingWorkload(t *testing.T) ([4][]Time, int64) {
+	t.Helper()
+	const parts = 4
+	const lookahead = Duration(1000)
+	c := NewCluster(parts, lookahead)
+	var logs [4][]Time
+	var wrongTime atomic.Int64
+
+	for p := 0; p < parts; p++ {
+		s := c.Part(p)
+		dst := c.Part((p + 1) % parts)
+		var step func(i int)
+		step = func(i int) {
+			logs[s.Partition()] = append(logs[s.Partition()], s.Now())
+			if i >= 300 {
+				return
+			}
+			if i%4 == 0 {
+				at := s.Now() + lookahead + Duration(s.Rand().Intn(50))
+				s.Cross(dst, at, func() {
+					if dst.Now() != at {
+						wrongTime.Add(1)
+					}
+					logs[dst.Partition()] = append(logs[dst.Partition()], dst.Now())
+				})
+			}
+			s.After(1+Duration(s.Rand().Intn(40)), func() { step(i + 1) })
+		}
+		s.After(Duration(p+1), func() { step(0) })
+	}
+	c.RunUntil(100_000)
+	return logs, wrongTime.Load()
+}
+
+// TestClusterOrderingProperty: within a partition, execution times are
+// nondecreasing (strict (time, seq) order), and a cross-partition
+// message never executes before — or at any time other than — its
+// timestamp. Two identical runs must also produce identical logs: the
+// engine is deterministic regardless of worker scheduling.
+func TestClusterOrderingProperty(t *testing.T) {
+	logs, wrong := runOrderingWorkload(t)
+	if wrong != 0 {
+		t.Fatalf("%d cross messages executed at the wrong destination time", wrong)
+	}
+	total := 0
+	for p, log := range logs {
+		total += len(log)
+		for i := 1; i < len(log); i++ {
+			if log[i] < log[i-1] {
+				t.Fatalf("partition %d executed out of order: %v after %v (index %d)",
+					p, log[i], log[i-1], i)
+			}
+		}
+	}
+	if total < 4*300 {
+		t.Fatalf("only %d events logged — workload did not run", total)
+	}
+
+	again, _ := runOrderingWorkload(t)
+	if !reflect.DeepEqual(logs, again) {
+		t.Fatal("two identical runs produced different execution orders")
+	}
+}
+
+// TestClusterLookaheadViolationPanics: a cross message stamped inside
+// the current window is a broken-model bug the barrier must catch, not
+// silently reorder.
+func TestClusterLookaheadViolationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("lookahead violation did not panic")
+		}
+	}()
+	c := NewCluster(2, 1000)
+	src, dst := c.Part(0), c.Part(1)
+	src.At(100, func() {
+		src.Cross(dst, src.Now()+10, func() {}) // 10 << lookahead 1000
+	})
+	c.RunUntil(5000)
+}
+
+// TestClusterDeferRunsAtBarrier: work handed to Defer from partition
+// context runs in global context, where touching any partition is
+// legal — including scheduling directly on a foreign partition with no
+// lookahead margin.
+func TestClusterDeferRunsAtBarrier(t *testing.T) {
+	c := NewCluster(2, 1000)
+	src, dst := c.Part(0), c.Part(1)
+	var deferRan, crossRan bool
+	src.At(100, func() {
+		src.Defer(func() {
+			deferRan = true
+			dst.At(dst.Now()+1, func() { crossRan = true })
+		})
+	})
+	c.RunUntil(5000)
+	if !deferRan {
+		t.Fatal("deferred callback never ran")
+	}
+	if !crossRan {
+		t.Fatal("barrier-scheduled foreign-partition event never ran")
+	}
+}
+
+// TestClusterGlobalCallAfter: CallAfter callbacks interleave with
+// partition windows at the right virtual times and may schedule more
+// global work.
+func TestClusterGlobalCallAfter(t *testing.T) {
+	c := NewCluster(2, 100)
+	var at []Time
+	c.Part(0).At(50, func() {})
+	c.Part(1).At(250, func() {})
+	c.CallAfter(200, func() {
+		at = append(at, c.Now())
+		c.CallAfter(300, func() { at = append(at, c.Now()) })
+	})
+	c.RunUntil(1000)
+	want := []Time{200, 500}
+	if !reflect.DeepEqual(at, want) {
+		t.Fatalf("global callbacks ran at %v, want %v", at, want)
+	}
+	if c.Now() != 1000 {
+		t.Fatalf("clock = %v, want 1000", c.Now())
+	}
+}

@@ -79,6 +79,14 @@ func (s *Sample) Add(x float64) {
 // N returns the number of observations.
 func (s *Sample) N() int { return len(s.xs) }
 
+// Merge appends every observation of o. Quantiles sort, so merge order
+// never affects results — how per-partition samples combine into one
+// scoreboard.
+func (s *Sample) Merge(o *Sample) {
+	s.xs = append(s.xs, o.xs...)
+	s.sorted = false
+}
+
 // Quantile returns the q-th quantile (0 <= q <= 1) by linear interpolation
 // between closest ranks. It returns 0 for an empty sample.
 func (s *Sample) Quantile(q float64) float64 {

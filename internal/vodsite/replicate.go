@@ -189,19 +189,25 @@ func (j *copyJob) step() {
 		n = rest
 	}
 	j.src.SS.CM.ReadBestEffort(j.t.Name, off, int(n), func(data []byte, err error) {
-		if j.aborted {
-			return
-		}
-		if err != nil {
-			j.abort()
-			return
-		}
-		if err := j.dst.SS.Server.Write(j.t.Name, off, data); err != nil {
-			j.abort()
-			return
-		}
-		j.off = off + int64(len(data))
-		j.step()
+		// The read completes on the source node's partition, but the
+		// body writes the *target* node's array and the controller's
+		// bookkeeping: hand it to the barrier, where every partition's
+		// state may be touched. Serial sites run it inline.
+		j.src.SS.Net.Sim.Defer(func() {
+			if j.aborted {
+				return
+			}
+			if err != nil {
+				j.abort()
+				return
+			}
+			if err := j.dst.SS.Server.Write(j.t.Name, off, data); err != nil {
+				j.abort()
+				return
+			}
+			j.off = off + int64(len(data))
+			j.step()
+		})
 	})
 }
 
@@ -210,14 +216,19 @@ func (j *copyJob) step() {
 // and sync must not be serving the title from volatile buffers).
 func (j *copyJob) finish() {
 	j.dst.SS.Server.FS().Sync(func(err error) {
-		if j.aborted {
-			return
-		}
-		if err != nil {
-			j.abort()
-			return
-		}
-		j.done()
+		// Fires on the target node's partition; done() mutates the
+		// catalog and re-admits pending viewers site-wide, so it runs
+		// at the barrier (inline on serial sites).
+		j.dst.SS.Net.Sim.Defer(func() {
+			if j.aborted {
+				return
+			}
+			if err != nil {
+				j.abort()
+				return
+			}
+			j.done()
+		})
 	})
 }
 

@@ -127,7 +127,7 @@ func TestDeterminismAcrossRuns(t *testing.T) {
 		site.Sim.RunFor(pegasus.Second / 5)
 		cam.Stop()
 		site.Sim.Run()
-		return disp.Stats.Tiles, site.Switch.Stats.Switched
+		return disp.Stats.Tiles, site.Switch.Stats().Switched
 	}
 	t1, c1 := run()
 	t2, c2 := run()

@@ -3,9 +3,11 @@
 #
 #  1. Every exported top-level identifier (func, method, type, and
 #     single-declaration var/const) in the stream-plane packages
-#     (internal/core, internal/sched, internal/vodsite) must carry a
-#     doc comment. This is a grep-grade check, not go/doc: it looks at
-#     the line immediately above each exported declaration.
+#     (internal/core, internal/sched, internal/vodsite) and the
+#     concurrency-critical packages (internal/sim, internal/fabric,
+#     internal/loadgen) must carry a doc comment. This is a grep-grade
+#     check, not go/doc: it looks at the line immediately above each
+#     exported declaration.
 #  2. Every local markdown link in README.md, ARCHITECTURE.md and
 #     CHANGES.md must point at a file that exists.
 #
@@ -16,7 +18,8 @@ cd "$(dirname "$0")/.."
 fail=0
 
 # --- exported identifiers need doc comments --------------------------------
-for pkg in internal/core internal/sched internal/vodsite; do
+for pkg in internal/core internal/sched internal/vodsite \
+           internal/sim internal/fabric internal/loadgen; do
     for f in "$pkg"/*.go; do
         case "$f" in
         *_test.go) continue ;;
