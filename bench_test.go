@@ -466,8 +466,9 @@ func BenchmarkNameResolve(b *testing.B) {
 }
 
 // sessionBenchSite builds a one-server site with a CM-served title for
-// the session-path benchmarks.
-func sessionBenchSite(b *testing.B) (*core.Site, *core.StorageServer, []int) {
+// the session-path benchmarks; cacheBytes > 0 enables the RAM buffer
+// tier on the node.
+func sessionBenchSite(b *testing.B, cacheBytes int64) (*core.Site, *core.StorageServer, []int) {
 	const (
 		viewers             = 8
 		frameBytes, frameHz = 4800, 100
@@ -494,7 +495,7 @@ func sessionBenchSite(b *testing.B) (*core.Site, *core.StorageServer, []int) {
 		}
 	})
 	site.Sim.Run()
-	ss.EnableCM(fileserver.CMConfig{Round: round})
+	ss.EnableCM(fileserver.CMConfig{Round: round, CacheBytes: cacheBytes})
 	return site, ss, ports
 }
 
@@ -515,7 +516,7 @@ func sessionBenchSpec(ss *core.StorageServer, port int) core.SessionSpec {
 // path: one OpenSession (link + uplink + disk conjunction) and its
 // Close, on a one-server site.
 func BenchmarkSessionOpen(b *testing.B) {
-	site, ss, ports := sessionBenchSite(b)
+	site, ss, ports := sessionBenchSite(b, 0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s, err := site.OpenSession(sessionBenchSpec(ss, ports[i%len(ports)]))
@@ -538,7 +539,7 @@ func BenchmarkSessionOpen(b *testing.B) {
 // and reserving the stream's protocol domain) and its Close (killing
 // the domain), on a one-server site with CPU admission enabled.
 func BenchmarkSessionOpenWithCPU(b *testing.B) {
-	site, ss, ports := sessionBenchSite(b)
+	site, ss, ports := sessionBenchSite(b, 0)
 	ss.EnableCPU(core.CPUConfig{})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -597,7 +598,7 @@ func BenchmarkQoSRebalance(b *testing.B) {
 // shrink to half rate and one grow back per iteration, each adjusting
 // the link and disk budgets without teardown.
 func BenchmarkSessionRenegotiate(b *testing.B) {
-	site, ss, ports := sessionBenchSite(b)
+	site, ss, ports := sessionBenchSite(b, 0)
 	s, err := site.OpenSession(sessionBenchSpec(ss, ports[0]))
 	if err != nil {
 		b.Fatal(err)
@@ -664,5 +665,73 @@ func BenchmarkSiteAdmission(b *testing.B) {
 			site.Sim.RunFor(20 * sim.Second)
 			b.StartTimer()
 		}
+	}
+}
+
+// BenchmarkSiteProbe measures the no-hold admission probe: one
+// Site.Probe of the link ∧ uplink ∧ disk ∧ cache conjunction per
+// iteration on a one-server site with an open session committing every
+// leg — the query replica selection and retry policies issue per
+// candidate node.
+func BenchmarkSiteProbe(b *testing.B) {
+	site, ss, ports := sessionBenchSite(b, 16<<20)
+	if _, err := site.OpenSession(sessionBenchSpec(ss, ports[0])); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := site.Probe(sessionBenchSpec(ss, ports[i%len(ports)]))
+		if !r.OK {
+			b.Fatal("probe refused with budget to spare")
+		}
+	}
+}
+
+// BenchmarkIntervalCacheHit measures the RAM-tier streaming hot path:
+// one leader plus seven followers riding its wake, every follower
+// window served out of memory. One iteration consumes a round of
+// frames from every stream and advances the site one scheduler round
+// (the follower refills are pure cache hits).
+func BenchmarkIntervalCacheHit(b *testing.B) {
+	const (
+		round          = 500 * sim.Millisecond
+		framesPerRound = 50
+	)
+	site, ss, ports := sessionBenchSite(b, 64<<20)
+	lead, err := site.OpenSession(sessionBenchSpec(ss, ports[0]))
+	if err != nil {
+		b.Fatal(err)
+	}
+	handles := []*fileserver.CMStream{lead.CM()}
+	// Let the leader loop the two-round title once: the whole wake is
+	// then resident and every later open is cache-served.
+	site.Sim.RunFor(3 * round)
+	for _, p := range ports[1:] {
+		s, err := site.OpenSession(sessionBenchSpec(ss, p))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !s.CacheServed() {
+			b.Fatal("follower not cache-served")
+		}
+		handles = append(handles, s.CM())
+	}
+	site.Sim.RunFor(round) // followers cross a round boundary and start
+	hits0 := ss.CM.Stats.CacheHits
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, h := range handles {
+			for j := 0; j < framesPerRound; j++ {
+				h.NextFrame()
+			}
+		}
+		site.Sim.RunFor(round)
+	}
+	b.StopTimer()
+	if ss.CM.Stats.CacheHits == hits0 {
+		b.Fatal("no cache hits during the measured rounds")
+	}
+	if ss.CM.Stats.Underruns != 0 {
+		b.Fatalf("%d underruns during the measured rounds", ss.CM.Stats.Underruns)
 	}
 }

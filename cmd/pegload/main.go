@@ -22,7 +22,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
@@ -90,7 +89,19 @@ func main() {
 		failNodeAt = flag.Float64("fail-node-at", 0,
 			"seconds into the run to tear one node down (0 = never)")
 		failNode = flag.Int("fail-node", 0, "node to tear down with -fail-node-at")
-		check    = flag.Bool("check", false,
+		cacheMB  = flag.Int("cache-mb", 0,
+			"per-node RAM buffer tier in MiB (storage-backed modes; 0 = no cache): a "+
+				"request trailing another viewer of the same title is served from the "+
+				"leader's wake in memory, charging no disk round budget")
+		noCache = flag.Bool("no-cache", false,
+			"force the RAM tier off regardless of -cache-mb (the cache ablation)")
+		cacheAblation = flag.Bool("cache-ablation", false,
+			"run the identical scenario twice — RAM tier off, then on — and report the "+
+				"cached/ablation stream-count ratio as a scoreboard column")
+		minCacheRatio = flag.Float64("min-cache-ratio", 0,
+			"exit 1 unless the cached run held at least this multiple of the no-cache "+
+				"ablation's streams (requires -cache-ablation)")
+		check = flag.Bool("check", false,
 			"exit 1 unless streams were admitted, frames delivered, and no "+
 				"storage buffer underruns occurred")
 		minStorage = flag.Int("min-storage-streams", 0,
@@ -142,6 +153,7 @@ func main() {
 		ReplicationDisabled: *noRepl,
 		FailNodeAt:          sim.Duration(math.Round(*failNodeAt * float64(sim.Second))),
 		FailNode:            *failNode,
+		CacheMB:             *cacheMB,
 
 		Adaptive:       *adaptive,
 		GuaranteedOnly: *guaranteedOnly,
@@ -167,15 +179,40 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pegload: -partitions requires -cluster (only the unicast node-owned topology shards)")
 		os.Exit(2)
 	}
+	if *noCache {
+		cfg.CacheMB = 0
+	}
+	if *cacheAblation && cfg.CacheMB == 0 {
+		fmt.Fprintln(os.Stderr, "pegload: -cache-ablation needs a cache to ablate (set -cache-mb, drop -no-cache)")
+		os.Exit(2)
+	}
+	if *minCacheRatio > 0 && !*cacheAblation {
+		fmt.Fprintln(os.Stderr, "pegload: -min-cache-ratio requires -cache-ablation (nothing to compare against)")
+		os.Exit(2)
+	}
 
+	var ablation loadgen.Result
+	if *cacheAblation {
+		// The ablation twin runs first: the identical scenario with the
+		// RAM tier off, so the scoreboard can state what the cache bought.
+		acfg := cfg
+		acfg.CacheMB = 0
+		ablation = loadgen.Build(acfg).Run()
+	}
 	res := loadgen.Build(cfg).Run()
+	if *cacheAblation {
+		res.AblationStreams = ablation.StorageStreams
+		if ablation.StorageStreams > 0 {
+			res.CacheRatio = float64(res.StorageStreams) / float64(ablation.StorageStreams)
+		}
+	}
 	if *asJSON {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(res); err != nil {
+		out, err := res.JSON()
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "pegload:", err)
 			os.Exit(1)
 		}
+		fmt.Println(string(out))
 	} else {
 		fmt.Println(res)
 	}
@@ -234,6 +271,10 @@ func main() {
 	if *expectRestored && res.RestoreEvents == 0 {
 		fail("expected freed capacity to restore degraded sessions; %d degrade events, 0 restores",
 			res.DegradeEvents)
+	}
+	if *minCacheRatio > 0 && res.CacheRatio < *minCacheRatio {
+		fail("cached run held %d streams vs %d without the cache (%.2fx), want >= %.1fx",
+			res.StorageStreams, res.AblationStreams, res.CacheRatio, *minCacheRatio)
 	}
 	if *expectCPURefusals {
 		// The cpu-bound proof is strict ordering: the CPU said no while

@@ -233,6 +233,13 @@ func (s *Session) CM() *fileserver.CMStream { return s.cm }
 // sessions without a CPU leg and for closed sessions).
 func (s *Session) CPU() *StreamDomain { return s.cpu }
 
+// CacheServed reports whether the session's disk leg is currently
+// served from the node's RAM tier (interval cache) and so holds zero
+// disk round budget. It is live state, not an admission-time label: the
+// fileserver demotes the stream to disk admission transparently if its
+// wake evaporates, and this starts reporting false.
+func (s *Session) CacheServed() bool { return s.cm != nil && s.cm.CacheServed() }
+
 // Rate reports the currently admitted peak rate in bits/s (0 for
 // best-effort and closed sessions).
 func (s *Session) Rate() int64 {
@@ -337,12 +344,29 @@ func (st *Site) openAt(spec SessionSpec, f float64) (*Session, error) {
 	}
 	var cmh *fileserver.CMStream
 	if spec.CM != nil {
-		cmh, err = spec.CM.AdmitDegraded(spec.Title, spec.FrameBytes, spec.frameBytesAt(f), spec.FrameHz)
-		if err != nil {
-			// Rollback: the link (and uplink) reservation must not
-			// outlive the admission that failed.
-			_ = st.Signalling.TearDown(circ.ID)
-			return nil, err
+		// The RAM tier first: a full-quality stream trailing another
+		// viewer of the same title rides the leader's wake and skips
+		// the disk leg of the conjunction entirely (zero round budget).
+		// ErrNoWake falls through to ordinary disk admission; degraded
+		// tiers go straight to the disks (the wake is full-quality
+		// windows only).
+		sfb := spec.frameBytesAt(f)
+		cmh = nil
+		if sfb == spec.FrameBytes {
+			cmh, err = spec.CM.AdmitCached(spec.Title, spec.FrameBytes, spec.FrameHz)
+			if err != nil && !errors.Is(err, fileserver.ErrNoWake) {
+				_ = st.Signalling.TearDown(circ.ID)
+				return nil, err
+			}
+		}
+		if cmh == nil {
+			cmh, err = spec.CM.AdmitDegraded(spec.Title, spec.FrameBytes, sfb, spec.FrameHz)
+			if err != nil {
+				// Rollback: the link (and uplink) reservation must not
+				// outlive the admission that failed.
+				_ = st.Signalling.TearDown(circ.ID)
+				return nil, err
+			}
 		}
 	}
 	var sd *StreamDomain

@@ -33,6 +33,13 @@ func sTitleBytes() int64 {
 // admission on so all three budgets (downlink, uplink, disk) are live.
 func sessionSite(t testing.TB, viewers, titles int) (*core.Site, *core.StorageServer, []*core.Endpoint) {
 	t.Helper()
+	return cacheSessionSite(t, viewers, titles, 0)
+}
+
+// cacheSessionSite is sessionSite with an interval-caching RAM tier of
+// cacheBytes on the node (0 disables — plain sessionSite).
+func cacheSessionSite(t testing.TB, viewers, titles int, cacheBytes int64) (*core.Site, *core.StorageServer, []*core.Endpoint) {
+	t.Helper()
 	cfg := core.DefaultSiteConfig()
 	cfg.Ports = viewers + 1
 	site := core.NewSite(cfg)
@@ -61,7 +68,7 @@ func sessionSite(t testing.TB, viewers, titles int) (*core.Site, *core.StorageSe
 		}
 	})
 	site.Sim.Run()
-	ss.EnableCM(fileserver.CMConfig{Round: sRound})
+	ss.EnableCM(fileserver.CMConfig{Round: sRound, CacheBytes: cacheBytes})
 	return site, ss, eps
 }
 

@@ -56,6 +56,12 @@ type CMConfig struct {
 	// above 1 deliberately over-commit the disks — the ablation that
 	// shows why admission control exists.
 	Utilization float64
+	// CacheBytes sizes the node's RAM buffer tier for interval caching
+	// (0 disables it). See cache.go: full-quality windows fetched from
+	// the array are retained as a wake, and a stream trailing another
+	// viewer of the same title can be admitted against this memory
+	// instead of the disk round budget.
+	CacheBytes int64
 }
 
 func (c *CMConfig) setDefaults() {
@@ -84,6 +90,14 @@ type CMStats struct {
 
 	Reshaped       int64 // in-place rate renegotiations that took effect
 	ReshapeRefused int64 // grow renegotiations the budget could not carry
+
+	// RAM tier (interval caching, cache.go).
+	CacheAdmitted    int64 // streams admitted cache-served (zero disk budget)
+	CacheHits        int64 // round windows served from the wake store
+	CacheMisses      int64 // cache-served fetches that found no wake
+	CacheBytesServed int64 // bytes served from the wake store
+	CacheDemotions   int64 // cache-served streams re-admitted against the disks
+	CacheStalls      int64 // cache misses the disk budget could not absorb
 }
 
 // beReq is one queued best-effort read.
@@ -118,6 +132,8 @@ type CMService struct {
 
 	bestEffort []beReq
 
+	cache *intervalCache // RAM buffer tier; nil when CacheBytes == 0
+
 	Stats CMStats
 }
 
@@ -136,6 +152,9 @@ func NewCMService(sv *Server, cfg CMConfig) *CMService {
 		segSize:   int64(arr.SegmentSize()),
 		dataDisks: raid.DataDisks,
 		budget:    sim.Duration(float64(cfg.Round) * cfg.Utilization),
+	}
+	if cfg.CacheBytes > 0 {
+		svc.cache = newIntervalCache(svc, cfg.CacheBytes)
 	}
 	svc.ticker = sv.sim.Tick(sv.sim.Now()+cfg.Round, cfg.Round, svc.round)
 	return svc
@@ -235,6 +254,11 @@ type CMStream struct {
 	onReady  func()
 	released bool
 
+	// cacheServed marks a stream admitted against the RAM tier: it
+	// holds zero disk round budget and reads every window from another
+	// viewer's wake, demoting to disk admission if the wake evaporates.
+	cacheServed bool
+
 	Underruns int64
 }
 
@@ -293,6 +317,9 @@ func (svc *CMService) AdmitDegraded(path string, fullFrameBytes, serveFrameBytes
 		size:           st.size,
 	}
 	svc.streams = append(svc.streams, cm)
+	if svc.cache != nil {
+		svc.cache.admitFeeder(cm)
+	}
 	// Prime the first window immediately; it is one-off startup work,
 	// not part of any round's guaranteed batch.
 	svc.fetch(cm, 0, false)
@@ -321,16 +348,39 @@ func (svc *CMService) Reshape(cm *CMStream, frameBytes, frameHz int) error {
 		return fmt.Errorf("%s: %w", cm.path, err)
 	}
 	cost := svc.CostPerRound(roundBytes)
-	if d := cost - cm.cost; d > 0 && svc.committed+d > svc.budget {
-		svc.Stats.ReshapeRefused++
-		return fmt.Errorf("%w: %s reshape needs %v/round more, %v of %v committed",
-			ErrOverCommit, cm.path, d, svc.committed, svc.budget)
+	wasCacheServed := cm.cacheServed
+	if wasCacheServed {
+		// The RAM tier serves full quality only: any reshape of a
+		// cache-served stream first demotes it to disk admission at the
+		// requested tier. It holds no reservation to diff against, so
+		// the whole cost must fit.
+		if svc.committed+cost > svc.budget {
+			svc.Stats.ReshapeRefused++
+			return fmt.Errorf("%w: %s reshape off the RAM tier needs %v/round, %v of %v committed",
+				ErrOverCommit, cm.path, cost, svc.committed, svc.budget)
+		}
+		svc.committed += cost
+		cm.cacheServed = false
+		svc.Stats.CacheDemotions++
+	} else {
+		if d := cost - cm.cost; d > 0 && svc.committed+d > svc.budget {
+			svc.Stats.ReshapeRefused++
+			return fmt.Errorf("%w: %s reshape needs %v/round more, %v of %v committed",
+				ErrOverCommit, cm.path, d, svc.committed, svc.budget)
+		}
+		svc.committed += cost - cm.cost
 	}
-	svc.committed += cost - cm.cost
 	cm.frameBytes = frameBytes
 	cm.roundBytes = roundBytes
 	cm.cost = cost
 	svc.Stats.Reshaped++
+	if svc.cache != nil {
+		if wasCacheServed {
+			svc.cache.demoted(cm)
+		} else {
+			svc.cache.reshaped(cm)
+		}
+	}
 	return nil
 }
 
@@ -345,10 +395,41 @@ func (svc *CMService) Reshape(cm *CMStream, frameBytes, frameHz int) error {
 // by the utilization margin, like segment-boundary seeks.
 func (svc *CMService) fetch(cm *CMStream, b int, counted bool) {
 	buf := &cm.bufs[b]
-	buf.fetching = true
-	buf.frameBytes = cm.frameBytes
 	off := cm.fetchOff
 	n := cm.roundBytes
+	if svc.cache != nil && cm.frameBytes == cm.fullFrameBytes {
+		if data, ok := svc.cache.window(cm.path, off, n); ok {
+			// RAM tier hit: the window comes from another viewer's wake
+			// with no disk I/O at all — for a cache-served follower that
+			// is its whole service; a disk-backed stream just skips one
+			// read (its budget stays charged: admission promised the
+			// heads, the cache merely idles them). Copied because
+			// playout stamps frame headers into its buffer in place and
+			// the wake is shared.
+			cm.fetchOff = (off + n) % cm.size
+			buf.frameBytes = cm.frameBytes
+			buf.data = append([]byte(nil), data...)
+			buf.ready = true
+			buf.fetching = false
+			svc.Stats.CacheHits++
+			svc.Stats.CacheBytesServed += n
+			svc.Stats.BytesStreamed += n
+			return
+		}
+		if cm.cacheServed {
+			// The wake evaporated under this follower (leader closed,
+			// interval stretched past the window, pressure evicted it):
+			// take the demotion path to disk admission on the spot, or
+			// stall this round and retry at the next.
+			svc.Stats.CacheMisses++
+			if !svc.demoteToDisk(cm) {
+				svc.Stats.CacheStalls++
+				return
+			}
+		}
+	}
+	buf.fetching = true
+	buf.frameBytes = cm.frameBytes
 	cm.fetchOff = (off + n) % cm.size
 	if counted {
 		svc.outstanding++
@@ -356,7 +437,7 @@ func (svc *CMService) fetch(cm *CMStream, b int, counted bool) {
 	}
 	if off+n <= cm.size {
 		svc.sv.Read(cm.path, off, int(n), func(data []byte, err error) {
-			svc.fetched(cm, buf, counted, data, err)
+			svc.fetched(cm, buf, off, counted, data, err)
 		})
 		return
 	}
@@ -374,10 +455,10 @@ func (svc *CMService) fetch(cm *CMStream, b int, counted bool) {
 				return
 			}
 			if failed {
-				svc.fetched(cm, buf, counted, nil, errors.New("fileserver: wrapped window read failed"))
+				svc.fetched(cm, buf, off, counted, nil, errors.New("fileserver: wrapped window read failed"))
 				return
 			}
-			svc.fetched(cm, buf, counted, combined, nil)
+			svc.fetched(cm, buf, off, counted, combined, nil)
 		}
 	}
 	svc.sv.Read(cm.path, off, int(tail), part(combined[:tail]))
@@ -385,8 +466,9 @@ func (svc *CMService) fetch(cm *CMStream, b int, counted bool) {
 }
 
 // fetched completes one window fetch (possibly assembled from a wrapped
-// pair of reads).
-func (svc *CMService) fetched(cm *CMStream, buf *cmBuf, counted bool, data []byte, err error) {
+// pair of reads). off is the title offset the window was fetched from —
+// the wake store files full-tier windows under it.
+func (svc *CMService) fetched(cm *CMStream, buf *cmBuf, off int64, counted bool, data []byte, err error) {
 	if counted {
 		svc.outstanding--
 	}
@@ -401,6 +483,9 @@ func (svc *CMService) fetched(cm *CMStream, buf *cmBuf, counted bool, data []byt
 	buf.data = data
 	buf.ready = true
 	svc.Stats.BytesStreamed += int64(len(data))
+	if svc.cache != nil {
+		svc.cache.insert(cm, off, data)
+	}
 }
 
 // round is the scheduler tick: detect overrun of the previous round,
@@ -546,6 +631,11 @@ func (cm *CMStream) Release() {
 			cm.svc.streams = append(cm.svc.streams[:i], cm.svc.streams[i+1:]...)
 			break
 		}
+	}
+	// Cache bookkeeping last: a released leader's followers demote
+	// against the budget the teardown just returned.
+	if cm.svc.cache != nil {
+		cm.svc.cache.release(cm)
 	}
 }
 

@@ -1,6 +1,6 @@
 package lfs
 
-import "container/list"
+import "repro/internal/mcache"
 
 // blockCache is a block-granular LRU over *file* space: keys are
 // (pnode, block index within the file), not disk addresses. Keying by
@@ -13,35 +13,37 @@ import "container/list"
 // usually not a good idea ... by the time a user has seen a video to
 // the end, the beginning has already been evicted" (§5). Continuous
 // files bypass it unless Config.CacheContinuous (the E15 ablation).
+// Video that *should* live in RAM — a follower riding a leader's wake
+// — goes through the fileserver interval cache instead.
+//
+// The recency/eviction machinery is mcache.LRU (shared with the
+// interval cache); this wrapper adds the per-file index invalidation
+// needs.
 type blockCache struct {
-	capacity int
-	files    map[Pnode]map[int64]*list.Element // pn -> block index -> lru element
-	count    int
-	lru      *list.List // front = most recent
+	lru *mcache.LRU[blockKey, []byte]
+	// files indexes resident blocks by pnode so invalidateFile need not
+	// scan the whole cache; kept in lockstep via the LRU's evict hook.
+	files map[Pnode]map[int64]struct{}
 }
 
-type cacheBlock struct {
-	pn   Pnode
-	blk  int64
-	data []byte // BlockSize bytes
+type blockKey struct {
+	pn  Pnode
+	blk int64
 }
 
 func newBlockCache(capacity int) *blockCache {
-	return &blockCache{
-		capacity: capacity,
-		files:    make(map[Pnode]map[int64]*list.Element),
-		lru:      list.New(),
+	c := &blockCache{
+		lru:   mcache.New[blockKey, []byte](int64(capacity)),
+		files: make(map[Pnode]map[int64]struct{}),
 	}
-}
-
-// lookup returns the element for (pn, blk), if cached.
-func (c *blockCache) lookup(pn Pnode, blk int64) (*list.Element, bool) {
-	f, ok := c.files[pn]
-	if !ok {
-		return nil, false
-	}
-	el, ok := f[blk]
-	return el, ok
+	c.lru.SetOnEvict(func(k blockKey, _ []byte) {
+		f := c.files[k.pn]
+		delete(f, k.blk)
+		if len(f) == 0 {
+			delete(c.files, k.pn)
+		}
+	})
+	return c
 }
 
 // read copies [off, off+len(dst)) of file pn into dst if every covering
@@ -53,17 +55,15 @@ func (c *blockCache) read(pn Pnode, off int64, dst []byte) bool {
 	end := off + int64(len(dst))
 	// First pass: verify residency without touching LRU order.
 	for b := off / BlockSize; b*BlockSize < end; b++ {
-		if _, ok := c.lookup(pn, b); !ok {
+		if !c.lru.Contains(blockKey{pn, b}) {
 			return false
 		}
 	}
 	for b := off / BlockSize; b*BlockSize < end; b++ {
-		el, _ := c.lookup(pn, b)
-		c.lru.MoveToFront(el)
-		cb := el.Value.(*cacheBlock)
+		data, _ := c.lru.Get(blockKey{pn, b})
 		lo := max64(b*BlockSize, off)
 		hi := min64((b+1)*BlockSize, end)
-		copy(dst[lo-off:hi-off], cb.data[lo-b*BlockSize:hi-b*BlockSize])
+		copy(dst[lo-off:hi-off], data[lo-b*BlockSize:hi-b*BlockSize])
 	}
 	return true
 }
@@ -73,58 +73,29 @@ func (c *blockCache) fill(pn Pnode, off int64, data []byte) {
 	end := off + int64(len(data))
 	for b := (off + BlockSize - 1) / BlockSize; (b+1)*BlockSize <= end; b++ {
 		src := data[b*BlockSize-off : (b+1)*BlockSize-off]
-		if el, ok := c.lookup(pn, b); ok {
-			copy(el.Value.(*cacheBlock).data, src)
-			c.lru.MoveToFront(el)
+		k := blockKey{pn, b}
+		if cached, ok := c.lru.Peek(k); ok {
+			copy(cached, src)
+			c.lru.Get(k) // promote
 			continue
 		}
-		cb := &cacheBlock{pn: pn, blk: b, data: append([]byte(nil), src...)}
 		f := c.files[pn]
 		if f == nil {
-			f = make(map[int64]*list.Element)
+			f = make(map[int64]struct{})
 			c.files[pn] = f
 		}
-		f[b] = c.lru.PushFront(cb)
-		c.count++
-		if c.count > c.capacity {
-			c.evict()
-		}
+		f[b] = struct{}{}
+		c.lru.Put(k, append([]byte(nil), src...), 1)
 	}
-}
-
-// evict drops the least recently used block.
-func (c *blockCache) evict() {
-	old := c.lru.Back()
-	if old == nil {
-		return
-	}
-	c.remove(old.Value.(*cacheBlock))
-}
-
-func (c *blockCache) remove(cb *cacheBlock) {
-	f := c.files[cb.pn]
-	el, ok := f[cb.blk]
-	if !ok {
-		return
-	}
-	c.lru.Remove(el)
-	delete(f, cb.blk)
-	if len(f) == 0 {
-		delete(c.files, cb.pn)
-	}
-	c.count--
 }
 
 // invalidate drops blocks of pn overlapping [off, off+n).
 func (c *blockCache) invalidate(pn Pnode, off, n int64) {
-	f, ok := c.files[pn]
-	if !ok {
+	if _, ok := c.files[pn]; !ok {
 		return
 	}
 	for b := off / BlockSize; b*BlockSize < off+n; b++ {
-		if el, ok := f[b]; ok {
-			c.remove(el.Value.(*cacheBlock))
-		}
+		c.lru.Delete(blockKey{pn, b})
 	}
 }
 
@@ -134,12 +105,14 @@ func (c *blockCache) invalidateFile(pn Pnode) {
 	if !ok {
 		return
 	}
-	for _, el := range f {
-		c.lru.Remove(el)
-		c.count--
+	blks := make([]int64, 0, len(f))
+	for b := range f {
+		blks = append(blks, b)
 	}
-	delete(c.files, pn)
+	for _, b := range blks {
+		c.lru.Delete(blockKey{pn, b})
+	}
 }
 
 // len reports resident blocks (tests).
-func (c *blockCache) len() int { return c.count }
+func (c *blockCache) len() int { return c.lru.Len() }

@@ -98,7 +98,10 @@ func (sc *Scenario) buildCluster() {
 		panic(fmt.Sprintf("loadgen: cluster placement: %v", err))
 	}
 	sc.site.Clock.Run() // drain placement I/O; CM starts after
-	sc.ctrl.Start(fileserver.CMConfig{Round: cfg.Round})
+	sc.ctrl.Start(fileserver.CMConfig{
+		Round:      cfg.Round,
+		CacheBytes: int64(cfg.CacheMB) << 20,
+	})
 
 	// A new replica is fresh capacity: retry every pending request.
 	sc.ctrl.OnReplica = func(*vodsite.Title, *vodsite.Node) { sc.retryPending() }
@@ -192,6 +195,26 @@ func (sc *Scenario) retryPending() {
 		}
 	}
 	sc.pending = keep
+}
+
+// retryCacheTick re-attempts pending requests once the RAM tier could
+// be serving them: a request refused at build time (no disk room)
+// becomes admittable the moment a leader's wake for its title is
+// resident on some replica. The probe report pre-filters the retries —
+// only requests some replica would admit right now reach the
+// controller — so a tick over a still-cold cache doesn't spin the
+// refusal counters every round. Runs in global (barrier) context, like
+// every other control-plane verb.
+func (sc *Scenario) retryCacheTick() {
+	keep := sc.pending[:0]
+	for _, req := range sc.pending {
+		if sc.ctrl.Probe(req.title, req.viewer.Port).OK && sc.admitReq(req) {
+			continue
+		}
+		keep = append(keep, req)
+	}
+	sc.pending = keep
+	sc.site.Clock.CallAfter(sc.cfg.Round, sc.retryCacheTick)
 }
 
 // rewireReq moves a failover-recovered request onto its new replica:

@@ -21,6 +21,7 @@ package loadgen
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"time"
@@ -193,6 +194,15 @@ type Config struct {
 	// stream counts from tens to tens of thousands — the knob 100k-
 	// session cluster runs turn.
 	FastDisks bool
+
+	// CacheMB sizes each serving node's RAM buffer tier in MiB
+	// (storage-backed modes; 0 disables). With a cache, a request
+	// trailing another viewer of the same title is admitted against the
+	// leader's wake in memory — charging no disk round budget — so a
+	// Zipf-hot catalog serves far more streams than the disk arms alone
+	// admit. In cluster mode, requests the disks refuse at build time
+	// are retried each round once a leader's wake becomes resident.
+	CacheMB int
 }
 
 // class is the QoS class sessions are opened with.
@@ -308,62 +318,88 @@ func (c *Config) setDefaults() {
 	}
 }
 
-// Result is the scoreboard of one run.
+// Result is the scoreboard of one run. The json tags are a stable,
+// named serialization contract: `pegload -json` emits exactly these
+// columns via Result.JSON, and CI assertions read the same struct —
+// renaming a Go field must not silently rename a scoreboard column.
 type Result struct {
-	Config Config
+	Config Config `json:"config"`
 
-	Admitted int // stream legs admitted by signalling
-	Rejected int // stream legs refused by admission control
-	TornDown int // teardowns performed (churn)
+	Admitted int `json:"admitted"`  // stream legs admitted by signalling
+	Rejected int `json:"rejected"`  // stream legs refused by admission control
+	TornDown int `json:"torn_down"` // teardowns performed (churn)
 
-	FramesSent      int64
-	FramesDelivered int64
-	CellsDelivered  int64
-	EventsFired     int64
+	FramesSent      int64 `json:"frames_sent"`
+	FramesDelivered int64 `json:"frames_delivered"`
+	CellsDelivered  int64 `json:"cells_delivered"`
+	EventsFired     int64 `json:"events_fired"`
 
-	SimSeconds  float64
-	WallSeconds float64
+	SimSeconds  float64 `json:"sim_seconds"`
+	WallSeconds float64 `json:"wall_seconds"`
 
 	// Wall-clock simulator throughput: the scaling numbers.
-	EventsPerSec float64
-	CellsPerSec  float64
+	EventsPerSec float64 `json:"events_per_sec"`
+	CellsPerSec  float64 `json:"cells_per_sec"`
 
 	// Frame delivery latency (emission to last-cell arrival) and
 	// completion jitter (|inter-arrival − frame period|), nanoseconds of
 	// virtual time.
-	LatencyP50, LatencyP99, LatencyMax float64
-	JitterP50, JitterP99               float64
+	LatencyP50 float64 `json:"latency_p50_ns"`
+	LatencyP99 float64 `json:"latency_p99_ns"`
+	LatencyMax float64 `json:"latency_max_ns"`
+	JitterP50  float64 `json:"jitter_p50_ns"`
+	JitterP99  float64 `json:"jitter_p99_ns"`
 
 	// Storage-backed serving (FromStorage and Cluster runs).
-	StorageStreams int // disk-backed title streams admitted and up
+	StorageStreams int `json:"storage_streams"` // disk-backed title streams admitted and up
 	// StorageRefused counts disk-bandwidth refusals: titles refused
 	// (FromStorage), or per-replica refusal attempts during selection
 	// (Cluster — one site refusal probes several replicas).
-	StorageRefused int
-	RoundOverruns  int64 // scheduler rounds whose reads outlived the round
-	Underruns      int64 // playout ticks that found no buffered data
-	StorageBytes   int64 // bytes streamed out of server read-ahead buffers
-	DiskBytesRead  int64 // bytes the server disk heads actually read
+	StorageRefused int   `json:"storage_refused"`
+	RoundOverruns  int64 `json:"round_overruns"`  // scheduler rounds whose reads outlived the round
+	Underruns      int64 `json:"underruns"`       // playout ticks that found no buffered data
+	StorageBytes   int64 `json:"storage_bytes"`   // bytes streamed out of server read-ahead buffers
+	DiskBytesRead  int64 `json:"disk_bytes_read"` // bytes the server disk heads actually read
+
+	// RAM-tier scoreboard (CacheMB > 0 runs): streams riding another
+	// viewer's wake instead of the disk arms, and the hit/demotion
+	// traffic behind them.
+	CacheServedStreams int   `json:"cache_served_streams"` // open streams currently served from a wake
+	CacheHits          int64 `json:"cache_hits"`           // windows served out of the RAM tier
+	CacheMisses        int64 `json:"cache_misses"`         // cache-served fetches that found no window
+	CacheDemotions     int64 `json:"cache_demotions"`      // streams pushed back onto the disk budget
+	CacheBytesServed   int64 `json:"cache_bytes_served"`   // bytes streamed without touching a disk
+
+	// Ablation column (pegload -cache-ablation): the no-cache twin
+	// run's stream count and the cached/ablation admission ratio.
+	AblationStreams int     `json:"ablation_streams,omitempty"`
+	CacheRatio      float64 `json:"cache_ratio,omitempty"`
 
 	// Multi-server site scoreboard (Cluster runs only).
-	NodeAdmissions    []int64 // cumulative admissions per node (incl. failover)
-	SiteRefused       int     // requests no replica could carry, still pending at end
-	ReplicasTriggered int64   // reactive replications scheduled
-	ReplicasCompleted int64   // replicas that joined the catalog
-	FailoverRecovered int64   // streams re-admitted on surviving replicas
-	FailoverDropped   int64   // streams lost with their node
+	NodeAdmissions    []int64 `json:"node_admissions"`    // cumulative admissions per node (incl. failover)
+	SiteRefused       int     `json:"site_refused"`       // requests no replica could carry, still pending at end
+	ReplicasTriggered int64   `json:"replicas_triggered"` // reactive replications scheduled
+	ReplicasCompleted int64   `json:"replicas_completed"` // replicas that joined the catalog
+	FailoverRecovered int64   `json:"failover_recovered"` // streams re-admitted on surviving replicas
+	FailoverDropped   int64   `json:"failover_dropped"`   // streams lost with their node
 
 	// QoS-session scoreboard (Adaptive and CPUBound runs).
-	SessionsUp       int   // sessions open at end of run
-	SessionsDegraded int   // open sessions currently below full quality
-	DegradeEvents    int64 // times a session dropped a tier
-	RestoreEvents    int64 // times a degraded session climbed back up
+	SessionsUp       int   `json:"sessions_up"`       // sessions open at end of run
+	SessionsDegraded int   `json:"sessions_degraded"` // open sessions currently below full quality
+	DegradeEvents    int64 `json:"degrade_events"`    // times a session dropped a tier
+	RestoreEvents    int64 `json:"restore_events"`    // times a degraded session climbed back up
 
 	// CPU scoreboard (CPUBound runs only).
-	CPURefused     int     // session opens refused by the CPU leg
-	DeadlineMisses int64   // EDF deadline overruns across all stream domains
-	CPUReserved    float64 // worst node's reserved fraction of its CPU cap
-	DiskCommitted  float64 // worst node's committed fraction of its disk budget
+	CPURefused     int     `json:"cpu_refused"`     // session opens refused by the CPU leg
+	DeadlineMisses int64   `json:"deadline_misses"` // EDF deadline overruns across all stream domains
+	CPUReserved    float64 `json:"cpu_reserved"`    // worst node's reserved fraction of its CPU cap
+	DiskCommitted  float64 `json:"disk_committed"`  // worst node's committed fraction of its disk budget
+}
+
+// JSON renders the scoreboard in its stable serialized form — the
+// bytes `pegload -json` prints and scripted assertions parse.
+func (r Result) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
 }
 
 // String renders the scoreboard.
@@ -386,6 +422,16 @@ func (r Result) String() string {
 				" streamed=%.1fMB disk-read=%.1fMB",
 			r.StorageStreams, r.StorageRefused, r.Underruns, r.RoundOverruns,
 			float64(r.StorageBytes)/1e6, float64(r.DiskBytesRead)/1e6)
+	}
+	if r.Config.CacheMB > 0 {
+		s += fmt.Sprintf(
+			"\n  cache: served-streams=%d hits=%d misses=%d demotions=%d served=%.1fMB",
+			r.CacheServedStreams, r.CacheHits, r.CacheMisses, r.CacheDemotions,
+			float64(r.CacheBytesServed)/1e6)
+	}
+	if r.AblationStreams > 0 {
+		s += fmt.Sprintf("\n  ablation: no-cache streams=%d cached streams=%d ratio=%.2fx",
+			r.AblationStreams, r.StorageStreams, r.CacheRatio)
 	}
 	if r.Config.Cluster {
 		s += fmt.Sprintf(
@@ -884,7 +930,10 @@ func (sc *Scenario) preloadTitles(titles int, titleBytes int64) {
 	// event queue empties. The CM schedulers start only after this.
 	sc.site.Clock.Run()
 	for _, ss := range sc.Servers {
-		ss.EnableCM(fileserver.CMConfig{Round: sc.cfg.Round})
+		ss.EnableCM(fileserver.CMConfig{
+			Round:      sc.cfg.Round,
+			CacheBytes: int64(sc.cfg.CacheMB) << 20,
+		})
 	}
 }
 
@@ -925,6 +974,14 @@ func (sc *Scenario) Run() Result {
 	// partitions' state: they run in global (barrier) context.
 	if sc.cfg.Adaptive && sc.cfg.ReleaseAt > 0 && sc.cfg.ReleaseEvery > 0 {
 		sc.site.Clock.CallAfter(sc.cfg.ReleaseAt, sc.releaseSome)
+	}
+	if sc.cfg.Cluster && sc.cfg.CacheMB > 0 {
+		// The build-time admission wave ran before any scheduler round
+		// had fed the RAM tier, so no request could ride a wake. Once
+		// leaders are streaming, refused requests become cache-servable:
+		// retry them every round, offset half a round past the boundary
+		// so the leaders' windows land first.
+		sc.site.Clock.CallAfter(sc.cfg.Round+sc.cfg.Round/2, sc.retryCacheTick)
 	}
 	if sc.cfg.Cluster && sc.cfg.FailNodeAt > 0 {
 		idx := sc.cfg.FailNode % len(sc.ctrl.Nodes())
@@ -986,6 +1043,17 @@ func (sc *Scenario) collect(wall time.Duration) Result {
 				r.StorageStreams++
 			}
 		}
+		for _, st := range sc.streams {
+			if st.sess != nil && st.sess.CacheServed() {
+				r.CacheServedStreams++
+			}
+		}
+		for _, req := range sc.requests {
+			if req.st != nil && !req.st.Released() &&
+				req.st.Session() != nil && req.st.Session().CacheServed() {
+				r.CacheServedStreams++
+			}
+		}
 		for _, ss := range sc.Servers {
 			if ss.CM != nil {
 				if sc.cfg.Cluster {
@@ -994,6 +1062,10 @@ func (sc *Scenario) collect(wall time.Duration) Result {
 				r.RoundOverruns += ss.CM.Stats.RoundOverruns
 				r.Underruns += ss.CM.Stats.Underruns
 				r.StorageBytes += ss.CM.Stats.BytesStreamed
+				r.CacheHits += ss.CM.Stats.CacheHits
+				r.CacheMisses += ss.CM.Stats.CacheMisses
+				r.CacheDemotions += ss.CM.Stats.CacheDemotions
+				r.CacheBytesServed += ss.CM.Stats.CacheBytesServed
 			}
 			arr := ss.Server.FS().Array()
 			for i := 0; i < raid.TotalDisks; i++ {
@@ -1028,12 +1100,18 @@ func (sc *Scenario) collect(wall time.Duration) Result {
 		for _, ss := range sc.Servers {
 			if cpu := ss.CPU; cpu != nil {
 				r.DeadlineMisses += cpu.Stats.DeadlineMisses
-				if f := cpu.CommittedFrac(); f > r.CPUReserved {
+			}
+			// Worst-node load comes off the probe surface — the same
+			// per-leg headrooms replica selection ranks by — rather than
+			// per-package capacity getters.
+			rep := sc.site.Probe(core.SessionSpec{CM: ss.CM, CPU: ss.CPU})
+			if lr := rep.Leg(core.LegCPU); lr.Present {
+				if f := 1 - lr.Headroom; f > r.CPUReserved {
 					r.CPUReserved = f
 				}
 			}
-			if cm := ss.CM; cm != nil && cm.Capacity() > 0 {
-				if f := float64(cm.Committed()) / float64(cm.Capacity()); f > r.DiskCommitted {
+			if lr := rep.Leg(core.LegDisk); lr.Present {
+				if f := 1 - lr.Headroom; f > r.DiskCommitted {
 					r.DiskCommitted = f
 				}
 			}

@@ -1,0 +1,92 @@
+package mcache
+
+import "testing"
+
+func TestLRUBasics(t *testing.T) {
+	c := New[int, string](3)
+	c.Put(1, "a", 1)
+	c.Put(2, "b", 1)
+	c.Put(3, "c", 1)
+	if got := c.Len(); got != 3 {
+		t.Fatalf("Len = %d, want 3", got)
+	}
+	// Touch 1 so 2 is coldest, then overflow.
+	if v, ok := c.Get(1); !ok || v != "a" {
+		t.Fatalf("Get(1) = %q,%v", v, ok)
+	}
+	c.Put(4, "d", 1)
+	if c.Contains(2) {
+		t.Fatal("coldest entry 2 should have been evicted")
+	}
+	for _, k := range []int{1, 3, 4} {
+		if !c.Contains(k) {
+			t.Fatalf("entry %d missing", k)
+		}
+	}
+}
+
+func TestLRUCostAccounting(t *testing.T) {
+	c := New[string, int](100)
+	c.Put("big", 1, 60)
+	c.Put("small", 2, 30)
+	if c.Used() != 90 {
+		t.Fatalf("Used = %d, want 90", c.Used())
+	}
+	// Replacing an entry adjusts cost in place.
+	c.Put("big", 3, 10)
+	if c.Used() != 40 {
+		t.Fatalf("Used after replace = %d, want 40", c.Used())
+	}
+	// Oversized insert evicts everything else.
+	c.Put("huge", 4, 95)
+	if c.Used() > 100 {
+		t.Fatalf("Used = %d exceeds capacity", c.Used())
+	}
+	if !c.Contains("huge") {
+		t.Fatal("newest entry must survive its own insert")
+	}
+}
+
+func TestLRUProtection(t *testing.T) {
+	pinned := map[int]bool{1: true, 2: true}
+	c := New[int, int](2)
+	c.SetProtect(func(k int) bool { return pinned[k] })
+	c.Put(1, 0, 1)
+	c.Put(2, 0, 1)
+	// Everything resident is protected: the cache tolerates overflow
+	// rather than evicting a pinned entry.
+	c.Put(3, 0, 1)
+	if !c.Contains(1) || !c.Contains(2) {
+		t.Fatal("protected entries were evicted")
+	}
+	// Unpin 1: the next pressure evicts it and only it.
+	delete(pinned, 1)
+	c.Put(4, 0, 1)
+	if c.Contains(1) {
+		t.Fatal("unprotected entry 1 should have been evicted first")
+	}
+	if !c.Contains(2) {
+		t.Fatal("still-protected entry 2 must survive")
+	}
+}
+
+func TestLRUOnEvict(t *testing.T) {
+	var dropped []int
+	c := New[int, int](2)
+	c.SetOnEvict(func(k, _ int) { dropped = append(dropped, k) })
+	c.Put(1, 0, 1)
+	c.Put(2, 0, 1)
+	c.Put(3, 0, 1)
+	c.Delete(2)
+	if len(dropped) != 2 || dropped[0] != 1 || dropped[1] != 2 {
+		t.Fatalf("dropped = %v, want [1 2]", dropped)
+	}
+}
+
+func TestLRUZeroCapacityHoldsNothing(t *testing.T) {
+	c := New[int, int](0)
+	c.Put(1, 1, 1)
+	if c.Len() != 0 || c.Used() != 0 {
+		t.Fatalf("zero-capacity cache retained an entry: len=%d used=%d", c.Len(), c.Used())
+	}
+}

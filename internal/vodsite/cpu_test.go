@@ -41,33 +41,36 @@ func cpuBuild(t *testing.T, nodes, viewers, titles int, bytesPerSec int64, cfg v
 	return h
 }
 
-// TestSiteCPURefusalAndCanAdmit: when every replica's CPU is full, the
-// site refuses even though the disks and links have room, and CanAdmit
+// TestSiteCPURefusalAndProbe: when every replica's CPU is full, the
+// site refuses even though the disks and links have room, and Probe
 // agrees with Admit throughout (the Guaranteed-class invariant now
-// covering the third resource).
-func TestSiteCPURefusalAndCanAdmit(t *testing.T) {
+// covering the third resource) — with the report naming the CPU leg as
+// the first refusal.
+func TestSiteCPURefusalAndProbe(t *testing.T) {
 	// 1 MiB/s protocol throughput: one 4800-byte 100 Hz stream costs
 	// 4800/2^20 s + 20 µs ≈ 4.6 ms per 10 ms period ≈ 51% of the cap —
 	// each node's CPU carries exactly one stream, its disks four.
 	h := cpuBuild(t, 2, 4, 1, 1<<20, vodsite.Config{BaseReplicas: 2})
 	var admitted []*vodsite.Stream
 	for i := 0; i < 4; i++ {
-		if !h.ctrl.CanAdmit(titleName(0), h.viewers[i].Port) {
+		if !h.ctrl.Probe(titleName(0), h.viewers[i].Port).OK {
 			break
 		}
 		st, err := h.ctrl.Admit(titleName(0), h.viewers[i].Port)
 		if err != nil {
-			t.Fatalf("admit %d with CanAdmit true: %v", i, err)
+			t.Fatalf("admit %d with Probe OK: %v", i, err)
 		}
 		admitted = append(admitted, st)
 	}
 	if len(admitted) != 2 {
 		t.Fatalf("admitted %d streams, want 2 (one per node CPU)", len(admitted))
 	}
-	// Both CPUs full: CanAdmit and Admit must both say no, with disk
-	// room to spare on every node.
-	if h.ctrl.CanAdmit(titleName(0), h.viewers[2].Port) {
-		t.Fatal("CanAdmit true with every replica's CPU full")
+	// Both CPUs full: Probe and Admit must both say no, with disk room
+	// to spare on every node and the report blaming the processor.
+	if r := h.ctrl.Probe(titleName(0), h.viewers[2].Port); r.OK {
+		t.Fatal("Probe OK with every replica's CPU full")
+	} else if r.FirstRefusal != core.LegCPU {
+		t.Fatalf("FirstRefusal = %v, want cpu", r.FirstRefusal)
 	}
 	if _, err := h.ctrl.Admit(titleName(0), h.viewers[2].Port); !errors.Is(err, vodsite.ErrNoReplica) {
 		t.Fatalf("admit with full CPUs: err = %v, want ErrNoReplica", err)
@@ -82,8 +85,8 @@ func TestSiteCPURefusalAndCanAdmit(t *testing.T) {
 	}
 	// Releasing a stream reopens exactly its CPU slot.
 	admitted[0].Release()
-	if !h.ctrl.CanAdmit(titleName(0), h.viewers[2].Port) {
-		t.Fatal("CanAdmit false after a release freed a CPU slot")
+	if !h.ctrl.Probe(titleName(0), h.viewers[2].Port).OK {
+		t.Fatal("Probe refusing after a release freed a CPU slot")
 	}
 	if _, err := h.ctrl.Admit(titleName(0), h.viewers[2].Port); err != nil {
 		t.Fatalf("re-admit into freed CPU slot: %v", err)

@@ -50,7 +50,7 @@ func (c *Controller) FailNode(n *Node) FailReport {
 		_ = st.sess.Close()
 		st.sess, st.node = nil, nil
 
-		nn, sess, err := c.tryReplicas(st.Title, st.viewerPort)
+		nn, sess, _, err := c.tryReplicas(st.Title, st.viewerPort)
 		if err != nil {
 			st.released = true
 			rep.Dropped++

@@ -17,7 +17,9 @@ import (
 //
 //   - the site never admits a stream that every individual replica
 //     would refuse, and never refuses while some replica has both link
-//     and disk budget — Admit succeeds exactly when CanAdmit holds;
+//     and disk budget — Admit succeeds exactly when Probe reports OK,
+//     and a refusing report names a refusing leg with its headroom
+//     fractions in range;
 //   - no node's disk time or uplink rate is ever committed beyond its
 //     capacity or below zero;
 //   - releasing every stream returns every budget to zero.
@@ -70,10 +72,21 @@ func TestSiteAdmissionInvariantProperty(t *testing.T) {
 			case 0, 1: // admit (weighted: the common op)
 				name := titleName(rng.Intn(titles))
 				port := ports[rng.Intn(viewers)]
-				could := ctrl.CanAdmit(name, port)
+				report := ctrl.Probe(name, port)
 				st, err := ctrl.Admit(name, port)
-				if (err == nil) != could {
-					return false // Admit and CanAdmit disagree
+				if (err == nil) != report.OK {
+					return false // Admit and Probe disagree
+				}
+				for _, lr := range report.Legs {
+					if lr.Headroom < 0 || lr.Headroom > 1 {
+						return false // headroom is a budget fraction
+					}
+				}
+				if !report.OK {
+					fr := report.Leg(report.FirstRefusal)
+					if !fr.Present || fr.OK {
+						return false // FirstRefusal must name a refusing leg
+					}
 				}
 				if err != nil && !errors.Is(err, vodsite.ErrNoReplica) {
 					return false // refusals must be over-subscriptions

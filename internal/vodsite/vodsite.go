@@ -54,8 +54,8 @@ type Config struct {
 	// Class is the QoS class viewer sessions are opened with (default
 	// core.Guaranteed). With core.Adaptive, an over-subscribed replica
 	// degrades its Adaptive viewers to make room instead of refusing
-	// (see core.OpenSession) — note that CanAdmit then under-reports,
-	// since it probes only full-quality admission.
+	// (see core.OpenSession) — note that Probe then under-reports,
+	// since it describes only full-quality admission.
 	Class core.QoSClass
 
 	// DegradeBeforeReplicate drops the quality tier of a hot title's
@@ -403,104 +403,145 @@ func (c *Controller) Start(cfg fileserver.CMConfig) {
 	}
 }
 
-// nodeScore is a node's bottleneck commitment: the largest of its
-// disk-time fraction, its uplink fraction and — when the node's CPU is
-// admission-controlled — its reserved CPU fraction. Replica selection
-// and replication targeting both order by it, so "least committed"
-// means least committed on whichever of the three resources the node
-// is closest to exhausting.
-func (c *Controller) nodeScore(n *Node) float64 {
-	var s float64
-	if cm := n.SS.CM; cm != nil && cm.Capacity() > 0 {
-		s = float64(cm.Committed()) / float64(cm.Capacity())
+// specFor builds the session spec admitting one viewer of t from
+// replica n. A negative viewerPort leaves OutPorts empty — the
+// node-local probe shape (core.Site.Probe then skips the link leg),
+// used for load scoring where no particular viewer is meant.
+func (c *Controller) specFor(t *Title, n *Node, viewerPort int, class core.QoSClass) core.SessionSpec {
+	sp := core.SessionSpec{
+		Class:    class,
+		InPort:   n.SS.Net.Port,
+		PeakRate: c.cfg.PeakRate,
+		CPU:      n.SS.CPU,
 	}
-	m := c.site.Signalling
-	if m.UplinkAdmission() {
-		p := n.SS.Net.Port
-		if cap := m.UplinkCapacity(p); cap > 0 {
-			if up := float64(m.CommittedUplink(p)) / float64(cap); up > s {
-				s = up
-			}
-		}
+	if t != nil {
+		sp.CM = n.SS.CM
+		sp.Title = t.Name
+		sp.FrameBytes = t.FrameBytes
+		sp.FrameHz = t.FrameHz
 	}
-	if cpu := n.SS.CPU; cpu != nil {
-		if u := cpu.CommittedFrac(); u > s {
-			s = u
-		}
+	if viewerPort >= 0 {
+		sp.OutPorts = []int{viewerPort}
 	}
-	return s
+	return sp
 }
 
-// candidates returns a title's alive replicas in least-committed order
-// (ties by node ID, so selection is deterministic).
-func (c *Controller) candidates(t *Title) []*Node {
-	out := make([]*Node, 0, len(t.replicas))
+// nodeScore is a node's bottleneck commitment — 1 minus the tightest
+// headroom core.Site.Probe reports across the node-local legs (uplink,
+// disk, CPU). Replication targeting orders by it, so "least committed"
+// means least committed on whichever resource the node is closest to
+// exhausting.
+func (c *Controller) nodeScore(n *Node) float64 {
+	r := c.site.Probe(c.specFor(nil, n, -1, c.cfg.Class))
+	_, h := r.Bottleneck()
+	return 1 - h
+}
+
+// replicaProbe pairs a candidate replica with its admission report for
+// one viewer.
+type replicaProbe struct {
+	n *Node
+	r core.AdmissionReport
+}
+
+// probeReplicas probes a title's alive replicas for one viewer and
+// orders them for admission: replicas that would serve the stream from
+// their RAM tier come first — the deliberate co-scheduling that lands
+// every viewer of a hot title on the node already holding its wake,
+// maximising interval overlap — then least bottleneck commitment, ties
+// by node ID. A node without a started serving service cannot hold the
+// disk half of the guarantee and is not a candidate.
+func (c *Controller) probeReplicas(t *Title, viewerPort int) []replicaProbe {
+	out := make([]replicaProbe, 0, len(t.replicas))
 	for _, n := range t.replicas {
-		// A node without a started serving service cannot hold the disk
-		// half of the guarantee: it is not a candidate (Admit before
-		// Start refuses, exactly as CanAdmit reports).
-		if !n.failed && n.SS.CM != nil {
-			out = append(out, n)
+		if n.failed || n.SS.CM == nil {
+			continue
 		}
+		out = append(out, replicaProbe{n, c.site.Probe(c.specFor(t, n, viewerPort, c.cfg.Class))})
+	}
+	score := func(p replicaProbe) float64 {
+		_, h := p.r.Bottleneck()
+		return 1 - h
 	}
 	sort.SliceStable(out, func(i, j int) bool {
-		si, sj := c.nodeScore(out[i]), c.nodeScore(out[j])
+		ci := out[i].r.OK && out[i].r.CacheServed
+		cj := out[j].r.OK && out[j].r.CacheServed
+		if ci != cj {
+			return ci
+		}
+		si, sj := score(out[i]), score(out[j])
 		if si != sj {
 			return si < sj
 		}
-		return out[i].ID < out[j].ID
+		return out[i].n.ID < out[j].n.ID
 	})
 	return out
 }
 
-// tryReplicas attempts end-to-end session admission on each candidate
-// replica in least-committed order; it holds nothing on total failure.
-//
-// Two passes when the class is Adaptive: first only replicas with
-// full-quality room (probed, held nothing) — a replica that can serve
-// at full quality must win before any replica degrades its viewers to
-// make room — then, if none had room, each candidate in turn with the
-// degrade-instead-of-refuse machinery live. For Guaranteed the first
-// pass is exactly the old least-committed fallback.
-func (c *Controller) tryReplicas(t *Title, viewerPort int) (*Node, *core.Session, error) {
-	cands := c.candidates(t)
-	var lastErr error
-	open := func(n *Node, class core.QoSClass) (*core.Session, error) {
-		return c.site.OpenSession(core.SessionSpec{
-			Class:      class,
-			InPort:     n.SS.Net.Port,
-			OutPorts:   []int{viewerPort},
-			PeakRate:   c.cfg.PeakRate,
-			CM:         n.SS.CM,
-			Title:      t.Name,
-			FrameBytes: t.FrameBytes,
-			FrameHz:    t.FrameHz,
-			CPU:        n.SS.CPU,
-		})
+// Probe reports the title's best replica's admission verdict for one
+// viewer, per-leg: the first replica (in the same preference order
+// Admit uses) whose conjunction admits, else the preferred replica's
+// report so FirstRefusal names the constraint that binds even on the
+// best path. An unknown title or an empty replica set probes as a
+// plain refusal. For Guaranteed controllers the site-level invariant
+// is Admit succeeds ⇔ Probe(...).OK.
+func (c *Controller) Probe(title string, viewerPort int) core.AdmissionReport {
+	t := c.titles[title]
+	if t == nil {
+		return core.AdmissionReport{}
 	}
-	for _, n := range cands {
-		if c.cfg.Class == core.Adaptive && !c.nodeHasRoom(n, t, viewerPort) {
+	probes := c.probeReplicas(t, viewerPort)
+	for _, p := range probes {
+		if p.r.OK {
+			return p.r
+		}
+	}
+	if len(probes) == 0 {
+		return core.AdmissionReport{}
+	}
+	return probes[0].r
+}
+
+// tryReplicas attempts end-to-end session admission on each candidate
+// replica in probe-preference order; it holds nothing on total
+// failure, and returns the probes so the caller can read the refusing
+// legs.
+//
+// Two passes when the class is Adaptive: first only replicas whose
+// report admits at full quality — a replica that can serve at full
+// quality (its RAM tier included) must win before any replica degrades
+// its viewers to make room — then, if none had room, each candidate in
+// turn with the degrade-instead-of-refuse machinery live. Guaranteed
+// admissions are never pre-filtered on the report: a refused attempt
+// must reach the refusing leg's own admission (and its refusal
+// counters), which is also what keeps Probe and Admit honest against
+// each other.
+func (c *Controller) tryReplicas(t *Title, viewerPort int) (*Node, *core.Session, []replicaProbe, error) {
+	probes := c.probeReplicas(t, viewerPort)
+	var lastErr error
+	for _, p := range probes {
+		if c.cfg.Class == core.Adaptive && !p.r.OK {
 			continue // no full-quality room; maybe in pass 2
 		}
-		sess, err := open(n, c.cfg.Class)
+		sess, err := c.site.OpenSession(c.specFor(t, p.n, viewerPort, c.cfg.Class))
 		if err == nil {
-			return n, sess, nil
+			return p.n, sess, probes, nil
 		}
 		if errors.Is(err, fileserver.ErrBadStream) || errors.Is(err, fileserver.ErrBadRound) {
 			// A replica that cannot serve the title at all is a catalog
 			// bug, not an over-subscription; surface it.
-			return nil, nil, err
+			return nil, nil, probes, err
 		}
 		lastErr = err
 	}
 	if c.cfg.Class == core.Adaptive {
-		for _, n := range cands {
-			sess, err := open(n, c.cfg.Class)
+		for _, p := range probes {
+			sess, err := c.site.OpenSession(c.specFor(t, p.n, viewerPort, c.cfg.Class))
 			if err == nil {
-				return n, sess, nil
+				return p.n, sess, probes, nil
 			}
 			if errors.Is(err, fileserver.ErrBadStream) || errors.Is(err, fileserver.ErrBadRound) {
-				return nil, nil, err
+				return nil, nil, probes, err
 			}
 			lastErr = err
 		}
@@ -508,7 +549,7 @@ func (c *Controller) tryReplicas(t *Title, viewerPort int) (*Node, *core.Session
 	if lastErr == nil {
 		lastErr = errors.New("no alive replica")
 	}
-	return nil, nil, fmt.Errorf("%w: %s: %v", ErrNoReplica, t.Name, lastErr)
+	return nil, nil, probes, fmt.Errorf("%w: %s: %v", ErrNoReplica, t.Name, lastErr)
 }
 
 // Admit admits one stream of a title to a viewer's port, trying
@@ -520,15 +561,17 @@ func (c *Controller) Admit(title string, viewerPort int) (*Stream, error) {
 	if t == nil {
 		return nil, fmt.Errorf("vodsite: unknown title %q", title)
 	}
-	n, sess, err := c.tryReplicas(t, viewerPort)
+	n, sess, probes, err := c.tryReplicas(t, viewerPort)
 	if err != nil {
 		if errors.Is(err, ErrNoReplica) {
 			c.Stats.Refused++
 			t.Refusals++
 			// Only replica-side refusals feed the replication trigger: a
 			// viewer whose own downlink is full would be refused however
-			// many replicas exist, and copying cannot help.
-			if c.viewerHasRoom(viewerPort) {
+			// many replicas exist, and copying cannot help. The reports
+			// already say which it was — the link leg covers exactly the
+			// viewer's port.
+			if c.downlinkOK(viewerPort, probes) {
 				t.pendingRefusals++
 				c.maybeReplicate(t)
 			}
@@ -542,51 +585,15 @@ func (c *Controller) Admit(title string, viewerPort int) (*Stream, error) {
 	return st, nil
 }
 
-// viewerHasRoom reports whether the viewer's downlink alone could carry
-// one more stream.
-func (c *Controller) viewerHasRoom(port int) bool {
-	m := c.site.Signalling
-	return m.Committed(port)+c.cfg.PeakRate <= m.Capacity(port)
-}
-
-// CanAdmit reports whether some replica of the title could admit a
-// full-quality stream to the viewer right now — the pure probe of
-// exactly the checks a Guaranteed-class Admit performs
-// (netsig.CanEstablish ∧ CMService.CanServe ∧, on CPU-admitted nodes,
-// NodeCPU.CanServe), with no side effects. For Guaranteed controllers
-// the site-level admission invariant is Admit ⇔ CanAdmit; an
-// Adaptive-class controller can admit beyond it by degrading (CanAdmit
-// then under-reports).
-func (c *Controller) CanAdmit(title string, viewerPort int) bool {
-	t := c.titles[title]
-	if t == nil {
-		return false
+// downlinkOK reports whether the viewer's downlink alone could carry
+// one more stream, read off the admission reports already in hand (the
+// link leg covers exactly the viewer's port, so any replica's report
+// answers); with no live replica probed, a link-only site probe asks
+// about the port directly.
+func (c *Controller) downlinkOK(viewerPort int, probes []replicaProbe) bool {
+	if len(probes) > 0 {
+		return probes[0].r.Leg(core.LegLink).OK
 	}
-	for _, n := range t.replicas {
-		if n.failed || n.SS.CM == nil {
-			continue
-		}
-		if c.nodeHasRoom(n, t, viewerPort) {
-			return true
-		}
-	}
-	return false
-}
-
-// nodeHasRoom is the one per-node full-quality admission probe — the
-// viewer's downlink ∧ the node's uplink (CanEstablish covers both),
-// the node's disk-time budget, and, when the node's CPU is
-// admission-controlled, its processor — shared by CanAdmit and the
-// Adaptive first pass so the two can never drift apart.
-func (c *Controller) nodeHasRoom(n *Node, t *Title, viewerPort int) bool {
-	if !c.site.Signalling.CanEstablish(n.SS.Net.Port, []int{viewerPort}, c.cfg.PeakRate) {
-		return false
-	}
-	if !n.SS.CM.CanServe(t.FrameBytes, t.FrameHz) {
-		return false
-	}
-	if cpu := n.SS.CPU; cpu != nil && !cpu.CanServe(t.FrameBytes, t.FrameHz) {
-		return false
-	}
-	return true
+	r := c.site.Probe(core.SessionSpec{OutPorts: []int{viewerPort}, PeakRate: c.cfg.PeakRate})
+	return r.Leg(core.LegLink).OK
 }
