@@ -6,17 +6,24 @@
 //
 // Usage:
 //
-//	benchgate [-metric ns/op] [-tolerance 25] old.json new.json
+//	benchgate [-metric ns/op] [-tolerance 25] [-mem-tolerance 10] old.json new.json
 //
-// Benchmarks only present in the new record are listed as new and do
-// not gate. scripts/bench_compare.sh wraps this with the CI override
-// knobs (BENCH_GATE_TOLERANCE, BENCH_GATE_SKIP).
+// Besides the primary metric, benchgate gates the allocation metrics
+// (B/op, allocs/op) at -mem-tolerance percent; a zero baseline gates
+// absolutely, so a benchmark recorded at 0 allocs/op fails the gate the
+// moment it allocates at all. Baselines recorded before bench.sh passed
+// -benchmem lack the allocation metrics; those comparisons are
+// informational until the next baseline refresh. Benchmarks only
+// present in the new record are listed as new and do not gate.
+// scripts/bench_compare.sh wraps this with the CI override knobs
+// (BENCH_GATE_TOLERANCE, BENCH_GATE_MEM_TOLERANCE, BENCH_GATE_SKIP).
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 )
@@ -61,10 +68,14 @@ type result struct {
 
 // compare gates new against old on the given metric and tolerance (in
 // percent). Benchmarks without the metric in either record are ignored.
-func compare(old, cur record, metric string, tolerance float64) []result {
+// A zero baseline gates absolutely (any growth regresses — the
+// contract a 0 allocs/op benchmark makes). gateMissing marks baseline
+// benchmarks absent from the new record as failures; it is set only for
+// the primary metric so a dropped benchmark is reported once.
+func compare(old, cur record, metric string, tolerance float64, gateMissing bool) []result {
 	oldBy := make(map[string]float64)
 	for _, b := range old.Benchmarks {
-		if v, ok := b.Metrics[metric]; ok && v > 0 {
+		if v, ok := b.Metrics[metric]; ok && v >= 0 {
 			oldBy[b.Name] = v
 		}
 	}
@@ -81,27 +92,63 @@ func compare(old, cur record, metric string, tolerance float64) []result {
 			out = append(out, result{name: b.Name, new: v, added: true})
 			continue
 		}
-		delta := (v - o) / o * 100
+		var delta float64
+		if o == 0 {
+			if v > 0 {
+				delta = math.Inf(1)
+			}
+		} else {
+			delta = (v - o) / o * 100
+		}
 		out = append(out, result{
 			name: b.Name, old: o, new: v, delta: delta,
 			regress: delta > tolerance,
 		})
 	}
-	for name, o := range oldBy {
-		if !seen[name] {
-			out = append(out, result{name: name, old: o, missing: true, regress: true})
+	if gateMissing {
+		for name, o := range oldBy {
+			if !seen[name] {
+				out = append(out, result{name: name, old: o, missing: true, regress: true})
+			}
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
 	return out
 }
 
+// report prints one metric's comparison and returns (failed, added)
+// counts.
+func report(results []result, metric string, tolerance float64) (int, int) {
+	bad, added := 0, 0
+	for _, r := range results {
+		switch {
+		case r.missing:
+			fmt.Printf("  MISSING  %-50s baseline %14.1f, absent from new record\n", r.name, r.old)
+			bad++
+		case r.added:
+			fmt.Printf("  new      %-50s %14.1f  (%s)\n", r.name, r.new, metric)
+			added++
+		case r.regress:
+			fmt.Printf("  REGRESS  %-50s %14.1f -> %14.1f  %+7.1f%%  (%s)\n",
+				r.name, r.old, r.new, r.delta, metric)
+			bad++
+		default:
+			fmt.Printf("  ok       %-50s %14.1f -> %14.1f  %+7.1f%%  (%s)\n",
+				r.name, r.old, r.new, r.delta, metric)
+		}
+	}
+	return bad, added
+}
+
 func main() {
-	metric := flag.String("metric", "ns/op", "metric to gate on")
-	tolerance := flag.Float64("tolerance", 25, "allowed regression in percent")
+	metric := flag.String("metric", "ns/op", "primary metric to gate on")
+	tolerance := flag.Float64("tolerance", 25, "allowed regression in percent (primary metric)")
+	memTolerance := flag.Float64("mem-tolerance", 10,
+		"allowed regression in percent on B/op and allocs/op (negative disables)")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchgate [-metric ns/op] [-tolerance 25] old.json new.json")
+		fmt.Fprintln(os.Stderr,
+			"usage: benchgate [-metric ns/op] [-tolerance 25] [-mem-tolerance 10] old.json new.json")
 		os.Exit(2)
 	}
 	old, err := load(flag.Arg(0))
@@ -115,34 +162,29 @@ func main() {
 		os.Exit(2)
 	}
 
-	results := compare(old, cur, *metric, *tolerance)
-	bad, added := 0, 0
-	fmt.Printf("benchgate: %s vs %s (%s, tolerance %.0f%%)\n",
-		flag.Arg(0), flag.Arg(1), *metric, *tolerance)
-	for _, r := range results {
-		switch {
-		case r.missing:
-			fmt.Printf("  MISSING  %-50s baseline %14.1f, absent from new record\n", r.name, r.old)
-			bad++
-		case r.added:
-			fmt.Printf("  new      %-50s %14.1f\n", r.name, r.new)
-			added++
-		case r.regress:
-			fmt.Printf("  REGRESS  %-50s %14.1f -> %14.1f  %+7.1f%%\n", r.name, r.old, r.new, r.delta)
-			bad++
-		default:
-			fmt.Printf("  ok       %-50s %14.1f -> %14.1f  %+7.1f%%\n", r.name, r.old, r.new, r.delta)
+	fmt.Printf("benchgate: %s vs %s (%s, tolerance %.0f%%; mem tolerance %.0f%%)\n",
+		flag.Arg(0), flag.Arg(1), *metric, *tolerance, *memTolerance)
+	results := compare(old, cur, *metric, *tolerance, true)
+	bad, added := report(results, *metric, *tolerance)
+	gated := len(results) - added
+	if *memTolerance >= 0 {
+		for _, m := range []string{"B/op", "allocs/op"} {
+			res := compare(old, cur, m, *memTolerance, false)
+			b, a := report(res, m, *memTolerance)
+			bad += b
+			added += a
+			gated += len(res) - a
 		}
 	}
 	if added > 0 {
-		// A benchmark the baseline has never seen is information, not a
-		// verdict: it gates from the next baseline refresh, no hand-edit
-		// needed to get this run green.
-		fmt.Printf("benchgate: %d new benchmark(s), informational only\n", added)
+		// A (benchmark, metric) pair the baseline has never seen is
+		// information, not a verdict: it gates from the next baseline
+		// refresh, no hand-edit needed to get this run green.
+		fmt.Printf("benchgate: %d new benchmark metric(s), informational only\n", added)
 	}
 	if bad > 0 {
-		fmt.Fprintf(os.Stderr, "benchgate: %d benchmark(s) failed the gate\n", bad)
+		fmt.Fprintf(os.Stderr, "benchgate: %d benchmark metric(s) failed the gate\n", bad)
 		os.Exit(1)
 	}
-	fmt.Printf("benchgate: %d benchmark(s) within tolerance\n", len(results)-added)
+	fmt.Printf("benchgate: %d benchmark metric(s) within tolerance\n", gated)
 }

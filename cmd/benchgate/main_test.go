@@ -22,7 +22,7 @@ func find(t *testing.T, rs []result, name string) result {
 func TestCompareGates(t *testing.T) {
 	old := rec(nsop("A", 100), nsop("B", 100), nsop("C", 100), nsop("Gone", 50))
 	cur := rec(nsop("A", 110), nsop("B", 130), nsop("C", 60), nsop("Fresh", 1))
-	rs := compare(old, cur, "ns/op", 25)
+	rs := compare(old, cur, "ns/op", 25, true)
 
 	if r := find(t, rs, "A"); r.regress || r.delta != 10 {
 		t.Errorf("A: %+v, want ok at +10%%", r)
@@ -44,10 +44,10 @@ func TestCompareGates(t *testing.T) {
 func TestCompareToleranceBoundary(t *testing.T) {
 	old := rec(nsop("X", 100))
 	// Exactly at tolerance: not a regression (strictly-greater gate).
-	if r := find(t, compare(old, rec(nsop("X", 125)), "ns/op", 25), "X"); r.regress {
+	if r := find(t, compare(old, rec(nsop("X", 125)), "ns/op", 25, true), "X"); r.regress {
 		t.Errorf("+25%% at 25%% tolerance gated: %+v", r)
 	}
-	if r := find(t, compare(old, rec(nsop("X", 126)), "ns/op", 25), "X"); !r.regress {
+	if r := find(t, compare(old, rec(nsop("X", 126)), "ns/op", 25, true), "X"); !r.regress {
 		t.Errorf("+26%% at 25%% tolerance passed: %+v", r)
 	}
 }
@@ -55,7 +55,7 @@ func TestCompareToleranceBoundary(t *testing.T) {
 func TestCompareIgnoresOtherMetrics(t *testing.T) {
 	old := rec(bench{Name: "M", Metrics: map[string]float64{"MB/s": 100}})
 	cur := rec(bench{Name: "M", Metrics: map[string]float64{"MB/s": 10}})
-	if rs := compare(old, cur, "ns/op", 25); len(rs) != 0 {
+	if rs := compare(old, cur, "ns/op", 25, true); len(rs) != 0 {
 		t.Errorf("benchmarks without the gated metric produced results: %+v", rs)
 	}
 }
@@ -66,7 +66,7 @@ func TestCompareIgnoresOtherMetrics(t *testing.T) {
 func TestCompareNewBenchmarksNeverGate(t *testing.T) {
 	old := rec(nsop("A", 100))
 	cur := rec(nsop("A", 100), nsop("SiteAdmission", 1e12), nsop("Tiny", 0.001))
-	rs := compare(old, cur, "ns/op", 25)
+	rs := compare(old, cur, "ns/op", 25, true)
 	if len(rs) != 3 {
 		t.Fatalf("got %d results, want 3 (new entries must be named)", len(rs))
 	}
@@ -79,6 +79,29 @@ func TestCompareNewBenchmarksNeverGate(t *testing.T) {
 	for _, r := range rs {
 		if r.regress {
 			t.Fatalf("record with only new additions gated: %+v", r)
+		}
+	}
+}
+
+// A zero baseline (a benchmark recorded at 0 allocs/op) gates
+// absolutely: any growth regresses, zero-to-zero passes. Dropped
+// benchmarks are the primary metric's job to report (gateMissing
+// false here), so the memory passes must not re-report them.
+func TestCompareZeroBaselineGatesAbsolutely(t *testing.T) {
+	mem := func(name string, v float64) bench {
+		return bench{Name: name, Metrics: map[string]float64{"allocs/op": v}}
+	}
+	old := rec(mem("Zero", 0), mem("Gone", 0))
+	if r := find(t, compare(old, rec(mem("Zero", 1)), "allocs/op", 10, false), "Zero"); !r.regress {
+		t.Errorf("Zero: %+v, 0 -> 1 allocs/op must gate", r)
+	}
+	rs := compare(old, rec(mem("Zero", 0)), "allocs/op", 10, false)
+	if r := find(t, rs, "Zero"); r.regress {
+		t.Errorf("Zero: %+v, 0 -> 0 must pass", r)
+	}
+	for _, r := range rs {
+		if r.name == "Gone" {
+			t.Errorf("Gone reported with gateMissing=false: %+v", r)
 		}
 	}
 }

@@ -24,8 +24,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/loadgen"
 	"repro/internal/sim"
@@ -121,7 +124,18 @@ func main() {
 		expectCPURefusals = flag.Bool("expect-cpu-refusals", false,
 			"exit 1 unless the CPU leg refused at least one open while the disks still had "+
 				"room and no disk refusal occurred (the cpu-bound over-subscription proof)")
-		asJSON = flag.Bool("json", false, "emit the scoreboard as JSON")
+		asJSON     = flag.Bool("json", false, "emit the scoreboard as JSON")
+		metricsOut = flag.String("metrics-out", "",
+			"write the telemetry time series (columnar JSON, one values column per "+
+				"metric on a shared t_ns axis) to this file")
+		metricsEvery = flag.Float64("metrics-every", 0.5,
+			"sim-time sampling cadence in seconds for -metrics-out")
+		traceOut = flag.String("trace-out", "",
+			"write the per-session lifecycle trace (JSON lines: open/admitted/refused/"+
+				"degrade/restore/cache-served/demoted/underrun/close, with per-leg "+
+				"admission headrooms) to this file")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	flag.Parse()
 
@@ -161,6 +175,15 @@ func main() {
 
 		CPUBound:       *cpuBound,
 		CPUBytesPerSec: *cpuThroughput,
+
+		Trace: *traceOut != "",
+	}
+	if *metricsOut != "" {
+		cfg.MetricsEvery = sim.Duration(math.Round(*metricsEvery * float64(sim.Second)))
+		if cfg.MetricsEvery <= 0 {
+			fmt.Fprintln(os.Stderr, "pegload: -metrics-every must be positive with -metrics-out")
+			os.Exit(2)
+		}
 	}
 	switch *pattern {
 	case "mesh":
@@ -195,11 +218,63 @@ func main() {
 	if *cacheAblation {
 		// The ablation twin runs first: the identical scenario with the
 		// RAM tier off, so the scoreboard can state what the cache bought.
+		// Telemetry stays off for the twin — the emitted trace and time
+		// series describe the measured run only.
 		acfg := cfg
 		acfg.CacheMB = 0
+		acfg.Trace = false
+		acfg.MetricsEvery = 0
 		ablation = loadgen.Build(acfg).Run()
 	}
-	res := loadgen.Build(cfg).Run()
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pegload:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "pegload: cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+	}
+	sc := loadgen.Build(cfg)
+	res := sc.Run()
+	if *cpuProfile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pegload:", err)
+			os.Exit(1)
+		}
+		runtime.GC() // surface live retention, not transient garbage
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "pegload: memprofile:", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+	writeOut := func(path, what string, emit func(io.Writer) error) {
+		f, err := os.Create(path)
+		if err == nil {
+			err = emit(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pegload: %s: %v\n", what, err)
+			os.Exit(1)
+		}
+	}
+	if *metricsOut != "" {
+		writeOut(*metricsOut, "metrics-out", sc.WriteMetrics)
+	}
+	if *traceOut != "" {
+		writeOut(*traceOut, "trace-out", sc.WriteTrace)
+	}
 	if *cacheAblation {
 		res.AblationStreams = ablation.StorageStreams
 		if ablation.StorageStreams > 0 {

@@ -26,6 +26,7 @@ import (
 	"repro/internal/rpc"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // SiteConfig parameterises a Pegasus site.
@@ -96,7 +97,18 @@ type Site struct {
 	// degraded, restored and closed (see session.go).
 	QoSStats SessionStats
 
+	// Metrics is the site's telemetry registry, always live: every
+	// subsystem registers its gauges here as it comes up, sharded per
+	// partition with the same ownership rule as the event kernel (see
+	// internal/telemetry). Reading a merged view is only legal from
+	// global or barrier context.
+	Metrics *telemetry.Registry
+
 	sessions []*Session
+
+	tracer     *telemetry.Tracer
+	cmNodes    map[*fileserver.CMService]string
+	cmSessions map[*fileserver.CMStream]*Session
 
 	clu        *sim.Cluster
 	nextAttach int
@@ -125,6 +137,14 @@ func NewSite(cfg SiteConfig) *Site {
 	}
 	st.Switch = fabric.NewSwitch(st.Sim, "site", cfg.Ports, cfg.FabricDelay)
 	st.Signalling = netsig.NewManager(st.Switch, cfg.LinkRate)
+	parts := cfg.Partitions
+	if parts < 1 {
+		parts = 1
+	}
+	st.Metrics = telemetry.NewRegistry(parts)
+	st.cmNodes = make(map[*fileserver.CMService]string)
+	st.cmSessions = make(map[*fileserver.CMStream]*Session)
+	st.registerSiteGauges()
 	return st
 }
 
@@ -279,6 +299,7 @@ func (st *Site) NewWorkstation(name string) *Workstation {
 func (w *Workstation) EnableCPU(cfg CPUConfig) *NodeCPU {
 	if w.CPU == nil {
 		w.CPU = wrapNodeCPU(w.Kernel, w.EDF, w.QoS, cfg)
+		w.Site.instrumentCPU(w.Name, w.CPU)
 	}
 	return w.CPU
 }
@@ -392,6 +413,7 @@ func (st *Site) NewStorageServer(name string, segSize int, nseg int64) *StorageS
 	ss.Ingest = NewIngest(sv)
 	ss.Transport = rpc.NewTransport(net.Sim)
 	ss.Transport.SetOutput(ss.Net.ToSwitch)
+	st.instrumentUplink(name, net.Port)
 	return ss
 }
 
@@ -403,6 +425,7 @@ func (st *Site) NewStorageServer(name string, segSize int, nseg int64) *StorageS
 func (ss *StorageServer) EnableCM(cfg fileserver.CMConfig) *fileserver.CMService {
 	if ss.CM == nil {
 		ss.CM = fileserver.NewCMService(ss.Server, cfg)
+		ss.Site.instrumentCM(ss.Name, ss.CM, ss.Net.Sim)
 	}
 	return ss.CM
 }
@@ -415,6 +438,7 @@ func (ss *StorageServer) EnableCM(cfg fileserver.CMConfig) *fileserver.CMService
 func (ss *StorageServer) EnableCPU(cfg CPUConfig) *NodeCPU {
 	if ss.CPU == nil {
 		ss.CPU = NewNodeCPU(ss.Net.Sim, cfg)
+		ss.Site.instrumentCPU(ss.Name, ss.CPU)
 	}
 	return ss.CPU
 }

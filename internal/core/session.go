@@ -181,6 +181,15 @@ type SessionStats struct {
 	Closed   int64 // sessions closed
 	Degraded int64 // degrade events (a session dropped below its tier)
 	Restored int64 // restore events (a degraded session climbed back up)
+
+	// RefusedLeg breaks Refused down by the refusing admission leg
+	// (the RefusalLeg taxonomy, indexed by Leg); refusals that are
+	// misconfigurations rather than over-subscriptions land in
+	// RefusedOther instead. The per-leg counts and RefusedOther always
+	// sum to Refused.
+	RefusedLeg [numLegs]int64
+	// RefusedOther counts refusals not attributable to any budget leg.
+	RefusedOther int64
 }
 
 // Session is one admitted end-to-end stream: the circuit, the disk
@@ -298,14 +307,17 @@ func (st *Site) OpenSession(spec SessionSpec) (*Session, error) {
 		if spec.PeakRate != 0 {
 			return nil, errors.New("core: best-effort sessions have no admitted rate; spec.PeakRate must be 0")
 		}
+		st.traceOpen(&spec)
 		circ, err := st.Signalling.Establish(spec.InPort, spec.OutPorts, 0, false)
 		if err != nil {
 			st.QoSStats.Refused++
+			st.noteRefusal(&spec, err)
 			return nil, err
 		}
 		s := &Session{site: st, spec: spec, id: circ.ID, circ: circ, factor: 1}
 		st.sessions = append(st.sessions, s)
 		st.QoSStats.Opened++
+		st.traceAdmitted(s)
 		return s, nil
 	case Guaranteed, Adaptive:
 		if spec.PeakRate <= 0 {
@@ -315,12 +327,15 @@ func (st *Site) OpenSession(spec SessionSpec) (*Session, error) {
 		return nil, fmt.Errorf("core: unknown QoS class %v", spec.Class)
 	}
 
+	st.traceOpen(&spec)
 	s, err := st.openAt(spec, 1)
 	if err == nil {
+		st.traceAdmitted(s)
 		return s, nil
 	}
 	if spec.Class != Adaptive || !isOverSubscription(err) {
 		st.QoSStats.Refused++
+		st.noteRefusal(&spec, err)
 		return nil, err
 	}
 	return st.openDegrading(spec, err)
@@ -385,6 +400,9 @@ func (st *Site) openAt(spec SessionSpec, f float64) (*Session, error) {
 	}
 	s := &Session{site: st, spec: spec, id: circ.ID, circ: circ, cm: cmh, cpu: sd, factor: f}
 	st.sessions = append(st.sessions, s)
+	if cmh != nil {
+		st.cmSessions[cmh] = s
+	}
 	st.QoSStats.Opened++
 	if f < 1 {
 		st.QoSStats.Degraded++
@@ -426,6 +444,7 @@ func (st *Site) openDegrading(spec SessionSpec, refusal error) (*Session, error)
 		s, err := st.openAt(spec, f)
 		if err == nil {
 			countResidual()
+			st.traceAdmitted(s)
 			return s, nil
 		}
 		if !isOverSubscription(err) {
@@ -444,6 +463,7 @@ func (st *Site) openDegrading(spec SessionSpec, refusal error) (*Session, error)
 	}
 	countResidual()
 	st.QoSStats.Refused++
+	st.noteRefusal(&spec, refusal)
 	return nil, refusal
 }
 
@@ -576,6 +596,7 @@ func (s *Session) Renegotiate(newRate int64) error {
 	} else if f >= 1 && wasDegraded {
 		s.site.QoSStats.Restored++
 	}
+	s.site.traceVerb(s, "renegotiate")
 	return nil
 }
 
@@ -603,6 +624,7 @@ func (s *Session) Degrade(factor float64) error {
 		return err
 	}
 	s.site.QoSStats.Degraded++
+	s.site.traceVerb(s, "degrade")
 	return nil
 }
 
@@ -635,6 +657,7 @@ func (s *Session) Restore() error {
 		return err
 	}
 	s.site.QoSStats.Restored++
+	s.site.traceVerb(s, "restore")
 	return nil
 }
 
@@ -668,6 +691,7 @@ func (s *Session) Close() error {
 	if s.closed {
 		return nil
 	}
+	s.site.traceVerb(s, "close")
 	s.closed = true
 	var err error
 	if s.circ != nil {
@@ -675,6 +699,7 @@ func (s *Session) Close() error {
 		s.circ = nil
 	}
 	if s.cm != nil {
+		delete(s.site.cmSessions, s.cm)
 		s.cm.Release()
 		s.cm = nil
 	}

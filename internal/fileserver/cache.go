@@ -438,6 +438,9 @@ func (svc *CMService) demoteToDisk(cm *CMStream) bool {
 	if svc.cache != nil {
 		svc.cache.demoted(cm)
 	}
+	if svc.OnDemote != nil {
+		svc.OnDemote(cm)
+	}
 	return true
 }
 

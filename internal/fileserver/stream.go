@@ -135,6 +135,15 @@ type CMService struct {
 	cache *intervalCache // RAM buffer tier; nil when CacheBytes == 0
 
 	Stats CMStats
+
+	// OnUnderrun, when set, observes every playout tick that found no
+	// buffered data. It runs in the serving node's event context and
+	// must only touch that partition's state.
+	OnUnderrun func(*CMStream)
+	// OnDemote, when set, observes every cache-served stream re-admitted
+	// against the disks (wake evaporated). Same context rule as
+	// OnUnderrun.
+	OnDemote func(*CMStream)
 }
 
 // NewCMService starts a serving service over the server's array. The
@@ -597,6 +606,9 @@ func (cm *CMStream) NextFrame() ([]byte, bool) {
 		if cm.started {
 			cm.Underruns++
 			cm.svc.Stats.Underruns++
+			if cm.svc.OnUnderrun != nil {
+				cm.svc.OnUnderrun(cm)
+			}
 		}
 		return nil, false
 	}

@@ -39,7 +39,7 @@ func (sc *Scenario) buildAdaptive() {
 	siteCfg.LinkRate = cfg.LinkRate
 	siteCfg.CellAccurate = cfg.CellAccurate
 	siteCfg.Ports = n + cfg.Servers
-	sc.site = core.NewSite(siteCfg)
+	sc.attachSite(core.NewSite(siteCfg))
 
 	viewers := make([]*core.Endpoint, n)
 	for i := 0; i < n; i++ {

@@ -62,7 +62,7 @@ func (sc *Scenario) buildCluster() {
 		p := fastDiskParams()
 		siteCfg.DiskParams = &p
 	}
-	sc.site = core.NewSite(siteCfg)
+	sc.attachSite(core.NewSite(siteCfg))
 
 	viewers := make([]*core.Endpoint, n)
 	for i := 0; i < n; i++ {
@@ -120,7 +120,7 @@ func (sc *Scenario) buildCluster() {
 				viewer: viewers[i],
 				title:  titleName(z.Sample(rng.Float64())),
 				phase:  sim.Duration(int64(idx)*7919) % period,
-				snk:    &sink{sim: viewers[i].Sim, tl: sc.tallyFor(viewers[i].Sim), period: period},
+				snk:    &sink{sim: viewers[i].Sim, tl: sc.trafficFor(viewers[i].Sim), period: period},
 			}
 			// The source's partition is unknown until admission picks a
 			// serving node; wireReq migrates it there.
@@ -128,7 +128,7 @@ func (sc *Scenario) buildCluster() {
 				sim:     sc.site.Sim,
 				period:  period,
 				payload: make([]byte, cfg.FrameBytes),
-				sent:    &sc.tallyFor(sc.site.Sim).framesSent,
+				sent:    sc.trafficFor(sc.site.Sim).framesSent,
 			}
 			sc.requests = append(sc.requests, req)
 			if !sc.admitReq(req) {
@@ -171,7 +171,7 @@ func (sc *Scenario) admitReq(req *clusterReq) bool {
 func (sc *Scenario) wireReq(req *clusterReq) {
 	st := req.st
 	node := st.Node().SS.Net
-	req.src.migrate(node.Sim, &sc.tallyFor(node.Sim).framesSent)
+	req.src.migrate(node.Sim, sc.trafficFor(node.Sim).framesSent)
 	req.vci = st.VCI()
 	req.src.out = node.ToSwitch
 	req.src.vci = st.VCI()

@@ -24,6 +24,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"time"
 
 	"repro/internal/atm"
@@ -32,9 +33,9 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/fileserver"
 	"repro/internal/raid"
-	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/vodsite"
 )
 
@@ -203,6 +204,16 @@ type Config struct {
 	// admit. In cluster mode, requests the disks refuse at build time
 	// are retried each round once a leader's wake becomes resident.
 	CacheMB int
+
+	// Trace switches per-session lifecycle tracing on (see
+	// Scenario.WriteTrace). Excluded from the scoreboard's config echo
+	// so enabling telemetry cannot change scoreboard bytes.
+	Trace bool `json:"-"`
+
+	// MetricsEvery is the sim-time cadence of the metrics time-series
+	// sampler (0 disables; see Scenario.WriteMetrics). Excluded from
+	// the config echo for the same reason as Trace.
+	MetricsEvery sim.Duration `json:"-"`
 }
 
 // class is the QoS class sessions are opened with.
@@ -477,8 +488,8 @@ type source struct {
 	seq     uint32
 	running bool
 	chained bool
-	ev      *sim.Event // pending tick (nil between ticks)
-	sent    *int64     // partition tally's frames-sent counter
+	ev      *sim.Event         // pending tick (nil between ticks)
+	sent    *telemetry.Counter // partition-owned frames-sent counter
 }
 
 func (s *source) start(phase sim.Duration) {
@@ -495,7 +506,7 @@ func (s *source) stop() { s.running = false }
 // a failover re-admitted the stream on). Global context only: the
 // pending tick on the old partition is cancelled, so no event chain
 // survives on a timeline the source no longer belongs to.
-func (s *source) migrate(to *sim.Sim, sent *int64) {
+func (s *source) migrate(to *sim.Sim, sent *telemetry.Counter) {
 	if s.ev != nil {
 		s.sim.Cancel(s.ev)
 		s.ev = nil
@@ -529,7 +540,7 @@ func (s *source) tick() {
 		panic("loadgen: frame exceeds AAL5 limit")
 	}
 	s.out.SendBurst(cells)
-	*s.sent++
+	s.sent.Inc()
 	s.ev = s.sim.After(s.period, s.tick)
 }
 
@@ -537,10 +548,10 @@ func (s *source) tick() {
 // burst-aware (one callback per frame on the fast path) and falls back
 // to per-cell reassembly bookkeeping in cell-accurate mode; both paths
 // observe identical frame-completion times. A sink runs on its viewer's
-// partition and counts into that partition's tally.
+// partition and counts into that partition's registry shard.
 type sink struct {
 	sim    *sim.Sim
-	tl     *tally
+	tl     *traffic
 	period sim.Duration
 
 	haveLast sim.Time
@@ -555,8 +566,8 @@ type sink struct {
 
 func (k *sink) frameDone(stamp sim.Time, ncells int) {
 	now := k.sim.Now()
-	k.tl.framesDelivered++
-	k.tl.cellsDelivered += int64(ncells)
+	k.tl.framesDelivered.Inc()
+	k.tl.cellsDelivered.Add(int64(ncells))
 	k.tl.latency.Add(float64(now - stamp))
 	if k.started {
 		j := float64((now - k.haveLast) - k.period)
@@ -676,21 +687,21 @@ func (st *Stream) establish() error {
 		spec.CPU = st.server.CPU
 	}
 	sess, err := st.sc.site.OpenSession(spec)
-	switch {
-	case err == nil:
-	case errors.Is(err, sched.ErrOverCommit):
-		st.sc.cpuRefused++
-		return err
-	case errors.Is(err, fileserver.ErrOverCommit):
-		st.sc.storageRefused++
-		return err
-	case errors.Is(err, fileserver.ErrBadStream) || errors.Is(err, fileserver.ErrBadRound):
-		// Not a bandwidth refusal but a scenario bug (ragged title, bad
-		// round/Hz): counting it as a refusal would let a
-		// misconfiguration impersonate the over-subscription proof.
-		panic(fmt.Sprintf("loadgen: title %s not servable: %v", st.title, err))
-	default: // link refusal
-		st.sc.rejected += len(ports)
+	if err != nil {
+		if errors.Is(err, fileserver.ErrBadStream) || errors.Is(err, fileserver.ErrBadRound) {
+			// Not a bandwidth refusal but a scenario bug (ragged title, bad
+			// round/Hz): counting it as a refusal would let a
+			// misconfiguration impersonate the over-subscription proof.
+			panic(fmt.Sprintf("loadgen: title %s not servable: %v", st.title, err))
+		}
+		// The site's per-leg refusal stats (QoSStats.RefusedLeg, keyed by
+		// core.RefusalLeg — the single taxonomy) are the scoreboard's
+		// source for disk and CPU refusals; link and uplink refusals
+		// additionally count every rejected leg here.
+		if leg, ok := core.RefusalLeg(err); !ok ||
+			(leg != core.LegDisk && leg != core.LegCPU) {
+			st.sc.rejected += len(ports)
+		}
 		return err
 	}
 	if h := sess.CM(); h != nil {
@@ -703,7 +714,7 @@ func (st *Stream) establish() error {
 	}
 	st.sess = sess
 	for _, d := range st.dsts {
-		d.Demux.Register(sess.VCI(), &sink{sim: d.Sim, tl: st.sc.tallyFor(d.Sim), period: st.src.period})
+		d.Demux.Register(sess.VCI(), &sink{sim: d.Sim, tl: st.sc.trafficFor(d.Sim), period: st.src.period})
 	}
 	st.sc.admitted += len(ports)
 	st.src.vci = sess.VCI()
@@ -742,50 +753,92 @@ type Scenario struct {
 	pending  []*clusterReq
 
 	admitted, rejected, tornDown int
-	storageRefused               int
-	cpuRefused                   int
-	tallies                      []*tally
+	traffics                     []*traffic
+	sampler                      *telemetry.Sampler
 	runStart                     sim.Time
 	firedStart                   int64
+	ticksStart                   int64
 }
 
-// tally is one partition's share of the scoreboard. Sources and sinks
-// count into the tally of the partition they run on — never across
-// partitions — and collect merges the tallies after the run.
-type tally struct {
+// traffic is one partition's share of the frame scoreboard, now a view
+// over the site's metrics registry: the handles resolve to the shard of
+// the partition the sources and sinks run on, so hot-path counting
+// stays single-writer and collect reads the merged totals after the
+// run.
+type traffic struct {
 	sim             *sim.Sim
-	framesSent      int64
-	framesDelivered int64
-	cellsDelivered  int64
-	latency, jitter stats.Sample
+	framesSent      *telemetry.Counter
+	framesDelivered *telemetry.Counter
+	cellsDelivered  *telemetry.Counter
+	latency, jitter *stats.Sample
 }
 
-// tallyFor returns (creating on first use) the tally of a partition.
-// Global context only; the handful of partitions makes the linear scan
-// irrelevant.
-func (sc *Scenario) tallyFor(s *sim.Sim) *tally {
-	for _, t := range sc.tallies {
+func trafficKey(name string) telemetry.Key {
+	return telemetry.Key{Node: "loadgen", Subsystem: "traffic", Name: name}
+}
+
+// trafficFor returns (creating on first use) the registry handles for a
+// partition's timeline. Global context only; the handful of partitions
+// makes the linear scan irrelevant.
+func (sc *Scenario) trafficFor(s *sim.Sim) *traffic {
+	for _, t := range sc.traffics {
 		if t.sim == s {
 			return t
 		}
 	}
-	t := &tally{sim: s}
-	sc.tallies = append(sc.tallies, t)
+	reg, p := sc.site.Metrics, s.Partition()
+	t := &traffic{
+		sim:             s,
+		framesSent:      reg.Counter(p, trafficKey("frames_sent")),
+		framesDelivered: reg.Counter(p, trafficKey("frames_delivered")),
+		cellsDelivered:  reg.Counter(p, trafficKey("cells_delivered")),
+		latency:         reg.Sample(p, trafficKey("latency_ns")),
+		jitter:          reg.Sample(p, trafficKey("jitter_ns")),
+	}
+	sc.traffics = append(sc.traffics, t)
 	return t
 }
 
 // framesDeliveredTotal sums delivered frames across partitions (for
-// tests probing mid-run progress).
+// tests probing mid-run progress). Quiescent context only.
 func (sc *Scenario) framesDeliveredTotal() int64 {
-	var n int64
-	for _, t := range sc.tallies {
-		n += t.framesDelivered
-	}
-	return n
+	return sc.site.Metrics.CounterValue(trafficKey("frames_delivered"))
 }
 
 // Site exposes the underlying site (switch, signalling) for assertions.
 func (sc *Scenario) Site() *core.Site { return sc.site }
+
+// Telemetry exposes the site's metrics registry. Merged reads are only
+// safe between runs (quiescent context).
+func (sc *Scenario) Telemetry() *telemetry.Registry { return sc.site.Metrics }
+
+// attachSite installs the scenario's site, switching session tracing
+// on before any admission so build-time refusals land in the trace.
+func (sc *Scenario) attachSite(site *core.Site) {
+	sc.site = site
+	if sc.cfg.Trace {
+		site.EnableTrace()
+	}
+}
+
+// WriteMetrics emits the sampled time series as columnar JSON. Call
+// after Run; requires Config.MetricsEvery > 0.
+func (sc *Scenario) WriteMetrics(w io.Writer) error {
+	if sc.sampler == nil {
+		return errors.New("loadgen: metrics sampling not enabled (Config.MetricsEvery)")
+	}
+	return sc.sampler.WriteJSON(w)
+}
+
+// WriteTrace emits the per-session lifecycle trace as JSON lines. Call
+// after Run; requires Config.Trace.
+func (sc *Scenario) WriteTrace(w io.Writer) error {
+	tr := sc.site.Trace()
+	if tr == nil {
+		return errors.New("loadgen: tracing not enabled (Config.Trace)")
+	}
+	return tr.WriteJSONL(w)
+}
 
 // Streams exposes the admitted streams for churn driving.
 func (sc *Scenario) Streams() []*Stream { return sc.streams }
@@ -828,7 +881,7 @@ func Build(cfg Config) *Scenario {
 	case VoD:
 		siteCfg.Ports = n + cfg.Servers
 	}
-	sc.site = core.NewSite(siteCfg)
+	sc.attachSite(core.NewSite(siteCfg))
 
 	switch cfg.Pattern {
 	case Mesh:
@@ -953,7 +1006,7 @@ func (sc *Scenario) addStream(from *core.Endpoint, dsts []*core.Endpoint, idx in
 			out:     from.ToSwitch,
 			period:  period,
 			payload: make([]byte, sc.cfg.FrameBytes),
-			sent:    &sc.tallyFor(from.Sim).framesSent,
+			sent:    sc.trafficFor(from.Sim).framesSent,
 		},
 	}
 	sc.streams = append(sc.streams, st)
@@ -991,34 +1044,52 @@ func (sc *Scenario) Run() Result {
 		node := sc.ctrl.Nodes()[idx]
 		sc.site.Clock.CallAfter(sc.cfg.FailNodeAt, func() { sc.ctrl.FailNode(node) })
 	}
+	// The sampler attaches to lookahead barriers when the kernel is
+	// actually parallel (zero events, zero perturbation); serial and
+	// single-partition runs chain a self-rescheduling tick instead,
+	// whose firings collect subtracts back out of EventsFired.
+	if sc.cfg.MetricsEvery > 0 && sc.sampler == nil {
+		sc.sampler = telemetry.NewSampler(sc.site.Metrics, sc.cfg.MetricsEvery)
+		if clu := sc.site.Cluster(); clu != nil && clu.Parts() > 1 {
+			sc.sampler.AttachBarrier(clu)
+		} else {
+			sc.sampler.Chain(sc.site.Clock)
+		}
+	}
 	sc.runStart = sc.site.Clock.Now()
 	sc.firedStart = sc.site.Clock.Fired()
+	if sc.sampler != nil {
+		sc.ticksStart = sc.sampler.Ticks()
+	}
 	wall := time.Now()
 	sc.site.Clock.RunFor(sc.cfg.Duration)
+	if sc.sampler != nil {
+		sc.sampler.Final(sc.site.Clock.Now())
+	}
 	return sc.collect(time.Since(wall))
 }
 
 func (sc *Scenario) collect(wall time.Duration) Result {
-	// Merge the per-partition tallies. Quantiles sort the merged sample,
-	// so the result is independent of merge order.
-	var framesSent, framesDelivered, cellsDelivered int64
-	var latency, jitter stats.Sample
-	for _, t := range sc.tallies {
-		framesSent += t.framesSent
-		framesDelivered += t.framesDelivered
-		cellsDelivered += t.cellsDelivered
-		latency.Merge(&t.latency)
-		jitter.Merge(&t.jitter)
+	// The scoreboard is a view over the registry: merge the per-shard
+	// counters and samples. Quantiles sort the merged sample, so the
+	// result is independent of merge order. A chained sampler's own
+	// tick events are subtracted back out of the events-fired score so
+	// telemetry on vs off yields byte-identical scoreboards.
+	latency := sc.site.Metrics.MergedSample(trafficKey("latency_ns"))
+	jitter := sc.site.Metrics.MergedSample(trafficKey("jitter_ns"))
+	var ticks int64
+	if sc.sampler != nil {
+		ticks = sc.sampler.Ticks() - sc.ticksStart
 	}
 	r := Result{
 		Config:          sc.cfg,
 		Admitted:        sc.admitted,
 		Rejected:        sc.rejected,
 		TornDown:        sc.tornDown,
-		FramesSent:      framesSent,
-		FramesDelivered: framesDelivered,
-		CellsDelivered:  cellsDelivered,
-		EventsFired:     sc.site.Clock.Fired() - sc.firedStart,
+		FramesSent:      sc.site.Metrics.CounterValue(trafficKey("frames_sent")),
+		FramesDelivered: sc.site.Metrics.CounterValue(trafficKey("frames_delivered")),
+		CellsDelivered:  sc.site.Metrics.CounterValue(trafficKey("cells_delivered")),
+		EventsFired:     sc.site.Clock.Fired() - sc.firedStart - ticks,
 		SimSeconds:      (sc.site.Clock.Now() - sc.runStart).Seconds(),
 		WallSeconds:     wall.Seconds(),
 		LatencyP50:      latency.Quantile(0.5),
@@ -1032,7 +1103,13 @@ func (sc *Scenario) collect(wall time.Duration) Result {
 		r.CellsPerSec = float64(r.CellsDelivered) / r.WallSeconds
 	}
 	if sc.cfg.FromStorage || sc.cfg.Cluster || sc.cfg.Adaptive || sc.cfg.CPUBound {
-		r.StorageRefused = sc.storageRefused
+		if !sc.cfg.Cluster {
+			// One source of truth: the site counts refusals by the same
+			// core.RefusalLeg taxonomy the trace events carry. Cluster
+			// mode admits through per-node selection probes instead of
+			// OpenSession refusals, so it reads the CM stats below.
+			r.StorageRefused = int(sc.site.QoSStats.RefusedLeg[core.LegDisk])
+		}
 		for _, st := range sc.streams {
 			if st.sess != nil && st.sess.CM() != nil {
 				r.StorageStreams++
@@ -1096,7 +1173,7 @@ func (sc *Scenario) collect(wall time.Duration) Result {
 		r.RestoreEvents = sc.site.QoSStats.Restored
 	}
 	if sc.cfg.CPUBound {
-		r.CPURefused = sc.cpuRefused
+		r.CPURefused = int(sc.site.QoSStats.RefusedLeg[core.LegCPU])
 		for _, ss := range sc.Servers {
 			if cpu := ss.CPU; cpu != nil {
 				r.DeadlineMisses += cpu.Stats.DeadlineMisses

@@ -23,6 +23,11 @@ import (
 var (
 	// ErrAdmission reports a circuit refused for lack of link capacity.
 	ErrAdmission = errors.New("netsig: peak rate exceeds link capacity")
+	// ErrUplink marks a refusal charged to the sender's uplink budget
+	// rather than a leaf's output link. It wraps ErrAdmission, so
+	// errors.Is(err, ErrAdmission) still matches; check ErrUplink first
+	// to attribute the refusal to the uplink leg.
+	ErrUplink = fmt.Errorf("%w (uplink)", ErrAdmission)
 	// ErrNoCircuit reports an unknown circuit id.
 	ErrNoCircuit = errors.New("netsig: no such circuit")
 )
@@ -163,7 +168,7 @@ func (m *Manager) Establish(inPort int, outPorts []int, peakRate int64, ctrl boo
 			if m.committedIn[inPort]+peakRate > m.capacityIn[inPort] {
 				m.Refused++
 				return nil, fmt.Errorf("%w: uplink %d committed %d + %d > %d",
-					ErrAdmission, inPort, m.committedIn[inPort], peakRate, m.capacityIn[inPort])
+					ErrUplink, inPort, m.committedIn[inPort], peakRate, m.capacityIn[inPort])
 			}
 			m.committedIn[inPort] += peakRate
 			uplinked = true
@@ -261,7 +266,7 @@ func (m *Manager) ModifyRate(id int, newRate int64) error {
 		if c.uplinked && m.committedIn[c.InPort]+delta > m.capacityIn[c.InPort] {
 			m.Refused++
 			return fmt.Errorf("%w: uplink %d committed %d + %d > %d",
-				ErrAdmission, c.InPort, m.committedIn[c.InPort], delta, m.capacityIn[c.InPort])
+				ErrUplink, c.InPort, m.committedIn[c.InPort], delta, m.capacityIn[c.InPort])
 		}
 	}
 	for _, p := range c.OutPorts {

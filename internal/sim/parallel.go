@@ -197,6 +197,21 @@ type Cluster struct {
 	work   []chan Time
 	done   chan struct{}
 	msgbuf []crossMsg
+
+	// Coordinator-side synchronisation telemetry: windows executed,
+	// windows whose horizon was capped by a pending global callback
+	// (barrier stalls), and cross-partition messages delivered. All
+	// are touched only on the coordinator goroutine.
+	windows        int64
+	stalls         int64
+	crossDelivered int64
+
+	// barrierHook, if set, runs on the coordinator after every window
+	// barrier and every global-callback batch, with all partitions
+	// quiescent. It is not an event: it cannot perturb the simulation
+	// at any partition count. The argument is the latest virtual time
+	// whose events have all fired.
+	barrierHook func(Time)
 }
 
 // NewCluster builds an n-partition cluster with the given lookahead:
@@ -230,6 +245,26 @@ func (c *Cluster) Part(i int) *Sim { return c.parts[i] }
 
 // Lookahead reports the synchronisation window.
 func (c *Cluster) Lookahead() Duration { return c.lookahead }
+
+// SetBarrierHook installs fn to run on the coordinator after every
+// window barrier and global-callback batch, with every partition
+// quiescent — the natural place to merge partition-sharded telemetry.
+// The hook is not an event, so it cannot perturb the simulation; it
+// never fires on a 1-partition cluster (which delegates to its only
+// partition and has no barriers). Pass nil to remove the hook.
+func (c *Cluster) SetBarrierHook(fn func(Time)) { c.barrierHook = fn }
+
+// Windows reports how many lookahead windows have executed.
+func (c *Cluster) Windows() int64 { return c.windows }
+
+// BarrierStalls reports how many windows had their horizon capped by
+// a pending global callback — control-plane pressure shortening the
+// parallel windows.
+func (c *Cluster) BarrierStalls() int64 { return c.stalls }
+
+// CrossDelivered reports cross-partition messages delivered at
+// barriers.
+func (c *Cluster) CrossDelivered() int64 { return c.crossDelivered }
 
 func (c *Cluster) single() bool { return len(c.parts) == 1 }
 
@@ -315,6 +350,7 @@ func (c *Cluster) RunUntil(t Time) {
 		h := emin + c.lookahead
 		if gmin < h {
 			h = gmin
+			c.stalls++
 		}
 		if t+1 < h {
 			h = t + 1
@@ -346,6 +382,7 @@ func (c *Cluster) Run() {
 		h := emin + c.lookahead
 		if gmin < h {
 			h = gmin
+			c.stalls++
 		}
 		c.window(h)
 	}
@@ -403,6 +440,9 @@ func (c *Cluster) runGlobals(g Time) {
 		ev.fn()
 		c.gfired++
 	}
+	if c.barrierHook != nil {
+		c.barrierHook(g)
+	}
 }
 
 // window executes one lookahead window: every partition fires its
@@ -417,7 +457,11 @@ func (c *Cluster) window(h Time) {
 		<-c.done
 	}
 	c.inWindow = false
+	c.windows++
 	c.deliver(h)
+	if c.barrierHook != nil {
+		c.barrierHook(h - 1)
+	}
 }
 
 // deliver runs at the barrier: cross messages from all partitions are
@@ -451,6 +495,7 @@ func (c *Cluster) deliver(h Time) {
 		m.dst.At(m.at, m.fn)
 		m.fn = nil // release for GC; msgbuf is recycled
 	}
+	c.crossDelivered += int64(len(msgs))
 	c.msgbuf = msgs[:0]
 	for _, p := range c.parts {
 		for _, fn := range p.deferred {

@@ -1,0 +1,51 @@
+// Package telemetry is the simulator's observability plane: a
+// deterministic, sim-time-stamped metrics registry, a per-session
+// trace recorder, and a time-series sampler.
+//
+// Everything in this package obeys the same ownership rule as the
+// event kernel it observes: mutable state is sharded per sim.Cluster
+// partition, each shard is written only from its owning partition's
+// context (or from global/barrier context for the trailing global
+// shard), and shards are merged only at quiescent points — lookahead
+// barriers or end of run. That makes every emitted artifact
+// deterministic: a run at -partitions 1 produces output bit-identical
+// to a serial run, and a run at -partitions N is reproducible for
+// that N.
+//
+// The hot path — Counter.Inc on a pre-resolved handle — is a plain
+// non-atomic increment: zero allocations, no locks, no interlocked
+// instructions. Handles must be resolved (Registry.Counter /
+// Registry.Sample) from global context before the partitions start
+// firing, then used freely from the owning partition.
+package telemetry
+
+import "sort"
+
+// Key identifies one metric series: the node that produced it, the
+// subsystem within that node, and the metric name. Keys order
+// lexicographically by (Node, Subsystem, Name); all emitted artifacts
+// sort series in that order so output is deterministic.
+type Key struct {
+	Node      string
+	Subsystem string
+	Name      string
+}
+
+// String renders the key as "node/subsystem/name".
+func (k Key) String() string { return k.Node + "/" + k.Subsystem + "/" + k.Name }
+
+// less is the canonical series order: (Node, Subsystem, Name).
+func (k Key) less(o Key) bool {
+	if k.Node != o.Node {
+		return k.Node < o.Node
+	}
+	if k.Subsystem != o.Subsystem {
+		return k.Subsystem < o.Subsystem
+	}
+	return k.Name < o.Name
+}
+
+// sortKeys sorts keys into the canonical series order.
+func sortKeys(ks []Key) {
+	sort.Slice(ks, func(i, j int) bool { return ks[i].less(ks[j]) })
+}

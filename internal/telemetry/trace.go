@@ -1,0 +1,125 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// LegSample is one admission leg's state at trace time, lifted from a
+// core.Site.Probe AdmissionReport.
+type LegSample struct {
+	// Leg names the admission leg: "link", "uplink", "disk", "cpu" or
+	// "cache".
+	Leg string `json:"leg"`
+	// OK reports whether this leg had room for the probed session.
+	OK bool `json:"ok"`
+	// Headroom is the leg's remaining budget as a fraction of
+	// capacity, post-admission of the probed session.
+	Headroom float64 `json:"headroom"`
+}
+
+// Event is one sim-time trace event in a session's lifecycle. Event
+// names: open, admitted, refused, renegotiate, degrade, restore,
+// cache-served, demoted, underrun, close.
+type Event struct {
+	// T is the sim-time stamp in nanoseconds.
+	T sim.Time `json:"t_ns"`
+	// Shard is the registry shard (partition index, or the global
+	// shard) the event was recorded from.
+	Shard int `json:"shard"`
+	// Seq orders events recorded at the same (T, Shard).
+	Seq uint64 `json:"seq"`
+	// Event is the event name.
+	Event string `json:"event"`
+	// Session is the site-assigned session id, 0 when unknown (e.g.
+	// an underrun on a stream the tracer cannot attribute).
+	Session int64 `json:"session,omitempty"`
+	// Node names the serving node, when known.
+	Node string `json:"node,omitempty"`
+	// Class is the session's QoS class ("guaranteed", "adaptive",
+	// "best-effort") on open/admitted/refused events.
+	Class string `json:"class,omitempty"`
+	// Leg is the refusing leg on refused events (RefusalLeg taxonomy).
+	Leg string `json:"leg,omitempty"`
+	// Err carries the refusal error text on refused events.
+	Err string `json:"err,omitempty"`
+	// Factor is the QoS scale factor on admitted/degrade/restore
+	// events (1 = full rate).
+	Factor float64 `json:"factor,omitempty"`
+	// RateBPS is the session's committed rate on admitted and
+	// renegotiate events.
+	RateBPS int64 `json:"rate_bps,omitempty"`
+	// Legs carries per-leg headrooms from the admission probe on
+	// admitted and refused events.
+	Legs []LegSample `json:"legs,omitempty"`
+}
+
+// Tracer records session lifecycle events into per-shard append
+// buffers — one per partition plus a trailing global shard, same
+// ownership rule as the Registry — and merges them deterministically
+// at flush time by (T, Shard, Seq).
+type Tracer struct {
+	shards [][]Event
+	seqs   []uint64
+}
+
+// NewTracer builds a tracer sharded across parts partitions
+// (parts >= 1), plus the trailing global shard.
+func NewTracer(parts int) *Tracer {
+	if parts < 1 {
+		parts = 1
+	}
+	return &Tracer{
+		shards: make([][]Event, parts+1),
+		seqs:   make([]uint64, parts+1),
+	}
+}
+
+// GlobalShard is the shard index for global (non-partition) context.
+func (tr *Tracer) GlobalShard() int { return len(tr.shards) - 1 }
+
+// Record appends ev to shard's buffer, stamping Shard and Seq. It
+// must be called only from the shard's owning context.
+func (tr *Tracer) Record(shard int, ev Event) {
+	ev.Shard = shard
+	ev.Seq = tr.seqs[shard]
+	tr.seqs[shard]++
+	tr.shards[shard] = append(tr.shards[shard], ev)
+}
+
+// Events merges every shard's buffer into one deterministic order:
+// (T, Shard, Seq). Global/barrier context only.
+func (tr *Tracer) Events() []Event {
+	var all []Event
+	for _, sh := range tr.shards {
+		all = append(all, sh...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.T != b.T {
+			return a.T < b.T
+		}
+		if a.Shard != b.Shard {
+			return a.Shard < b.Shard
+		}
+		return a.Seq < b.Seq
+	})
+	return all
+}
+
+// WriteJSONL writes the merged event stream as JSON lines, one event
+// per line, in deterministic (T, Shard, Seq) order.
+func (tr *Tracer) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, ev := range tr.Events() {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

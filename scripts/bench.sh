@@ -42,12 +42,12 @@ run_suite() {
 echo "== experiment suite (E1-E18, -benchtime $e_benchtime)" >&2
 run_suite "experiments (E1-E18)" "$tmp/e.txt" \
     go test -run '^$' -bench '^BenchmarkE[0-9]+' -benchtime "$e_benchtime" \
-    -timeout 30m .
+    -benchmem -timeout 30m .
 
 echo "== substrate micro-benchmarks (-benchtime $micro_benchtime)" >&2
 run_suite "substrate micro-benchmarks" "$tmp/micro.txt" \
     go test -run '^$' -bench '^Benchmark[^E]' -benchtime "$micro_benchtime" \
-    -timeout 30m .
+    -benchmem -timeout 30m .
 
 awk '
 /^Benchmark/ {

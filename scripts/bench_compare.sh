@@ -4,12 +4,16 @@
 # Usage: scripts/bench_compare.sh baseline.json new.json
 #
 # Fails when any benchmark shared by both records regresses more than
-# the tolerance on ns/op, or when a baseline benchmark is missing from
-# the new record. Override knobs (for noisy runners or intentional
-# regressions, e.g. a PR that trades speed for correctness):
+# the tolerance on ns/op (or the mem tolerance on B/op and allocs/op —
+# a 0 allocs/op baseline gates absolutely), or when a baseline
+# benchmark is missing from the new record. Override knobs (for noisy
+# runners or intentional regressions, e.g. a PR that trades speed for
+# correctness):
 #
-#   BENCH_GATE_TOLERANCE=40   widen the allowed regression (percent)
-#   BENCH_GATE_SKIP=1         skip the gate entirely (logged loudly)
+#   BENCH_GATE_TOLERANCE=40       widen the allowed ns/op regression (percent)
+#   BENCH_GATE_MEM_TOLERANCE=25   widen the allowed B/op + allocs/op regression
+#                                 (percent; -1 disables the memory gate)
+#   BENCH_GATE_SKIP=1             skip the gate entirely (logged loudly)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,4 +25,5 @@ if [ "${BENCH_GATE_SKIP:-0}" = "1" ]; then
     echo "bench_compare.sh: BENCH_GATE_SKIP=1 — regression gate SKIPPED" >&2
     exit 0
 fi
-exec go run ./cmd/benchgate -tolerance "${BENCH_GATE_TOLERANCE:-25}" "$1" "$2"
+exec go run ./cmd/benchgate -tolerance "${BENCH_GATE_TOLERANCE:-25}" \
+    -mem-tolerance "${BENCH_GATE_MEM_TOLERANCE:-10}" "$1" "$2"

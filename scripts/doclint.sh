@@ -19,7 +19,8 @@ fail=0
 
 # --- exported identifiers need doc comments --------------------------------
 for pkg in internal/core internal/sched internal/vodsite \
-           internal/sim internal/fabric internal/loadgen internal/mcache; do
+           internal/sim internal/fabric internal/loadgen internal/mcache \
+           internal/telemetry; do
     for f in "$pkg"/*.go; do
         case "$f" in
         *_test.go) continue ;;

@@ -1,0 +1,185 @@
+// Command telemetrycheck validates pegload's telemetry artifacts: the
+// columnar metrics document (-metrics-out) and the session trace
+// (-trace-out). CI runs it after the short-lane telemetry smoke so a
+// schema drift or a degenerate run (no refusals, no cache hits) fails
+// the build instead of silently emitting plausible-looking files.
+//
+// Usage:
+//
+//	go run ./scripts/telemetrycheck -metrics m.json -trace t.jsonl \
+//	    -expect-cache-served -expect-refused
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/telemetry"
+)
+
+// metricsDoc mirrors the sampler's columnar output.
+type metricsDoc struct {
+	Schema    string  `json:"schema"`
+	CadenceNS int64   `json:"cadence_ns"`
+	TNS       []int64 `json:"t_ns"`
+	Series    []struct {
+		Node      string    `json:"node"`
+		Subsystem string    `json:"subsystem"`
+		Name      string    `json:"name"`
+		Kind      string    `json:"kind"`
+		Values    []float64 `json:"values"`
+	} `json:"series"`
+}
+
+// knownEvents is the trace vocabulary; an unknown event name means the
+// producer and this checker have drifted apart.
+var knownEvents = map[string]bool{
+	"open": true, "admitted": true, "refused": true,
+	"renegotiate": true, "degrade": true, "restore": true,
+	"cache-served": true, "demoted": true, "underrun": true,
+	"close": true,
+}
+
+func main() {
+	var (
+		metricsPath = flag.String("metrics", "", "metrics JSON file to validate")
+		tracePath   = flag.String("trace", "", "trace JSONL file to validate")
+		expectCache = flag.Bool("expect-cache-served", false,
+			"fail unless the trace has at least one cache-served event")
+		expectRefused = flag.Bool("expect-refused", false,
+			"fail unless the trace has at least one refused event with a populated leg")
+	)
+	flag.Parse()
+
+	failed := false
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "telemetrycheck: "+format+"\n", args...)
+		failed = true
+	}
+
+	if *metricsPath != "" {
+		checkMetrics(*metricsPath, fail)
+	}
+	if *tracePath != "" {
+		checkTrace(*tracePath, *expectCache, *expectRefused, fail)
+	}
+	if *metricsPath == "" && *tracePath == "" {
+		fail("nothing to check: pass -metrics and/or -trace")
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Println("telemetrycheck: ok")
+}
+
+func checkMetrics(path string, fail func(string, ...any)) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fail("%v", err)
+		return
+	}
+	var doc metricsDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		fail("metrics %s: %v", path, err)
+		return
+	}
+	if doc.Schema != telemetry.MetricsSchema {
+		fail("metrics %s: schema %q, want %q", path, doc.Schema, telemetry.MetricsSchema)
+	}
+	if doc.CadenceNS <= 0 {
+		fail("metrics %s: cadence_ns %d, want > 0", path, doc.CadenceNS)
+	}
+	if len(doc.TNS) == 0 {
+		fail("metrics %s: empty t_ns axis (no samples taken)", path)
+	}
+	for i := 1; i < len(doc.TNS); i++ {
+		if doc.TNS[i] <= doc.TNS[i-1] {
+			fail("metrics %s: t_ns not strictly increasing at index %d", path, i)
+			break
+		}
+	}
+	if len(doc.Series) == 0 {
+		fail("metrics %s: no series", path)
+	}
+	for _, s := range doc.Series {
+		id := s.Node + "/" + s.Subsystem + "/" + s.Name
+		if s.Node == "" || s.Subsystem == "" || s.Name == "" {
+			fail("metrics %s: series %q has an empty key component", path, id)
+		}
+		if s.Kind != "counter" && s.Kind != "gauge" {
+			fail("metrics %s: series %s has unknown kind %q", path, id, s.Kind)
+		}
+		if len(s.Values) != len(doc.TNS) {
+			fail("metrics %s: series %s has %d values for %d samples",
+				path, id, len(s.Values), len(doc.TNS))
+		}
+		if s.Kind == "counter" {
+			for i := 1; i < len(s.Values); i++ {
+				if s.Values[i] < s.Values[i-1] {
+					fail("metrics %s: counter %s decreases at index %d", path, id, i)
+					break
+				}
+			}
+		}
+	}
+}
+
+func checkTrace(path string, expectCache, expectRefused bool, fail func(string, ...any)) {
+	f, err := os.Open(path)
+	if err != nil {
+		fail("%v", err)
+		return
+	}
+	defer f.Close()
+
+	var (
+		lines, cacheServed, refusedWithLeg int
+		lastT                              int64 = -1
+	)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		lines++
+		var ev telemetry.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			fail("trace %s: line %d: %v", path, lines, err)
+			return
+		}
+		if !knownEvents[ev.Event] {
+			fail("trace %s: line %d: unknown event %q", path, lines, ev.Event)
+			return
+		}
+		if int64(ev.T) < lastT {
+			fail("trace %s: line %d: t_ns went backwards", path, lines)
+			return
+		}
+		lastT = int64(ev.T)
+		switch ev.Event {
+		case "cache-served":
+			cacheServed++
+		case "refused":
+			if ev.Leg != "" {
+				refusedWithLeg++
+			} else {
+				fail("trace %s: line %d: refused event without a leg", path, lines)
+				return
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fail("trace %s: %v", path, err)
+		return
+	}
+	if lines == 0 {
+		fail("trace %s: empty trace", path)
+	}
+	if expectCache && cacheServed == 0 {
+		fail("trace %s: expected at least one cache-served event", path)
+	}
+	if expectRefused && refusedWithLeg == 0 {
+		fail("trace %s: expected at least one refused event with a populated leg", path)
+	}
+}
