@@ -19,6 +19,7 @@ import (
 	"repro/internal/invoke"
 	"repro/internal/lfs"
 	"repro/internal/media"
+	"repro/internal/metro"
 	"repro/internal/names"
 	"repro/internal/nemesis"
 	"repro/internal/raid"
@@ -734,6 +735,64 @@ func BenchmarkIntervalCacheHit(b *testing.B) {
 	}
 	if ss.CM.Stats.Underruns != 0 {
 		b.Fatalf("%d underruns during the measured rounds", ss.CM.Stats.Underruns)
+	}
+}
+
+// benchMetro builds a three-site federation with one serving node per
+// site and a viewer port on site 0; the catalog's titles are held on
+// sites 1 and 2 only, so every home-site admission question is a
+// cross-site one.
+func benchMetro(b *testing.B, titles int) (*metro.Controller, int) {
+	const (
+		frameBytes, frameHz = 4800, 100
+		round               = 500 * sim.Millisecond
+	)
+	titleBytes := 2 * int64(frameHz) * int64(round) / int64(sim.Second) * frameBytes
+	m := metro.New(metro.Config{
+		Sites: 3,
+		Vod:   vodsite.Config{PeakRate: 5_300_000, ReplicationDisabled: true},
+	})
+	for _, mb := range m.Members() {
+		mb.Ctrl.AddNode(mb.Site.NewStorageServer("vod", 256<<10, int64(titles*6+16)))
+	}
+	viewer := m.Member(0).Site.Attach("v")
+	for i := 0; i < titles; i++ {
+		m.AddTitle(fmt.Sprintf("t%d", i), titleBytes, frameBytes, frameHz, []int{1, 2})
+	}
+	if err := m.Place(); err != nil {
+		b.Fatal(err)
+	}
+	m.Clock().Run()
+	m.Start(fileserver.CMConfig{Round: round})
+	return m, viewer.Port
+}
+
+// BenchmarkMetroSpillProbe measures the federated admission query hot
+// path: one metro Probe per iteration for a title the home site does
+// not hold — the replicated-catalog candidate walk, the remote site's
+// link ∧ uplink ∧ disk probe, the home viewer-downlink merge and the
+// explicit trunk-headroom leg.
+func BenchmarkMetroSpillProbe(b *testing.B) {
+	m, port := benchMetro(b, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, site := m.Probe(0, fmt.Sprintf("t%d", i%8), port)
+		if !rep.OK || site < 0 {
+			b.Fatal("spill probe refused with every budget free")
+		}
+	}
+}
+
+// BenchmarkCatalogSync measures the steady-state anti-entropy round:
+// every alive site exchanges versions with its ring successor over the
+// sorted key union of a converged 64-title catalog (the recurring cost
+// every SyncEvery tick, dominated by the scan, not by reconciliation).
+func BenchmarkCatalogSync(b *testing.B) {
+	m, _ := benchMetro(b, 64)
+	m.SyncCatalog() // converge once; measured rounds reconcile nothing
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.SyncCatalog()
 	}
 }
 

@@ -11,6 +11,7 @@
 //	pegload -cluster -ws 24 -streams 2 -servers 4 -titles 8 -zipf 1.6
 //	pegload -cluster -base-replicas 2 -fail-node-at 3 -fail-node 0
 //	pegload -cluster -partitions 4 -ws 64 -streams 4  # sharded kernel, one goroutine per core
+//	pegload -metro -sites 3 -site-replicas 2 -spill-ablation  # federated sites, flash crowd on site 0
 //	pegload -adaptive -ws 6 -streams 2 -seconds 4 -expect-degraded
 //	pegload -cell-accurate -ws 8 -seconds 1   # exact per-cell model
 //	pegload -json
@@ -91,7 +92,28 @@ func main() {
 			"disable reactive replication (the hot-title ablation)")
 		failNodeAt = flag.Float64("fail-node-at", 0,
 			"seconds into the run to tear one node down (0 = never)")
-		failNode = flag.Int("fail-node", 0, "node to tear down with -fail-node-at")
+		failNode  = flag.Int("fail-node", 0, "node to tear down with -fail-node-at")
+		metroMode = flag.Bool("metro", false,
+			"federate -sites vodsite sites behind a two-tier fabric and home every "+
+				"viewer on site 0 (the flash crowd): requests the home site cannot "+
+				"carry spill across the core switch to neighbor sites, with the "+
+				"inter-site trunk as an explicit admission leg")
+		sites        = flag.Int("sites", 0, "metro federation size (0 = 3)")
+		siteReplicas = flag.Int("site-replicas", 0,
+			"sites holding each title's bytes (0 = 2, capped at -sites)")
+		trunkRate = flag.Int64("trunk-rate", 0,
+			"per-direction inter-site trunk bits/s (0 = 4x link rate)")
+		noSpill = flag.Bool("no-spill", false,
+			"disable cross-site spill admission (the single-site ablation): "+
+				"home-site refusals are final")
+		spillThreshold = flag.Int("spill-threshold", 0,
+			"title spill pressure before a lazy cross-site copy (0 = 4, <0 = never copy)")
+		spillAblation = flag.Bool("spill-ablation", false,
+			"run the identical federation twice — spill off, then on — and report "+
+				"both admission counts; with -check the spilling run must admit strictly more")
+		failSiteAt = flag.Float64("fail-site-at", 0,
+			"seconds into a -metro run to fail one whole site (0 = never)")
+		failSite = flag.Int("fail-site", 0, "site to fail with -fail-site-at")
 		cacheMB  = flag.Int("cache-mb", 0,
 			"per-node RAM buffer tier in MiB (storage-backed modes; 0 = no cache): a "+
 				"request trailing another viewer of the same title is served from the "+
@@ -117,6 +139,12 @@ func main() {
 			"exit 1 unless at least one reactive replication completed (cluster)")
 		expectRecovered = flag.Bool("expect-recovered", false,
 			"exit 1 unless node failure recovered at least one stream (cluster)")
+		expectSpilled = flag.Bool("expect-spilled", false,
+			"exit 1 unless at least one session was admitted cross-site (metro)")
+		expectSiteRecovered = flag.Bool("expect-site-recovered", false,
+			"exit 1 unless the site failure re-admitted at least one session on survivors (metro)")
+		minActiveSites = flag.Int("min-active-sites", 0,
+			"exit 1 unless at least this many sites are serving sessions at the end (metro)")
 		expectDegraded = flag.Bool("expect-degraded", false,
 			"exit 1 unless at least one session dropped a quality tier (adaptive)")
 		expectRestored = flag.Bool("expect-restored", false,
@@ -169,6 +197,15 @@ func main() {
 		FailNode:            *failNode,
 		CacheMB:             *cacheMB,
 
+		Metro:          *metroMode,
+		Sites:          *sites,
+		SiteReplicas:   *siteReplicas,
+		TrunkRate:      *trunkRate,
+		NoSpill:        *noSpill,
+		SpillThreshold: *spillThreshold,
+		FailSiteAt:     sim.Duration(math.Round(*failSiteAt * float64(sim.Second))),
+		FailSite:       *failSite,
+
 		Adaptive:       *adaptive,
 		GuaranteedOnly: *guaranteedOnly,
 		ReleaseAt:      sim.Duration(math.Round(*releaseAt * float64(sim.Second))),
@@ -198,8 +235,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pegload: -cluster does not support -cpu-bound (cluster nodes do not enable CPU admission)")
 		os.Exit(2)
 	}
-	if *partitions != 0 && !*cluster {
-		fmt.Fprintln(os.Stderr, "pegload: -partitions requires -cluster (only the unicast node-owned topology shards)")
+	if *partitions != 0 && !*cluster && !*metroMode {
+		fmt.Fprintln(os.Stderr, "pegload: -partitions requires -cluster or -metro (only the node-owned topologies shard)")
+		os.Exit(2)
+	}
+	if *metroMode && (*cluster || *adaptive || *cpuBound) {
+		fmt.Fprintln(os.Stderr, "pegload: -metro is its own topology; drop -cluster/-adaptive/-cpu-bound")
+		os.Exit(2)
+	}
+	if *spillAblation && !*metroMode {
+		fmt.Fprintln(os.Stderr, "pegload: -spill-ablation requires -metro (nothing to spill without a federation)")
+		os.Exit(2)
+	}
+	if *spillAblation && *noSpill {
+		fmt.Fprintln(os.Stderr, "pegload: -spill-ablation runs the -no-spill twin itself; drop -no-spill")
 		os.Exit(2)
 	}
 	if *noCache {
@@ -225,6 +274,17 @@ func main() {
 		acfg.Trace = false
 		acfg.MetricsEvery = 0
 		ablation = loadgen.Build(acfg).Run()
+	}
+	var spillTwin loadgen.Result
+	if *spillAblation {
+		// Same twin discipline for the federation: the identical metro
+		// with spill admission off, so the scoreboard can state what the
+		// trunks bought.
+		acfg := cfg
+		acfg.NoSpill = true
+		acfg.Trace = false
+		acfg.MetricsEvery = 0
+		spillTwin = loadgen.Build(acfg).Run()
 	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -281,6 +341,9 @@ func main() {
 			res.CacheRatio = float64(res.StorageStreams) / float64(ablation.StorageStreams)
 		}
 	}
+	if *spillAblation {
+		res.SpillAblationAdmitted = spillTwin.Admitted
+	}
 	if *asJSON {
 		out, err := res.JSON()
 		if err != nil {
@@ -307,7 +370,7 @@ func main() {
 		if res.Underruns != 0 {
 			fail("%d buffer underruns among admitted streams", res.Underruns)
 		}
-		if (*fromStorage || *cluster || *adaptive || *cpuBound) && res.DiskBytesRead == 0 {
+		if (*fromStorage || *cluster || *adaptive || *cpuBound || *metroMode) && res.DiskBytesRead == 0 {
 			fail("storage-backed run read nothing off the disks")
 		}
 		if res.DeadlineMisses != 0 {
@@ -339,6 +402,29 @@ func main() {
 	if *expectRecovered && res.FailoverRecovered == 0 {
 		fail("expected node failure to recover streams; recovered=0 dropped=%d",
 			res.FailoverDropped)
+	}
+	if *expectSpilled && res.Spilled == 0 {
+		fail("expected cross-site spill admissions; every session stayed home")
+	}
+	if *expectSiteRecovered && res.SiteRecovered == 0 {
+		fail("expected the site failure to re-admit sessions on survivors; recovered=0 dropped=%d",
+			res.SiteDropped)
+	}
+	if *minActiveSites > 0 {
+		active := 0
+		for _, c := range res.SiteServed {
+			if c > 0 {
+				active++
+			}
+		}
+		if active < *minActiveSites {
+			fail("sessions served from %d site(s) %v, want >= %d",
+				active, res.SiteServed, *minActiveSites)
+		}
+	}
+	if *spillAblation && *check && res.Admitted <= res.SpillAblationAdmitted {
+		fail("spill admitted %d sessions vs %d without (federation bought nothing)",
+			res.Admitted, res.SpillAblationAdmitted)
 	}
 	if *expectDegraded && res.DegradeEvents == 0 {
 		fail("expected sessions to degrade instead of refuse; no tier drops happened")

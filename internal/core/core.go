@@ -31,6 +31,11 @@ import (
 
 // SiteConfig parameterises a Pegasus site.
 type SiteConfig struct {
+	// Name labels the site in its switch name and telemetry gauge
+	// keys. Empty means "site", which is right for a standalone
+	// installation; a metro gives every hosted site a unique name so
+	// their gauges in the shared registry do not collide.
+	Name string
 	// Ports is the central switch's port count.
 	Ports int
 	// LinkRate is the bit rate of every attachment link.
@@ -111,6 +116,8 @@ type Site struct {
 	cmSessions map[*fileserver.CMStream]*Session
 
 	clu        *sim.Cluster
+	hosted     bool // built by NewSiteOn: kernel, registry owned elsewhere
+	trParts    int  // tracer shard count (metro partitions for hosted sites)
 	nextAttach int
 	nextPort   int
 	nextVCI    atm.VCI
@@ -118,6 +125,9 @@ type Site struct {
 
 // NewSite builds an empty site.
 func NewSite(cfg SiteConfig) *Site {
+	if cfg.Name == "" {
+		cfg.Name = "site"
+	}
 	st := &Site{Config: cfg, nextVCI: 100}
 	if cfg.Partitions > 0 {
 		if cfg.CellAccurate && cfg.Partitions > 1 {
@@ -135,18 +145,54 @@ func NewSite(cfg SiteConfig) *Site {
 		st.Sim = sim.New()
 		st.Clock = st.Sim
 	}
-	st.Switch = fabric.NewSwitch(st.Sim, "site", cfg.Ports, cfg.FabricDelay)
+	st.Switch = fabric.NewSwitch(st.Sim, cfg.Name, cfg.Ports, cfg.FabricDelay)
 	st.Signalling = netsig.NewManager(st.Switch, cfg.LinkRate)
 	parts := cfg.Partitions
 	if parts < 1 {
 		parts = 1
 	}
+	st.trParts = parts
 	st.Metrics = telemetry.NewRegistry(parts)
 	st.cmNodes = make(map[*fileserver.CMService]string)
 	st.cmSessions = make(map[*fileserver.CMStream]*Session)
 	st.registerSiteGauges()
 	return st
 }
+
+// NewSiteOn builds a site hosted on an externally owned event kernel:
+// every attachment lands on owner (the whole site is one partition
+// group), the run loop is clock, and telemetry lands in the caller's
+// shared registry (sharded for the caller's partition count, which
+// traceParts also sizes any tracer to). This is the metro federation's
+// constructor — N hosted sites share one cluster, one registry and
+// one trace, and the metro layer owns cross-site gauges the site
+// cannot see (trunks, catalog, the cluster itself).
+func NewSiteOn(clock sim.Scheduler, owner *sim.Sim, traceParts int, reg *telemetry.Registry, cfg SiteConfig) *Site {
+	if cfg.Name == "" {
+		cfg.Name = "site"
+	}
+	if cfg.Partitions > 0 {
+		panic("core: NewSiteOn hosts the site on the caller's kernel; SiteConfig.Partitions must be zero")
+	}
+	if traceParts < 1 {
+		traceParts = 1
+	}
+	st := &Site{Config: cfg, nextVCI: 100, hosted: true, trParts: traceParts}
+	st.Sim = owner
+	st.Clock = clock
+	st.Switch = fabric.NewSwitch(owner, cfg.Name, cfg.Ports, cfg.FabricDelay)
+	st.Signalling = netsig.NewManager(st.Switch, cfg.LinkRate)
+	st.Metrics = reg
+	st.cmNodes = make(map[*fileserver.CMService]string)
+	st.cmSessions = make(map[*fileserver.CMStream]*Session)
+	st.registerSiteGauges()
+	return st
+}
+
+// ReservePort claims the next free switch port without attaching an
+// endpoint — how a metro takes the trunk port before any node comes
+// up, so the port is deterministic (always port 0) per site.
+func (st *Site) ReservePort() int { return st.allocPort() }
 
 // Cluster returns the site's partition cluster, or nil when the site
 // runs on the serial kernel.

@@ -1,5 +1,14 @@
 package core
 
+import "errors"
+
+// ErrTrunk refuses a cross-site admission on the inter-site trunk
+// budget: both end sites had room but the edge→core→edge path did
+// not. It lives in core (not the metro package) so RefusalLeg can map
+// it onto LegTrunk without an import cycle; the metro layer wraps it
+// with the refusing trunk's detail.
+var ErrTrunk = errors.New("core: inter-site trunk capacity exceeded")
+
 // This file is the site's admission *probe* surface: one API that
 // answers "would this stream be admitted, and where is the headroom?"
 // without holding anything. It replaces the ad-hoc probes callers used
@@ -33,6 +42,11 @@ const (
 	// cache-servable stream *skips* LegDisk; a cache miss alone never
 	// refuses anything.
 	LegCache
+	// LegTrunk is the inter-site trunk uplink of a metro federation:
+	// the extra admission leg a session spilled to a neighbor site must
+	// pass. Site-local probes never exercise it; the metro layer fills
+	// it in on composed cross-site reports.
+	LegTrunk
 
 	numLegs
 )
@@ -50,6 +64,8 @@ func (l Leg) String() string {
 		return "cpu"
 	case LegCache:
 		return "cache"
+	case LegTrunk:
+		return "trunk"
 	}
 	return "leg(?)"
 }

@@ -31,6 +31,8 @@ func RefusalLeg(err error) (Leg, bool) {
 		return LegDisk, true
 	case errors.Is(err, sched.ErrOverCommit):
 		return LegCPU, true
+	case errors.Is(err, ErrTrunk):
+		return LegTrunk, true
 	}
 	return 0, false
 }
@@ -40,14 +42,16 @@ func RefusalLeg(err error) (Leg, bool) {
 // trace covers the whole run. Idempotent.
 func (st *Site) EnableTrace() *telemetry.Tracer {
 	if st.tracer == nil {
-		parts := st.Config.Partitions
-		if parts < 1 {
-			parts = 1
-		}
-		st.tracer = telemetry.NewTracer(parts)
+		st.tracer = telemetry.NewTracer(st.trParts)
 	}
 	return st.tracer
 }
+
+// AdoptTrace points the site at an externally owned tracer — how a
+// metro shares one trace (sized to the metro's partition count)
+// across every hosted site, so events from all sites merge into one
+// deterministic timeline.
+func (st *Site) AdoptTrace(tr *telemetry.Tracer) { st.tracer = tr }
 
 // Trace returns the site's trace recorder, nil until EnableTrace.
 func (st *Site) Trace() *telemetry.Tracer { return st.tracer }
@@ -60,8 +64,9 @@ func (st *Site) Trace() *telemetry.Tracer { return st.tracer }
 func (st *Site) registerSiteGauges() {
 	reg := st.Metrics
 	q := &st.QoSStats
+	node := st.Config.Name
 	site := func(sub, name string, fn func() float64) {
-		reg.Gauge(telemetry.Key{Node: "site", Subsystem: sub, Name: name}, fn)
+		reg.Gauge(telemetry.Key{Node: node, Subsystem: sub, Name: name}, fn)
 	}
 	site("admission", "opened", func() float64 { return float64(q.Opened) })
 	site("admission", "refused", func() float64 { return float64(q.Refused) })
@@ -86,6 +91,12 @@ func (st *Site) registerSiteGauges() {
 			func() float64 { return float64(p.Fired()) })
 		reg.Gauge(telemetry.Key{Node: node, Subsystem: "sim", Name: "inbox_depth"},
 			func() float64 { return float64(p.Pending()) })
+	}
+	if st.hosted {
+		// The kernel (and its per-partition gauges) belongs to the
+		// metro layer; registering them here per site would just
+		// re-register the same keys K times.
+		return
 	}
 	if st.clu == nil {
 		part(0, st.Sim)

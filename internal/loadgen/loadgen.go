@@ -32,6 +32,7 @@ import (
 	"repro/internal/devices"
 	"repro/internal/fabric"
 	"repro/internal/fileserver"
+	"repro/internal/metro"
 	"repro/internal/raid"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -137,6 +138,29 @@ type Config struct {
 	// on surviving replicas.
 	FailNodeAt sim.Duration
 	FailNode   int
+
+	// Metro federates Sites vodsite sites behind a two-tier fabric
+	// (internal/metro) and homes every viewer on site 0 — the flash-
+	// crowd scenario: requests the home site cannot carry spill to
+	// neighbor sites across the core switch, with the inter-site trunk
+	// as an explicit admission leg. Implies storage-backed serving;
+	// each site gets Servers nodes and the catalog spreads over the
+	// sites SiteReplicas wide.
+	Metro bool
+	// Sites is the federation size (default 3). SiteReplicas is how
+	// many sites hold each title's bytes (default 2, capped at Sites).
+	Sites        int
+	SiteReplicas int
+	// NoSpill runs the single-site ablation: home-site refusals are
+	// final. TrunkRate overrides the per-direction trunk capacity.
+	// SpillThreshold passes through to metro.Config (cross-site lazy
+	// replication trigger). FailSiteAt kills whole site FailSite that
+	// far into the run (0: never).
+	NoSpill        bool
+	TrunkRate      int64
+	SpillThreshold int
+	FailSiteAt     sim.Duration
+	FailSite       int
 
 	// Adaptive runs the degrade-instead-of-refuse scenario: every
 	// request is one unicast disk-backed stream opened as an
@@ -266,6 +290,36 @@ func (c *Config) setDefaults() {
 			c.ReleaseEvery = 3
 		}
 	}
+	if c.Metro {
+		c.Pattern = VoD
+		if c.Sites == 0 {
+			c.Sites = 3
+		}
+		if c.Servers == 0 {
+			c.Servers = 2 // per site
+		}
+		if c.SiteReplicas == 0 {
+			c.SiteReplicas = 2
+		}
+		if c.SiteReplicas > c.Sites {
+			c.SiteReplicas = c.Sites
+		}
+		if c.Round == 0 {
+			c.Round = sim.Second
+		}
+		if c.TitleRounds == 0 {
+			c.TitleRounds = 4
+		}
+		if c.Titles == 0 {
+			c.Titles = 2 * c.Servers * c.Sites
+		}
+		if c.ZipfS == 0 {
+			c.ZipfS = 1.3
+		}
+		if c.Seed == 0 {
+			c.Seed = 1
+		}
+	}
 	if c.Cluster {
 		c.Pattern = VoD
 		if c.Servers == 0 {
@@ -386,13 +440,27 @@ type Result struct {
 	AblationStreams int     `json:"ablation_streams,omitempty"`
 	CacheRatio      float64 `json:"cache_ratio,omitempty"`
 
-	// Multi-server site scoreboard (Cluster runs only).
+	// Multi-server site scoreboard (Cluster runs; Metro runs share
+	// SiteRefused for requests no site could carry).
 	NodeAdmissions    []int64 `json:"node_admissions"`    // cumulative admissions per node (incl. failover)
 	SiteRefused       int     `json:"site_refused"`       // requests no replica could carry, still pending at end
 	ReplicasTriggered int64   `json:"replicas_triggered"` // reactive replications scheduled
 	ReplicasCompleted int64   `json:"replicas_completed"` // replicas that joined the catalog
 	FailoverRecovered int64   `json:"failover_recovered"` // streams re-admitted on surviving replicas
 	FailoverDropped   int64   `json:"failover_dropped"`   // streams lost with their node
+
+	// Metro federation scoreboard (Metro runs only).
+	SiteServed        []int64 `json:"site_served,omitempty"`        // open sessions served per site at end
+	Spilled           int64   `json:"spilled,omitempty"`            // cross-site admissions
+	TrunkRefused      int64   `json:"trunk_refused,omitempty"`      // refusals where the trunk was the binding leg
+	SiteRecovered     int64   `json:"site_recovered,omitempty"`     // sessions re-admitted on survivors after FailSite
+	SiteDropped       int64   `json:"site_dropped,omitempty"`       // sessions lost to a site failure
+	CatalogSyncs      int64   `json:"catalog_syncs,omitempty"`      // anti-entropy rounds run
+	CatalogReconciled int64   `json:"catalog_reconciled,omitempty"` // catalog rows brought up to date
+	CrossSiteCopies   int64   `json:"cross_site_copies,omitempty"`  // lazy byte replications completed
+	// Ablation column (pegload -spill-ablation): the no-spill twin
+	// run's admission count.
+	SpillAblationAdmitted int `json:"spill_ablation_admitted,omitempty"`
 
 	// QoS-session scoreboard (Adaptive and CPUBound runs).
 	SessionsUp       int   `json:"sessions_up"`       // sessions open at end of run
@@ -427,7 +495,7 @@ func (r Result) String() string {
 		r.WallSeconds, r.EventsPerSec/1e6, r.CellsPerSec/1e6,
 		sim.Duration(r.LatencyP50), sim.Duration(r.LatencyP99), sim.Duration(r.LatencyMax),
 		sim.Duration(r.JitterP50), sim.Duration(r.JitterP99))
-	if r.Config.FromStorage || r.Config.Cluster || r.Config.Adaptive {
+	if r.Config.FromStorage || r.Config.Cluster || r.Config.Adaptive || r.Config.Metro {
 		s += fmt.Sprintf(
 			"\n  storage: streams=%d refused=%d underruns=%d overruns=%d"+
 				" streamed=%.1fMB disk-read=%.1fMB",
@@ -452,6 +520,21 @@ func (r Result) String() string {
 		if r.Config.FailNodeAt > 0 {
 			s += fmt.Sprintf("\n  failover: recovered=%d dropped=%d",
 				r.FailoverRecovered, r.FailoverDropped)
+		}
+	}
+	if r.Config.Metro {
+		s += fmt.Sprintf(
+			"\n  metro: site-served=%v spilled=%d trunk-refused=%d refused=%d"+
+				"\n  catalog: syncs=%d reconciled=%d cross-copies=%d",
+			r.SiteServed, r.Spilled, r.TrunkRefused, r.SiteRefused,
+			r.CatalogSyncs, r.CatalogReconciled, r.CrossSiteCopies)
+		if r.Config.FailSiteAt > 0 {
+			s += fmt.Sprintf("\n  site-failover: recovered=%d dropped=%d",
+				r.SiteRecovered, r.SiteDropped)
+		}
+		if r.SpillAblationAdmitted > 0 {
+			s += fmt.Sprintf("\n  ablation: no-spill admitted=%d spill admitted=%d",
+				r.SpillAblationAdmitted, r.Admitted)
 		}
 	}
 	if r.Config.Adaptive || r.Config.CPUBound {
@@ -752,6 +835,13 @@ type Scenario struct {
 	requests []*clusterReq
 	pending  []*clusterReq
 
+	// Metro-mode state: the federation controller, every viewer
+	// request, and the requests no site could carry (retried when a
+	// cross-site copy lands bytes on the home site).
+	metroCtl *metro.Controller
+	mreqs    []*metroReq
+	mpending []*metroReq
+
 	admitted, rejected, tornDown int
 	traffics                     []*traffic
 	sampler                      *telemetry.Sampler
@@ -777,6 +867,37 @@ func trafficKey(name string) telemetry.Key {
 	return telemetry.Key{Node: "loadgen", Subsystem: "traffic", Name: name}
 }
 
+// clock, metrics, cluster and trace resolve the scenario's run loop,
+// registry, partition cluster and tracer whichever topology owns them:
+// the metro controller in Metro mode, the single site otherwise.
+func (sc *Scenario) clock() sim.Scheduler {
+	if sc.metroCtl != nil {
+		return sc.metroCtl.Clock()
+	}
+	return sc.site.Clock
+}
+
+func (sc *Scenario) metrics() *telemetry.Registry {
+	if sc.metroCtl != nil {
+		return sc.metroCtl.Metrics()
+	}
+	return sc.site.Metrics
+}
+
+func (sc *Scenario) cluster() *sim.Cluster {
+	if sc.metroCtl != nil {
+		return sc.metroCtl.Cluster()
+	}
+	return sc.site.Cluster()
+}
+
+func (sc *Scenario) trace() *telemetry.Tracer {
+	if sc.metroCtl != nil {
+		return sc.metroCtl.Tracer()
+	}
+	return sc.site.Trace()
+}
+
 // trafficFor returns (creating on first use) the registry handles for a
 // partition's timeline. Global context only; the handful of partitions
 // makes the linear scan irrelevant.
@@ -786,7 +907,7 @@ func (sc *Scenario) trafficFor(s *sim.Sim) *traffic {
 			return t
 		}
 	}
-	reg, p := sc.site.Metrics, s.Partition()
+	reg, p := sc.metrics(), s.Partition()
 	t := &traffic{
 		sim:             s,
 		framesSent:      reg.Counter(p, trafficKey("frames_sent")),
@@ -802,15 +923,15 @@ func (sc *Scenario) trafficFor(s *sim.Sim) *traffic {
 // framesDeliveredTotal sums delivered frames across partitions (for
 // tests probing mid-run progress). Quiescent context only.
 func (sc *Scenario) framesDeliveredTotal() int64 {
-	return sc.site.Metrics.CounterValue(trafficKey("frames_delivered"))
+	return sc.metrics().CounterValue(trafficKey("frames_delivered"))
 }
 
 // Site exposes the underlying site (switch, signalling) for assertions.
 func (sc *Scenario) Site() *core.Site { return sc.site }
 
-// Telemetry exposes the site's metrics registry. Merged reads are only
-// safe between runs (quiescent context).
-func (sc *Scenario) Telemetry() *telemetry.Registry { return sc.site.Metrics }
+// Telemetry exposes the scenario's metrics registry. Merged reads are
+// only safe between runs (quiescent context).
+func (sc *Scenario) Telemetry() *telemetry.Registry { return sc.metrics() }
 
 // attachSite installs the scenario's site, switching session tracing
 // on before any admission so build-time refusals land in the trace.
@@ -833,7 +954,7 @@ func (sc *Scenario) WriteMetrics(w io.Writer) error {
 // WriteTrace emits the per-session lifecycle trace as JSON lines. Call
 // after Run; requires Config.Trace.
 func (sc *Scenario) WriteTrace(w io.Writer) error {
-	tr := sc.site.Trace()
+	tr := sc.trace()
 	if tr == nil {
 		return errors.New("loadgen: tracing not enabled (Config.Trace)")
 	}
@@ -852,13 +973,21 @@ func Build(cfg Config) *Scenario {
 		// the CPUBound defaults had already rewritten the geometry.
 		panic("loadgen: Cluster and CPUBound cannot be combined")
 	}
-	if cfg.Partitions != 0 && !cfg.Cluster {
-		// Only cluster mode keeps every stream unicast and node-owned;
-		// the other patterns share state across the whole site.
-		panic("loadgen: Partitions requires Cluster mode")
+	if cfg.Metro && (cfg.Cluster || cfg.Adaptive || cfg.CPUBound) {
+		panic("loadgen: Metro cannot be combined with Cluster, Adaptive or CPUBound")
+	}
+	if cfg.Partitions != 0 && !cfg.Cluster && !cfg.Metro {
+		// Only cluster and metro modes keep every stream unicast and
+		// node-owned; the other patterns share state across the whole
+		// site.
+		panic("loadgen: Partitions requires Cluster or Metro mode")
 	}
 	cfg.setDefaults()
 	sc := &Scenario{cfg: cfg}
+	if cfg.Metro {
+		sc.buildMetro()
+		return sc
+	}
 	if cfg.Cluster {
 		sc.buildCluster()
 		return sc
@@ -1028,6 +1157,13 @@ func (sc *Scenario) Run() Result {
 	if sc.cfg.Adaptive && sc.cfg.ReleaseAt > 0 && sc.cfg.ReleaseEvery > 0 {
 		sc.site.Clock.CallAfter(sc.cfg.ReleaseAt, sc.releaseSome)
 	}
+	if sc.cfg.Metro && sc.cfg.FailSiteAt > 0 {
+		idx := sc.cfg.FailSite % sc.cfg.Sites
+		if idx < 0 { // Go's % preserves sign
+			idx += sc.cfg.Sites
+		}
+		sc.clock().CallAfter(sc.cfg.FailSiteAt, func() { sc.metroCtl.FailSite(idx) })
+	}
 	if sc.cfg.Cluster && sc.cfg.CacheMB > 0 {
 		// The build-time admission wave ran before any scheduler round
 		// had fed the RAM tier, so no request could ride a wake. Once
@@ -1049,22 +1185,22 @@ func (sc *Scenario) Run() Result {
 	// single-partition runs chain a self-rescheduling tick instead,
 	// whose firings collect subtracts back out of EventsFired.
 	if sc.cfg.MetricsEvery > 0 && sc.sampler == nil {
-		sc.sampler = telemetry.NewSampler(sc.site.Metrics, sc.cfg.MetricsEvery)
-		if clu := sc.site.Cluster(); clu != nil && clu.Parts() > 1 {
+		sc.sampler = telemetry.NewSampler(sc.metrics(), sc.cfg.MetricsEvery)
+		if clu := sc.cluster(); clu != nil && clu.Parts() > 1 {
 			sc.sampler.AttachBarrier(clu)
 		} else {
-			sc.sampler.Chain(sc.site.Clock)
+			sc.sampler.Chain(sc.clock())
 		}
 	}
-	sc.runStart = sc.site.Clock.Now()
-	sc.firedStart = sc.site.Clock.Fired()
+	sc.runStart = sc.clock().Now()
+	sc.firedStart = sc.clock().Fired()
 	if sc.sampler != nil {
 		sc.ticksStart = sc.sampler.Ticks()
 	}
 	wall := time.Now()
-	sc.site.Clock.RunFor(sc.cfg.Duration)
+	sc.clock().RunFor(sc.cfg.Duration)
 	if sc.sampler != nil {
-		sc.sampler.Final(sc.site.Clock.Now())
+		sc.sampler.Final(sc.clock().Now())
 	}
 	return sc.collect(time.Since(wall))
 }
@@ -1075,8 +1211,8 @@ func (sc *Scenario) collect(wall time.Duration) Result {
 	// result is independent of merge order. A chained sampler's own
 	// tick events are subtracted back out of the events-fired score so
 	// telemetry on vs off yields byte-identical scoreboards.
-	latency := sc.site.Metrics.MergedSample(trafficKey("latency_ns"))
-	jitter := sc.site.Metrics.MergedSample(trafficKey("jitter_ns"))
+	latency := sc.metrics().MergedSample(trafficKey("latency_ns"))
+	jitter := sc.metrics().MergedSample(trafficKey("jitter_ns"))
 	var ticks int64
 	if sc.sampler != nil {
 		ticks = sc.sampler.Ticks() - sc.ticksStart
@@ -1086,11 +1222,11 @@ func (sc *Scenario) collect(wall time.Duration) Result {
 		Admitted:        sc.admitted,
 		Rejected:        sc.rejected,
 		TornDown:        sc.tornDown,
-		FramesSent:      sc.site.Metrics.CounterValue(trafficKey("frames_sent")),
-		FramesDelivered: sc.site.Metrics.CounterValue(trafficKey("frames_delivered")),
-		CellsDelivered:  sc.site.Metrics.CounterValue(trafficKey("cells_delivered")),
-		EventsFired:     sc.site.Clock.Fired() - sc.firedStart - ticks,
-		SimSeconds:      (sc.site.Clock.Now() - sc.runStart).Seconds(),
+		FramesSent:      sc.metrics().CounterValue(trafficKey("frames_sent")),
+		FramesDelivered: sc.metrics().CounterValue(trafficKey("frames_delivered")),
+		CellsDelivered:  sc.metrics().CounterValue(trafficKey("cells_delivered")),
+		EventsFired:     sc.clock().Fired() - sc.firedStart - ticks,
+		SimSeconds:      (sc.clock().Now() - sc.runStart).Seconds(),
 		WallSeconds:     wall.Seconds(),
 		LatencyP50:      latency.Quantile(0.5),
 		LatencyP99:      latency.Quantile(0.99),
@@ -1102,8 +1238,8 @@ func (sc *Scenario) collect(wall time.Duration) Result {
 		r.EventsPerSec = float64(r.EventsFired) / r.WallSeconds
 		r.CellsPerSec = float64(r.CellsDelivered) / r.WallSeconds
 	}
-	if sc.cfg.FromStorage || sc.cfg.Cluster || sc.cfg.Adaptive || sc.cfg.CPUBound {
-		if !sc.cfg.Cluster {
+	if sc.cfg.FromStorage || sc.cfg.Cluster || sc.cfg.Adaptive || sc.cfg.CPUBound || sc.cfg.Metro {
+		if !sc.cfg.Cluster && !sc.cfg.Metro {
 			// One source of truth: the site counts refusals by the same
 			// core.RefusalLeg taxonomy the trace events carry. Cluster
 			// mode admits through per-node selection probes instead of
@@ -1131,9 +1267,14 @@ func (sc *Scenario) collect(wall time.Duration) Result {
 				r.CacheServedStreams++
 			}
 		}
+		for _, req := range sc.mreqs {
+			if req.sess != nil && !req.sess.Closed() {
+				r.StorageStreams++
+			}
+		}
 		for _, ss := range sc.Servers {
 			if ss.CM != nil {
-				if sc.cfg.Cluster {
+				if sc.cfg.Cluster || sc.cfg.Metro {
 					r.StorageRefused += int(ss.CM.Stats.Refused)
 				}
 				r.RoundOverruns += ss.CM.Stats.RoundOverruns
@@ -1157,6 +1298,23 @@ func (sc *Scenario) collect(wall time.Duration) Result {
 		r.FailoverRecovered, r.FailoverDropped = st.FailoverRecovered, st.FailoverDropped
 		for _, nd := range sc.ctrl.Nodes() {
 			r.NodeAdmissions = append(r.NodeAdmissions, nd.Admissions)
+		}
+	}
+	if sc.cfg.Metro {
+		ms := sc.metroCtl.Stats
+		r.Spilled = ms.Spilled
+		r.TrunkRefused = ms.TrunkRefused
+		r.SiteRecovered = ms.Recovered
+		r.SiteDropped = ms.Dropped
+		r.CatalogSyncs = ms.CatalogSyncs
+		r.CatalogReconciled = ms.CatalogReconciled
+		r.CrossSiteCopies = ms.CrossCopiesCompleted
+		r.SiteRefused = len(sc.mpending)
+		r.SiteServed = make([]int64, sc.metroCtl.Sites())
+		for _, req := range sc.mreqs {
+			if req.sess != nil && !req.sess.Closed() {
+				r.SiteServed[req.sess.Served]++
+			}
 		}
 	}
 	if sc.cfg.Adaptive || sc.cfg.CPUBound {

@@ -1,0 +1,376 @@
+package metro
+
+// The LF-style replicated title catalog. The catalog is the small,
+// slowly-changing metadata set — title → {version, holder sites, size,
+// frame geometry} — and every site stores all of it, so the spill
+// candidate lookup in OpenSession never leaves the viewer's home site.
+// Writes stamp a metro-wide monotonic version; replicas reconcile
+// pairwise around a ring at anti-entropy ticks (global context, so a
+// round is atomic with respect to the data plane). Bulk title bytes
+// are NOT replicated eagerly: they follow demand, riding the
+// best-effort slack-copy path cross-site once a title's spill pressure
+// at one home site crosses Config.SpillThreshold.
+
+import (
+	"sort"
+
+	"repro/internal/vodsite"
+)
+
+// entry is one site's view of one catalog row.
+type entry struct {
+	Version    int64
+	Holders    []int // sorted site indices
+	Bytes      int64
+	FrameBytes int
+	FrameHz    int
+}
+
+func (e *entry) clone() *entry {
+	ne := *e
+	ne.Holders = append([]int(nil), e.Holders...)
+	return &ne
+}
+
+// holdsSite reports whether sorted holder set hs contains site idx.
+func holdsSite(hs []int, idx int) bool {
+	i := sort.SearchInts(hs, idx)
+	return i < len(hs) && hs[i] == idx
+}
+
+func insertSite(hs []int, idx int) []int {
+	i := sort.SearchInts(hs, idx)
+	if i < len(hs) && hs[i] == idx {
+		return hs
+	}
+	hs = append(hs, 0)
+	copy(hs[i+1:], hs[i:])
+	hs[i] = idx
+	return hs
+}
+
+func removeSite(hs []int, idx int) []int {
+	i := sort.SearchInts(hs, idx)
+	if i < len(hs) && hs[i] == idx {
+		return append(hs[:i], hs[i+1:]...)
+	}
+	return hs
+}
+
+// AddTitle registers a title metro-wide: the bytes land on the holder
+// sites' vodsite catalogs (placement assigns their nodes), and every
+// member's catalog replica gets the row at the same version. Build
+// time or global context.
+func (m *Controller) AddTitle(name string, bytes int64, frameBytes, frameHz int, holders []int) {
+	hs := []int{}
+	for _, h := range holders {
+		if h < 0 || h >= len(m.members) {
+			panic("metro: AddTitle holder out of range")
+		}
+		hs = insertSite(hs, h)
+	}
+	m.titles = append(m.titles, name)
+	m.catVersion++
+	for _, mb := range m.members {
+		mb.cat[name] = &entry{
+			Version: m.catVersion, Holders: append([]int(nil), hs...),
+			Bytes: bytes, FrameBytes: frameBytes, FrameHz: frameHz,
+		}
+	}
+	for _, h := range hs {
+		m.members[h].Ctrl.AddTitle(name, bytes, frameBytes, frameHz)
+	}
+}
+
+// Titles returns the metro catalog's title names in AddTitle order.
+func (m *Controller) Titles() []string { return m.titles }
+
+// CatalogView is one site's view of one replicated catalog row.
+type CatalogView struct {
+	Version int64
+	Holders []int
+	Bytes   int64
+}
+
+// CatalogView returns this member's current view of a title's row
+// (copied), and whether the row exists in its replica at all.
+func (mb *Member) CatalogView(title string) (CatalogView, bool) {
+	e := mb.cat[title]
+	if e == nil {
+		return CatalogView{}, false
+	}
+	return CatalogView{
+		Version: e.Version,
+		Holders: append([]int(nil), e.Holders...),
+		Bytes:   e.Bytes,
+	}, true
+}
+
+// syncTick is the self-re-arming anti-entropy heartbeat. It rides
+// CallAfter rather than the cluster's barrier hook, which is a single
+// slot the telemetry sampler owns.
+func (m *Controller) syncTick() {
+	m.SyncCatalog()
+	m.clock.CallAfter(m.cfg.SyncEvery, m.syncTick)
+}
+
+// SyncCatalog runs one anti-entropy round: each alive site exchanges
+// versions with its ring successor and both adopt the newer row per
+// title. Returns the number of rows brought up to date. With every
+// site alive, one round per ring edge bounds staleness at K ticks;
+// in practice a hot row crosses the whole ring in ceil(K/2) rounds.
+// Global context only (tests and benchmarks may call it directly).
+func (m *Controller) SyncCatalog() int {
+	var alive []int
+	for _, mb := range m.members {
+		if !mb.failed {
+			alive = append(alive, mb.Index)
+		}
+	}
+	if len(alive) < 2 {
+		return 0
+	}
+	reconciled := 0
+	for k, i := range alive {
+		j := alive[(k+1)%len(alive)]
+		reconciled += m.exchange(m.members[i], m.members[j])
+	}
+	m.Stats.CatalogSyncs++
+	m.Stats.CatalogReconciled += int64(reconciled)
+	return reconciled
+}
+
+// exchange reconciles two sites' replicas over the sorted union of
+// their keys (sorted so a partitioned run replays the identical merge
+// order): the higher version wins in both directions.
+func (m *Controller) exchange(a, b *Member) int {
+	keys := make([]string, 0, len(a.cat))
+	for k := range a.cat {
+		keys = append(keys, k)
+	}
+	for k := range b.cat {
+		if _, ok := a.cat[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	n := 0
+	for _, k := range keys {
+		ea, eb := a.cat[k], b.cat[k]
+		switch {
+		case ea == nil:
+			a.cat[k] = eb.clone()
+			n++
+		case eb == nil:
+			b.cat[k] = ea.clone()
+			n++
+		case ea.Version > eb.Version:
+			b.cat[k] = ea.clone()
+			n++
+		case eb.Version > ea.Version:
+			a.cat[k] = eb.clone()
+			n++
+		}
+	}
+	return n
+}
+
+// maybeCopy triggers a lazy cross-site byte replication when a title's
+// spill pressure at its home site crosses the threshold and the home
+// site does not hold the bytes. The copy itself is pure background
+// traffic: chunked best-effort reads off the least-loaded node of the
+// nearest holder site, written and synced onto the home site's
+// least-loaded node, then activated via AdoptReplica — from that point
+// the home site admits the title on its own capacity.
+func (m *Controller) maybeCopy(home int, title string) {
+	if m.cfg.SpillThreshold < 0 {
+		return
+	}
+	hm := m.members[home]
+	if hm.pressure[title] < m.cfg.SpillThreshold || hm.Ctrl.Lookup(title) != nil {
+		return
+	}
+	for _, cp := range m.copies {
+		if cp.home == home && cp.title == title {
+			return
+		}
+	}
+	ent := hm.cat[title]
+	if ent == nil {
+		return
+	}
+	var sm *Member
+	for off := 1; off < len(m.members); off++ {
+		idx := (home + off) % len(m.members)
+		if holdsSite(ent.Holders, idx) && !m.members[idx].failed &&
+			m.members[idx].Ctrl.Lookup(title) != nil {
+			sm = m.members[idx]
+			break
+		}
+	}
+	if sm == nil {
+		return
+	}
+	src := leastLoadedNode(sm.Ctrl)
+	dst := leastLoadedNode(hm.Ctrl)
+	if src == nil || dst == nil || src.SS.CM == nil {
+		return
+	}
+	hm.pressure[title] = 0
+	cp := &metroCopy{
+		m: m, title: title, home: home, from: sm.Index,
+		src: src, dst: dst,
+		bytes: ent.Bytes, fb: ent.FrameBytes, hz: ent.FrameHz,
+		chunk: 256 << 10,
+	}
+	m.copies = append(m.copies, cp)
+	m.Stats.CrossCopiesTriggered++
+	cp.start()
+}
+
+// leastLoadedNode picks the alive started node carrying the fewest
+// streams, node ID breaking ties — deterministic and cheap; the
+// intra-site replication machinery owns the finer bottleneck ranking.
+func leastLoadedNode(c *vodsite.Controller) *vodsite.Node {
+	var best *vodsite.Node
+	for _, n := range c.Nodes() {
+		if n.Failed() || n.SS.CM == nil {
+			continue
+		}
+		if best == nil || n.Streams() < best.Streams() {
+			best = n
+		}
+	}
+	return best
+}
+
+// metroCopy is one cross-site background replication. It mirrors the
+// intra-site copyJob — create sparse, chunked ReadBestEffort off the
+// source, Defer to the barrier, Write, Sync, activate — but the source
+// and destination nodes live on different sites (and, sharded,
+// different partitions), which the Defer hand-off already covers.
+type metroCopy struct {
+	m          *Controller
+	title      string
+	home, from int
+	src, dst   *vodsite.Node
+	bytes      int64
+	fb, hz     int
+	chunk      int
+	off        int64
+	created    bool
+	aborted    bool
+}
+
+func (cp *metroCopy) start() {
+	if err := cp.dst.SS.Server.Create(cp.title, true); err != nil {
+		cp.abort()
+		return
+	}
+	cp.created = true
+	cp.step()
+}
+
+func (cp *metroCopy) step() {
+	if cp.aborted {
+		return
+	}
+	if cp.off >= cp.bytes {
+		cp.finish()
+		return
+	}
+	off := cp.off
+	n := int64(cp.chunk)
+	if rest := cp.bytes - off; rest < n {
+		n = rest
+	}
+	cp.src.SS.CM.ReadBestEffort(cp.title, off, int(n), func(data []byte, err error) {
+		// Completes on the source site's partition; the write lands on
+		// the home site's partition, so hand the body to the barrier.
+		cp.src.SS.Net.Sim.Defer(func() {
+			if cp.aborted {
+				return
+			}
+			if err != nil {
+				cp.abort()
+				return
+			}
+			if err := cp.dst.SS.Server.Write(cp.title, off, data); err != nil {
+				cp.abort()
+				return
+			}
+			cp.off = off + int64(len(data))
+			cp.step()
+		})
+	})
+}
+
+func (cp *metroCopy) finish() {
+	cp.dst.SS.Server.FS().Sync(func(err error) {
+		cp.dst.SS.Net.Sim.Defer(func() {
+			if cp.aborted {
+				return
+			}
+			if err != nil {
+				cp.abort()
+				return
+			}
+			cp.done()
+		})
+	})
+}
+
+// done activates the replica: the home site's vodsite catalog learns
+// the title (AddTitle if this is its first sight of it, AdoptReplica
+// for the node), and the home's catalog row gains itself as a holder
+// at a fresh version for anti-entropy to spread.
+func (cp *metroCopy) done() {
+	m := cp.m
+	m.removeCopy(cp)
+	hm := m.members[cp.home]
+	if hm.failed || cp.dst.Failed() {
+		m.Stats.CrossCopiesAborted++
+		return
+	}
+	t := hm.Ctrl.Lookup(cp.title)
+	if t == nil {
+		t = hm.Ctrl.AddTitle(cp.title, cp.bytes, cp.fb, cp.hz)
+	}
+	hm.Ctrl.AdoptReplica(t, cp.dst)
+	if ent := hm.cat[cp.title]; ent != nil && !holdsSite(ent.Holders, cp.home) {
+		m.catVersion++
+		ne := ent.clone()
+		ne.Version = m.catVersion
+		ne.Holders = insertSite(ne.Holders, cp.home)
+		hm.cat[cp.title] = ne
+	}
+	m.Stats.CrossCopiesCompleted++
+	if cb := m.OnReplica; cb != nil {
+		cb(cp.home, cp.title)
+	}
+}
+
+func (cp *metroCopy) abort() {
+	if cp.aborted {
+		return
+	}
+	cp.aborted = true
+	m := cp.m
+	m.removeCopy(cp)
+	m.Stats.CrossCopiesAborted++
+	if cp.created && !cp.dst.Failed() {
+		_ = cp.dst.SS.Server.Delete(cp.title)
+	}
+}
+
+// Copying reports cross-site copies in flight.
+func (m *Controller) Copying() int { return len(m.copies) }
+
+func (m *Controller) removeCopy(cp *metroCopy) {
+	for i, x := range m.copies {
+		if x == cp {
+			m.copies = append(m.copies[:i], m.copies[i+1:]...)
+			return
+		}
+	}
+}

@@ -105,6 +105,30 @@ func TestSiteAdmissionInvariantProperty(t *testing.T) {
 				return false
 			}
 		}
+		// The Catalog snapshot must agree with the per-title views and
+		// be detached: mutating the returned map never touches the
+		// controller's replica sets.
+		cat := ctrl.Catalog()
+		if len(cat) != titles {
+			return false
+		}
+		for name, reps := range cat {
+			tl := ctrl.Lookup(name)
+			if tl == nil || len(reps) != len(tl.Replicas()) {
+				return false
+			}
+			for i, n := range tl.Replicas() {
+				if reps[i] != n {
+					return false
+				}
+			}
+			cat[name] = nil
+		}
+		for name, reps := range ctrl.Catalog() {
+			if len(reps) != len(ctrl.Lookup(name).Replicas()) {
+				return false
+			}
+		}
 		for _, st := range open {
 			st.Release()
 		}

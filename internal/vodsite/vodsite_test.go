@@ -69,9 +69,10 @@ func titleName(i int) string { return "t" + string(rune('A'+i)) }
 
 func TestPlacementSpreadsHotTitles(t *testing.T) {
 	h := build(t, 4, 1, 8, vodsite.Config{}, fileserver.CMConfig{})
+	cat := h.ctrl.Catalog()
 	seen := map[int]bool{}
 	for i, title := range h.ctrl.Titles() {
-		reps := title.Replicas()
+		reps := cat[title.Name]
 		if len(reps) != 1 {
 			t.Fatalf("%s: %d replicas, want 1", title.Name, len(reps))
 		}
@@ -86,10 +87,9 @@ func TestPlacementSpreadsHotTitles(t *testing.T) {
 
 func TestPlacementBaseReplicas(t *testing.T) {
 	h := build(t, 3, 1, 4, vodsite.Config{BaseReplicas: 2}, fileserver.CMConfig{})
-	for _, title := range h.ctrl.Titles() {
-		reps := title.Replicas()
+	for name, reps := range h.ctrl.Catalog() {
 		if len(reps) != 2 || reps[0].ID == reps[1].ID {
-			t.Fatalf("%s: replicas %v, want 2 distinct nodes", title.Name, reps)
+			t.Fatalf("%s: replicas %v, want 2 distinct nodes", name, reps)
 		}
 	}
 }

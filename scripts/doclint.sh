@@ -20,7 +20,7 @@ fail=0
 # --- exported identifiers need doc comments --------------------------------
 for pkg in internal/core internal/sched internal/vodsite \
            internal/sim internal/fabric internal/loadgen internal/mcache \
-           internal/telemetry; do
+           internal/telemetry internal/metro; do
     for f in "$pkg"/*.go; do
         case "$f" in
         *_test.go) continue ;;
