@@ -813,3 +813,102 @@ func BenchmarkTelemetryCounter(b *testing.B) {
 		b.Fatal("counter lost increments")
 	}
 }
+
+// nullSink discards delivered cells; viewer endpoints in the fan-out
+// benchmark only need the delivery events to exist, not the payloads.
+// Like the production sinks it is burst-aware, so the demux hands it
+// whole trains instead of dispatching cell by cell.
+type nullSink struct{}
+
+func (nullSink) HandleCell(atm.Cell)      {}
+func (nullSink) HandleBurst(fabric.Burst) {}
+
+// multicastBenchSite builds a one-switch site with a camera and eight
+// viewer ports, puts one live broadcast on the air, and spreads
+// `viewers` joins round-robin over the eight ports (joins beyond the
+// first on a port are free rides on that port's tree branch). The
+// returned step transmits one CBR frame and advances virtual time one
+// frame period.
+func multicastBenchSite(tb testing.TB, viewers int) (*core.Site, func()) {
+	const fanPorts = 8
+	cfg := core.DefaultSiteConfig()
+	cfg.Ports = fanPorts + 1
+	site := core.NewSite(cfg)
+	cam := site.Attach("cam")
+	bc, err := site.OpenBroadcast(core.BroadcastSpec{
+		InPort:     cam.Port,
+		PeakRate:   19_200_000,
+		Title:      "live",
+		FrameBytes: 4800,
+		FrameHz:    100,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	eps := make([]*core.Endpoint, fanPorts)
+	for i := range eps {
+		eps[i] = site.Attach(fmt.Sprintf("fan%d", i))
+		eps[i].Demux.Register(bc.VCI(), nullSink{})
+	}
+	for i := 0; i < viewers; i++ {
+		if _, err := bc.Join(eps[i%fanPorts].Port); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	period := sim.Second / 100
+	payload := make([]byte, 4800)
+	step := func() {
+		cells, err := atm.Segment(bc.VCI(), 3, payload)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		cam.ToSwitch.SendBurst(cells)
+		site.Sim.RunFor(period)
+	}
+	return site, step
+}
+
+// BenchmarkMulticastFanout measures what one live frame costs the
+// event kernel as the audience grows: one viewer on one port versus
+// ten thousand viewers across eight ports. Fan-out work scales with
+// switch outputs, not viewers — same-instant leaf deliveries coalesce
+// into one event per cell train per switch — so the 10k-viewer case
+// must stay within a small constant of the single-viewer case (the
+// deterministic ratio is pinned by TestMulticastFanoutEventScaling).
+func BenchmarkMulticastFanout(b *testing.B) {
+	for _, viewers := range []int{1, 10000} {
+		b.Run(fmt.Sprintf("viewers=%d", viewers), func(b *testing.B) {
+			site, step := multicastBenchSite(b, viewers)
+			fired0 := site.Sim.Fired()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				step()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(site.Sim.Fired()-fired0)/float64(b.N), "events/frame")
+		})
+	}
+}
+
+// TestMulticastFanoutEventScaling pins the fan-out cost model: 10k
+// viewers of one channel across eight ports must cost < 3x the events
+// of a single viewer per frame. Without delivery coalescing a frame
+// costs one event per leaf (10 vs 3, a 3.33x ratio); with it the
+// eight idle symmetric branches mature together (4 vs 3).
+func TestMulticastFanoutEventScaling(t *testing.T) {
+	const frames = 200
+	perFrame := func(viewers int) float64 {
+		site, step := multicastBenchSite(t, viewers)
+		fired0 := site.Sim.Fired()
+		for i := 0; i < frames; i++ {
+			step()
+		}
+		return float64(site.Sim.Fired()-fired0) / frames
+	}
+	one := perFrame(1)
+	many := perFrame(10000)
+	t.Logf("events/frame: viewers=1 %.2f, viewers=10000 %.2f (%.2fx)", one, many, many/one)
+	if many >= 3*one {
+		t.Fatalf("fan-out cost scales with viewers: %.2f events/frame for 10k viewers vs %.2f for one (>= 3x)", many, one)
+	}
+}

@@ -114,7 +114,30 @@ func main() {
 		failSiteAt = flag.Float64("fail-site-at", 0,
 			"seconds into a -metro run to fail one whole site (0 = never)")
 		failSite = flag.Int("fail-site", 0, "site to fail with -fail-site-at")
-		cacheMB  = flag.Int("cache-mb", 0,
+		live     = flag.Bool("live", false,
+			"run the live-broadcast flash crowd: -channels switch-level multicast "+
+				"channels, Zipf-popularity viewer join/leave churn with exponential hold "+
+				"times, and -vod-streams disk-backed Guaranteed VoD sessions sharing the "+
+				"viewer links; a join the link budget refuses degrades that channel's "+
+				"subtree down the tier ladder instead of refusing")
+		channels = flag.Int("channels", 0, "live channels on the air (0 = 4)")
+		holdMean = flag.Float64("hold-mean", 0,
+			"mean viewer hold time in seconds for -live (0 = a quarter of the run)")
+		vodStreams = flag.Int("vod-streams", 0,
+			"background disk-backed VoD sessions in a -live run (0 = ws/2, negative = none)")
+		unicastAblation = flag.Bool("unicast-ablation", false,
+			"run the identical -live scenario twice — one circuit and one transmitted "+
+				"copy per viewer, then the shared multicast tree — and report both join "+
+				"counts; with -check the multicast run must admit strictly more")
+		expectJoins = flag.Bool("expect-joins", false,
+			"exit 1 unless at least one live viewer was admitted (live)")
+		expectSubtreeDegraded = flag.Bool("expect-subtree-degraded", false,
+			"exit 1 unless at least one channel subtree dropped a tier under join "+
+				"pressure instead of refusing (live)")
+		minFanoutRatio = flag.Float64("min-fanout-ratio", 0,
+			"exit 1 unless delivered copies per transmitted copy reached this "+
+				"multiple (live; 1.0 means the switch saved nothing)")
+		cacheMB = flag.Int("cache-mb", 0,
 			"per-node RAM buffer tier in MiB (storage-backed modes; 0 = no cache): a "+
 				"request trailing another viewer of the same title is served from the "+
 				"leader's wake in memory, charging no disk round budget")
@@ -213,6 +236,11 @@ func main() {
 		CPUBound:       *cpuBound,
 		CPUBytesPerSec: *cpuThroughput,
 
+		Live:       *live,
+		Channels:   *channels,
+		HoldMean:   sim.Duration(math.Round(*holdMean * float64(sim.Second))),
+		VodStreams: *vodStreams,
+
 		Trace: *traceOut != "",
 	}
 	if *metricsOut != "" {
@@ -235,12 +263,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pegload: -cluster does not support -cpu-bound (cluster nodes do not enable CPU admission)")
 		os.Exit(2)
 	}
-	if *partitions != 0 && !*cluster && !*metroMode {
-		fmt.Fprintln(os.Stderr, "pegload: -partitions requires -cluster or -metro (only the node-owned topologies shard)")
+	if *partitions != 0 && !*cluster && !*metroMode && !*live {
+		fmt.Fprintln(os.Stderr, "pegload: -partitions requires -cluster, -metro or -live (only the global-control topologies shard)")
 		os.Exit(2)
 	}
 	if *metroMode && (*cluster || *adaptive || *cpuBound) {
 		fmt.Fprintln(os.Stderr, "pegload: -metro is its own topology; drop -cluster/-adaptive/-cpu-bound")
+		os.Exit(2)
+	}
+	if *live && (*cluster || *metroMode || *adaptive || *cpuBound || *fromStorage) {
+		fmt.Fprintln(os.Stderr, "pegload: -live is its own topology; drop -cluster/-metro/-adaptive/-cpu-bound/-from-storage")
+		os.Exit(2)
+	}
+	if (*unicastAblation || *expectJoins || *expectSubtreeDegraded || *minFanoutRatio > 0) && !*live {
+		fmt.Fprintln(os.Stderr, "pegload: -unicast-ablation/-expect-joins/-expect-subtree-degraded/-min-fanout-ratio require -live")
 		os.Exit(2)
 	}
 	if *spillAblation && !*metroMode {
@@ -274,6 +310,17 @@ func main() {
 		acfg.Trace = false
 		acfg.MetricsEvery = 0
 		ablation = loadgen.Build(acfg).Run()
+	}
+	var unicastTwin loadgen.Result
+	if *unicastAblation {
+		// Same twin discipline: the identical live scenario with one
+		// circuit per viewer instead of the shared tree, so the
+		// scoreboard can state what switch-level multicast bought.
+		acfg := cfg
+		acfg.Unicast = true
+		acfg.Trace = false
+		acfg.MetricsEvery = 0
+		unicastTwin = loadgen.Build(acfg).Run()
 	}
 	var spillTwin loadgen.Result
 	if *spillAblation {
@@ -343,6 +390,9 @@ func main() {
 	}
 	if *spillAblation {
 		res.SpillAblationAdmitted = spillTwin.Admitted
+	}
+	if *unicastAblation {
+		res.UnicastAblationJoins = unicastTwin.LiveJoins
 	}
 	if *asJSON {
 		out, err := res.JSON()
@@ -425,6 +475,20 @@ func main() {
 	if *spillAblation && *check && res.Admitted <= res.SpillAblationAdmitted {
 		fail("spill admitted %d sessions vs %d without (federation bought nothing)",
 			res.Admitted, res.SpillAblationAdmitted)
+	}
+	if *expectJoins && res.LiveJoins == 0 {
+		fail("expected live viewers to be admitted; every join was refused")
+	}
+	if *expectSubtreeDegraded && res.SubtreeDegraded == 0 {
+		fail("expected a channel subtree to degrade under join pressure; no tier drops happened")
+	}
+	if *minFanoutRatio > 0 && res.FanoutRatio < *minFanoutRatio {
+		fail("fan-out delivered %.2f copies per transmitted copy, want >= %.1f",
+			res.FanoutRatio, *minFanoutRatio)
+	}
+	if *unicastAblation && *check && res.LiveJoins <= res.UnicastAblationJoins {
+		fail("multicast admitted %d joins vs %d unicast (the tree bought nothing)",
+			res.LiveJoins, res.UnicastAblationJoins)
 	}
 	if *expectDegraded && res.DegradeEvents == 0 {
 		fail("expected sessions to degrade instead of refuse; no tier drops happened")

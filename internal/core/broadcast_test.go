@@ -1,0 +1,355 @@
+package core_test
+
+// Unit tests for the live-broadcast plane: tree admission (uplink once
+// per channel, link budget per branch), port-refcounted free rides,
+// the subtree degrade/restore ladder, refusal-leg attribution, the
+// source CPU contract, the unicast ablation, and leave-all/Close
+// returning every budget to zero.
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/netsig"
+)
+
+// broadcastSite builds a site with `viewers` plain endpoints and one
+// camera endpoint, uplink admission on.
+func broadcastSite(t testing.TB, viewers int) (*core.Site, *core.Endpoint, []*core.Endpoint) {
+	t.Helper()
+	cfg := core.DefaultSiteConfig()
+	cfg.Ports = viewers + 1
+	site := core.NewSite(cfg)
+	site.Signalling.EnableUplinkAdmission()
+	cam := site.Attach("cam")
+	eps := make([]*core.Endpoint, viewers)
+	for i := range eps {
+		eps[i] = site.Attach(fmt.Sprintf("viewer%d", i))
+	}
+	return site, cam, eps
+}
+
+func bcastSpec(cam *core.Endpoint, rate int64) core.BroadcastSpec {
+	return core.BroadcastSpec{
+		InPort:     cam.Port,
+		PeakRate:   rate,
+		Title:      "live",
+		FrameBytes: 4800,
+		FrameHz:    100,
+	}
+}
+
+// The tree charges the source uplink exactly once, and a port's budget
+// exactly once no matter how many viewers share it; the last leave on
+// a port prunes its branch and the budget goes with it.
+func TestBroadcastFreeRidersAndUplinkOnce(t *testing.T) {
+	site, cam, eps := broadcastSite(t, 2)
+	const rate = 10_000_000
+	b, err := site.OpenBroadcast(bcastSpec(cam, rate))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := site.Signalling.CommittedUplink(cam.Port); got != rate {
+		t.Fatalf("uplink committed %d at open, want %d", got, rate)
+	}
+
+	var joins []*core.Join
+	for i := 0; i < 3; i++ {
+		j, err := b.Join(eps[0].Port)
+		if err != nil {
+			t.Fatalf("join %d: %v", i, err)
+		}
+		joins = append(joins, j)
+	}
+	if b.Viewers() != 3 || b.Branches() != 1 {
+		t.Fatalf("viewers=%d branches=%d, want 3 viewers on 1 branch", b.Viewers(), b.Branches())
+	}
+	if got := site.Signalling.Committed(eps[0].Port); got != rate {
+		t.Fatalf("port committed %d with 3 free-riding viewers, want %d (charged once)", got, rate)
+	}
+	if got := site.Signalling.CommittedUplink(cam.Port); got != rate {
+		t.Fatalf("uplink committed %d after joins, want %d (charged once per channel)", got, rate)
+	}
+
+	// Two leaves keep the branch; the last prunes it.
+	for i := 0; i < 2; i++ {
+		if err := joins[i].Leave(); err != nil {
+			t.Fatal(err)
+		}
+		if got := site.Signalling.Committed(eps[0].Port); got != rate {
+			t.Fatalf("leave %d pruned a branch still carrying %d viewers", i, b.Viewers())
+		}
+	}
+	if err := joins[2].Leave(); err != nil {
+		t.Fatal(err)
+	}
+	if got := site.Signalling.Committed(eps[0].Port); got != 0 {
+		t.Fatalf("last leave left %d committed on the port", got)
+	}
+	if st := site.LiveStats; st.Joins != 3 || st.Leaves != 3 {
+		t.Fatalf("stats joins=%d leaves=%d, want 3/3", st.Joins, st.Leaves)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := site.Signalling.CommittedUplink(cam.Port); got != 0 {
+		t.Fatalf("close left %d committed on the uplink", got)
+	}
+}
+
+// A join the link budget refuses walks the whole subtree down the tier
+// ladder instead of refusing, and a leave's slack climbs it back up.
+func TestBroadcastSubtreeDegradeAndRestore(t *testing.T) {
+	site, cam, eps := broadcastSite(t, 2)
+	const rate = 10_000_000
+	b, err := site.OpenBroadcast(bcastSpec(cam, rate))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The second viewer's port only admits 0.8x of a full-rate branch,
+	// so the join fits at the 75% tier but not at full quality.
+	site.Signalling.SetPortCapacity(eps[1].Port, rate*8/10)
+
+	j0, err := b.Join(eps[0].Port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Degraded() {
+		t.Fatal("first branch degraded an uncontended tree")
+	}
+	j1, err := b.Join(eps[1].Port)
+	if err != nil {
+		t.Fatalf("join under pressure refused instead of degrading: %v", err)
+	}
+	if !b.Degraded() || b.Factor() != 0.75 {
+		t.Fatalf("factor = %v after pressured join, want 0.75", b.Factor())
+	}
+	want := b.Rate()
+	if got := site.Signalling.Committed(eps[0].Port); got != want {
+		t.Fatalf("existing branch committed %d, want the degraded %d (whole subtree moves)", got, want)
+	}
+	if got := site.Signalling.CommittedUplink(cam.Port); got != want {
+		t.Fatalf("uplink committed %d, want the degraded %d", got, want)
+	}
+	if st := site.LiveStats; st.SubtreeDegraded != 1 {
+		t.Fatalf("SubtreeDegraded = %d, want 1", st.SubtreeDegraded)
+	}
+
+	// The pressured viewer's leave frees the tight port; the survivors
+	// get their quality back.
+	if err := j1.Leave(); err != nil {
+		t.Fatal(err)
+	}
+	if b.Degraded() {
+		t.Fatalf("factor = %v after slack-making leave, want full quality", b.Factor())
+	}
+	if got := site.Signalling.Committed(eps[0].Port); got != rate {
+		t.Fatalf("restored branch committed %d, want %d", got, rate)
+	}
+	if st := site.LiveStats; st.SubtreeRestored != 1 {
+		t.Fatalf("SubtreeRestored = %d, want 1", st.SubtreeRestored)
+	}
+	_ = j0
+}
+
+// When even the floor tier does not fit, the join refuses, the refusal
+// is attributed to the link leg, and the tree is restored to the tier
+// it had before the attempt — a refused viewer must not leave the
+// channel degraded.
+func TestBroadcastJoinRefusedAtFloorRestoresTier(t *testing.T) {
+	site, cam, eps := broadcastSite(t, 2)
+	const rate = 10_000_000
+	b, err := site.OpenBroadcast(bcastSpec(cam, rate))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The floor is 25% of rate; admit nothing at all on the port.
+	site.Signalling.SetPortCapacity(eps[1].Port, rate/10)
+
+	if _, err := b.Join(eps[0].Port); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Join(eps[1].Port); !errors.Is(err, netsig.ErrAdmission) {
+		t.Fatalf("floor-impossible join returned %v, want ErrAdmission", err)
+	}
+	if b.Degraded() {
+		t.Fatalf("refused join left the tree degraded at %v", b.Factor())
+	}
+	if got := site.Signalling.Committed(eps[0].Port); got != rate {
+		t.Fatalf("surviving branch committed %d after refused join, want %d", got, rate)
+	}
+	st := site.LiveStats
+	if st.JoinRefused != 1 || st.JoinRefusedLeg[core.LegLink] != 1 {
+		t.Fatalf("refusal bookkeeping: JoinRefused=%d LegLink=%d, want 1/1", st.JoinRefused, st.JoinRefusedLeg[core.LegLink])
+	}
+	// The failed attempt degraded and restored the subtree; both moves
+	// are counted (they were visible to viewers).
+	if st.SubtreeDegraded == 0 || st.SubtreeRestored == 0 {
+		t.Fatalf("ladder walk uncounted: degraded=%d restored=%d", st.SubtreeDegraded, st.SubtreeRestored)
+	}
+}
+
+// A channel refused at open (uplink full) charges nothing and
+// surfaces the netsig uplink error directly.
+func TestBroadcastOpenRefusedOnUplink(t *testing.T) {
+	site, cam, _ := broadcastSite(t, 1)
+	site.Signalling.SetUplinkCapacity(cam.Port, 1_000_000)
+	_, err := site.OpenBroadcast(bcastSpec(cam, 10_000_000))
+	if !errors.Is(err, netsig.ErrUplink) {
+		t.Fatalf("open on a full uplink returned %v, want ErrUplink", err)
+	}
+	if got := site.Signalling.CommittedUplink(cam.Port); got != 0 {
+		t.Fatalf("refused open left %d committed on the uplink", got)
+	}
+	if site.LiveStats.Broadcasts != 0 {
+		t.Fatal("refused open counted as an opened broadcast")
+	}
+}
+
+// The source carries the channel's one CPU contract: open admits it,
+// the degrade ladder reshapes it, Close releases it. Viewers never
+// touch a CPU.
+func TestBroadcastSourceCPUContract(t *testing.T) {
+	cfg := core.DefaultSiteConfig()
+	cfg.Ports = 4 // cam + two viewers + the CPU-owning node
+	site := core.NewSite(cfg)
+	site.Signalling.EnableUplinkAdmission()
+	cam := site.Attach("cam")
+	eps := []*core.Endpoint{site.Attach("viewer0"), site.Attach("viewer1")}
+	ss := site.NewStorageServer("node", 64<<10, 64)
+	cpu := ss.EnableCPU(core.CPUConfig{})
+	const rate = 10_000_000
+	spec := bcastSpec(cam, rate)
+	spec.CPU = cpu
+	b, err := site.OpenBroadcast(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := cpu.CommittedFrac()
+	if full <= 0 {
+		t.Fatal("open reserved no CPU for the source")
+	}
+
+	// Degrade the subtree; the CPU contract shrinks with it.
+	site.Signalling.SetPortCapacity(eps[1].Port, rate*8/10)
+	if _, err := b.Join(eps[0].Port); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Join(eps[1].Port); err != nil {
+		t.Fatal(err)
+	}
+	if !b.Degraded() {
+		t.Fatal("pressured join did not degrade")
+	}
+	if got := cpu.CommittedFrac(); got >= full {
+		t.Fatalf("degraded channel still reserves %.4f of CPU, want < %.4f", got, full)
+	}
+
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := cpu.CommittedFrac(); got != 0 {
+		t.Fatalf("close left %.4f of CPU reserved", got)
+	}
+}
+
+// The unicast ablation: per-viewer circuits charge the uplink per
+// viewer, no free rides, no ladder — a join that does not fit refuses
+// outright — and Close tears every outstanding circuit down.
+func TestBroadcastUnicastAblation(t *testing.T) {
+	site, cam, eps := broadcastSite(t, 2)
+	const rate = 10_000_000
+	spec := bcastSpec(cam, rate)
+	spec.Unicast = true
+	b, err := site.OpenBroadcast(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := site.Signalling.CommittedUplink(cam.Port); got != 0 {
+		t.Fatalf("unicast open committed %d on the uplink before any viewer", got)
+	}
+	j0, err := b.Join(eps[0].Port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, err := b.Join(eps[0].Port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j0.VCI() == j1.VCI() {
+		t.Fatal("unicast viewers share a circuit")
+	}
+	if got := site.Signalling.CommittedUplink(cam.Port); got != 2*rate {
+		t.Fatalf("uplink committed %d for two unicast viewers, want %d (per viewer)", got, 2*rate)
+	}
+	if got := site.Signalling.Committed(eps[0].Port); got != 2*rate {
+		t.Fatalf("port committed %d for two unicast viewers, want %d (no free rides)", got, 2*rate)
+	}
+
+	// Capacity for the two circuits is gone (100M link, 2x10M used, but
+	// pin the port tight): the third viewer refuses without degrading.
+	site.Signalling.SetPortCapacity(eps[0].Port, 2*rate)
+	if _, err := b.Join(eps[0].Port); !errors.Is(err, netsig.ErrAdmission) {
+		t.Fatalf("unicast join over budget returned %v, want ErrAdmission", err)
+	}
+	if b.Degraded() {
+		t.Fatal("unicast ablation ran the subtree ladder")
+	}
+	if site.LiveStats.SubtreeDegraded != 0 {
+		t.Fatal("unicast refusal counted a subtree degrade")
+	}
+
+	if err := j0.Leave(); err != nil {
+		t.Fatal(err)
+	}
+	if got := site.Signalling.CommittedUplink(cam.Port); got != rate {
+		t.Fatalf("uplink committed %d after one unicast leave, want %d", got, rate)
+	}
+	// j1 never leaves: Close must tear its circuit down too.
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := site.Signalling.CommittedUplink(cam.Port); got != 0 {
+		t.Fatalf("close left %d committed on the uplink", got)
+	}
+	if got := site.Signalling.Committed(eps[0].Port); got != 0 {
+		t.Fatalf("close left %d committed on the port", got)
+	}
+	if !j1.Closed() {
+		t.Fatal("close left an outstanding unicast join handle open")
+	}
+	if site.Signalling.Open() != 0 {
+		t.Fatalf("close left %d circuits open", site.Signalling.Open())
+	}
+}
+
+// Joining or closing twice, and joining after close, behave: the
+// handles are idempotent and a closed channel refuses instantly.
+func TestBroadcastLifecycleEdges(t *testing.T) {
+	site, cam, eps := broadcastSite(t, 1)
+	b, err := site.OpenBroadcast(bcastSpec(cam, 5_000_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := b.Join(eps[0].Port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Leave(); !errors.Is(err, core.ErrBroadcastClosed) {
+		t.Fatalf("leave after close returned %v, want ErrBroadcastClosed", err)
+	}
+	if _, err := b.Join(eps[0].Port); !errors.Is(err, core.ErrBroadcastClosed) {
+		t.Fatalf("join after close returned %v, want ErrBroadcastClosed", err)
+	}
+	if got := site.Signalling.Committed(eps[0].Port); got != 0 {
+		t.Fatalf("lifecycle left %d committed", got)
+	}
+}

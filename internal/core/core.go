@@ -102,6 +102,11 @@ type Site struct {
 	// degraded, restored and closed (see session.go).
 	QoSStats SessionStats
 
+	// LiveStats counts live-plane activity: broadcasts, viewer
+	// joins/leaves, refused joins and subtree tier moves (see
+	// broadcast.go).
+	LiveStats BroadcastStats
+
 	// Metrics is the site's telemetry registry, always live: every
 	// subsystem registers its gauges here as it comes up, sharded per
 	// partition with the same ownership rule as the event kernel (see
@@ -109,7 +114,9 @@ type Site struct {
 	// global or barrier context.
 	Metrics *telemetry.Registry
 
-	sessions []*Session
+	sessions   []*Session
+	broadcasts []*Broadcast
+	nextBcast  int
 
 	tracer     *telemetry.Tracer
 	cmNodes    map[*fileserver.CMService]string

@@ -78,6 +78,13 @@ func (st *Site) registerSiteGauges() {
 		site("admission", "refused_"+l.String(), func() float64 { return float64(q.RefusedLeg[l]) })
 	}
 	site("admission", "refused_other", func() float64 { return float64(q.RefusedOther) })
+	lv := &st.LiveStats
+	site("live", "broadcasts", func() float64 { return float64(lv.Broadcasts) })
+	site("live", "joins", func() float64 { return float64(lv.Joins) })
+	site("live", "leaves", func() float64 { return float64(lv.Leaves) })
+	site("live", "join_refused", func() float64 { return float64(lv.JoinRefused) })
+	site("live", "subtree_degraded", func() float64 { return float64(lv.SubtreeDegraded) })
+	site("live", "subtree_restored", func() float64 { return float64(lv.SubtreeRestored) })
 	m := st.Signalling
 	site("net", "circuits_established", func() float64 { return float64(m.Established) })
 	site("net", "circuits_refused", func() float64 { return float64(m.Refused) })

@@ -50,6 +50,12 @@ type Burst struct {
 	Cells []atm.Cell
 	First sim.Time
 	Gap   sim.Duration
+	// Shared marks a train whose backing array is also in flight to
+	// other sinks — how a switch fans one multicast train out to N
+	// same-VCI leaves without N copies. Receivers must treat Cells as
+	// read-only; a forwarding switch that needs a VCI rewrite copies
+	// first.
+	Shared bool
 }
 
 // BurstHandler is implemented by sinks that can consume a whole cell
@@ -81,10 +87,11 @@ type LinkStats struct {
 // first and gap are only meaningful for bursts: a single cell's arrival
 // time is its delivery event's fire time.
 type delivery struct {
-	cell  atm.Cell
-	burst []atm.Cell // non-nil for a burst unit
-	first sim.Time   // arrival time of the first cell at the sink
-	gap   sim.Duration
+	cell   atm.Cell
+	burst  []atm.Cell // non-nil for a burst unit
+	first  sim.Time   // arrival time of the first cell at the sink
+	gap    sim.Duration
+	shared bool // burst backing array is shared with other deliveries
 }
 
 // Link is a unidirectional cell pipe with serialisation delay, propagation
@@ -205,7 +212,7 @@ func (l *Link) slot() *delivery {
 // unlike the exact per-cell model, which drops exactly the overflow.
 // Bounded-queue overflow experiments should use cell-accurate mode.
 func (l *Link) SendBurst(cells []atm.Cell) {
-	l.sendBurstShaped(cells, l.sim.Now(), 0)
+	l.sendBurstShaped(cells, l.sim.Now(), 0, false)
 }
 
 // sendBurstShaped queues a cell train whose cells become available for
@@ -214,7 +221,8 @@ func (l *Link) SendBurst(cells []atm.Cell) {
 // may be in the past relative to the current instant (the train started
 // arriving before its last cell landed); the arithmetic keeps every
 // computed time consistent and every scheduled event in the future.
-func (l *Link) sendBurstShaped(cells []atm.Cell, earliest sim.Time, gap sim.Duration) {
+// shared propagates the read-only multicast flag to the delivery.
+func (l *Link) sendBurstShaped(cells []atm.Cell, earliest sim.Time, gap sim.Duration, shared bool) {
 	n := len(cells)
 	if n == 0 {
 		return
@@ -242,9 +250,25 @@ func (l *Link) sendBurstShaped(cells []atm.Cell, earliest sim.Time, gap sim.Dura
 		}
 		return
 	}
+	if due, ok := l.queueBurst(cells, earliest, gap, shared); ok {
+		l.sim.Post(due, l.deliverF)
+	}
+}
+
+// queueBurst reserves the link for a cell train — serialisation slot,
+// flight-ring entry, stats — and returns the delivery instant without
+// scheduling the delivery event. ok is false when the train was
+// dropped at the capacity limit. The caller must arrange for exactly
+// one deliverNext per accepted train at the returned instant (Post
+// l.deliverF, or a coalesced event delivering several links at once);
+// a link's due times are strictly increasing, so FIFO ring order and
+// event order agree. Fast path only: the caller handles cell-accurate
+// links.
+func (l *Link) queueBurst(cells []atm.Cell, earliest sim.Time, gap sim.Duration, shared bool) (sim.Time, bool) {
+	n := len(cells)
 	if l.limit > 0 && l.pending > l.limit {
 		l.Stats.Dropped += int64(n)
-		return
+		return 0, false
 	}
 	l.Stats.Sent += int64(n)
 	start := l.freeAt
@@ -260,8 +284,8 @@ func (l *Link) sendBurstShaped(cells []atm.Cell, earliest sim.Time, gap sim.Dura
 	l.freeAt = end
 	l.pending += n
 	d := l.slot()
-	d.burst, d.first, d.gap = cells, firstEnd+l.prop, g
-	l.sim.Post(end+l.prop, l.deliverF)
+	d.burst, d.first, d.gap, d.shared = cells, firstEnd+l.prop, g, shared
+	return end + l.prop, true
 }
 
 // deliverNext hands the oldest in-flight unit to the sink. Delivery
@@ -277,7 +301,7 @@ func (l *Link) deliverNext() {
 		cells := d.burst
 		d.burst = nil // release for GC; payload bytes may stay behind
 		if l.bsink != nil {
-			l.bsink.HandleBurst(Burst{Cells: cells, First: d.first, Gap: d.gap})
+			l.bsink.HandleBurst(Burst{Cells: cells, First: d.first, Gap: d.gap, Shared: d.shared})
 		} else {
 			for _, c := range cells {
 				l.sink.HandleCell(c)
@@ -460,6 +484,37 @@ func (sw *Switch) Route(inPort int, inVCI atm.VCI, outPort int, outVCI atm.VCI) 
 	sw.invalidate()
 }
 
+// UnrouteLeaf prunes a single output leg from a point-to-multipoint
+// entry, identified by its output port and outgoing VCI — how a
+// multicast tree sheds one branch while the rest keep forwarding. The
+// whole entry is removed when the last leaf goes. It reports whether a
+// matching leg existed. Like Route/Unroute, legal only in global
+// context: the per-port route caches are invalidated so no input keeps
+// forwarding to the pruned leg, even mid-stream.
+func (sw *Switch) UnrouteLeaf(inPort int, inVCI atm.VCI, outPort int, outVCI atm.VCI) bool {
+	k := routeKey{inPort, inVCI}
+	leaves := sw.routes[k]
+	for i := range leaves {
+		if leaves[i].port != outPort || leaves[i].vci != outVCI {
+			continue
+		}
+		// Copy-on-prune: an input port's cache (or a forwarding event
+		// earlier this instant) may still hold the old slice; never
+		// mutate it in place.
+		next := make([]routeVal, 0, len(leaves)-1)
+		next = append(next, leaves[:i]...)
+		next = append(next, leaves[i+1:]...)
+		if len(next) == 0 {
+			delete(sw.routes, k)
+		} else {
+			sw.routes[k] = next
+		}
+		sw.invalidate()
+		return true
+	}
+	return false
+}
+
 // Unroute removes a routing entry; it reports whether one existed.
 func (sw *Switch) Unroute(inPort int, inVCI atm.VCI) bool {
 	k := routeKey{inPort, inVCI}
@@ -598,18 +653,65 @@ func (sw *Switch) receiveBurst(p *portIn, b Burst) {
 		p.stats.Unrouted += int64(n)
 		return
 	}
-	for i, v := range leaves {
+	// Multicast fan-out coalescing: same-partition leaves whose copies
+	// mature at the same instant — idle symmetric output links, the
+	// steady-state CBR broadcast geometry — share one delivery event, so
+	// a cell train costs one event per switch, not one per viewer port.
+	// Leaves under differing contention keep their own exact events.
+	var (
+		coDue   sim.Time
+		coLinks []*Link
+	)
+	flush := func() {
+		switch len(coLinks) {
+		case 0:
+		case 1:
+			p.sim.Post(coDue, coLinks[0].deliverF)
+		default:
+			group := append([]*Link(nil), coLinks...)
+			p.sim.Post(coDue, func() {
+				for _, l := range group {
+					l.deliverNext()
+				}
+			})
+		}
+		coLinks = coLinks[:0]
+	}
+	// Fan-out without fan-out copies: leaves that forward the train on
+	// the same VCI share its backing array by reference; only leaves
+	// that rewrite the VCI materialise a copy. sharers counts the
+	// reference-takers — more than one (or an already-shared incoming
+	// train) marks every shared delivery read-only, and then no rewrite
+	// may touch the original in place.
+	baseVCI := b.Cells[0].VCI
+	sharers := 0
+	for _, v := range leaves {
+		if v.vci == baseVCI {
+			sharers++
+		}
+	}
+	baseUsed := false
+	for _, v := range leaves {
 		out := sw.outputs[v.port]
 		if out == nil {
 			p.stats.NoOutport += int64(n)
 			continue
 		}
+		p.stats.Switched += int64(n)
 		cells := b.Cells
-		if i > 0 {
-			// Additional leaves need their own copy of the train.
+		shared := false
+		switch {
+		case v.vci == baseVCI:
+			shared = b.Shared || sharers > 1
+		case !baseUsed && sharers == 0 && !b.Shared:
+			// Sole lineage: this rewrite leaf may mutate the train in
+			// place (the unicast forwarding path).
+		default:
 			cells = append([]atm.Cell(nil), b.Cells...)
 		}
-		p.stats.Switched += int64(n)
+		if &cells[0] == &b.Cells[0] {
+			baseUsed = true
+		}
 		// Cut-through: the k-th cell clears the fabric at its own
 		// arrival + fabricDelay; the output link's pacing floor is the
 		// input spacing.
@@ -619,7 +721,19 @@ func (sw *Switch) receiveBurst(p *portIn, b Burst) {
 					cells[j].VCI = v.vci
 				}
 			}
-			out.sendBurstShaped(cells, b.First+sw.fabricDelay, b.Gap)
+			if out.cellAccurate {
+				out.sendBurstShaped(cells, b.First+sw.fabricDelay, b.Gap, shared)
+				continue
+			}
+			due, ok := out.queueBurst(cells, b.First+sw.fabricDelay, b.Gap, shared)
+			if !ok {
+				continue
+			}
+			if len(coLinks) > 0 && due != coDue {
+				flush()
+			}
+			coDue = due
+			coLinks = append(coLinks, out)
 			continue
 		}
 		// Cross-partition leaf. This delivery event fired at the last
@@ -628,18 +742,22 @@ func (sw *Switch) receiveBurst(p *portIn, b Burst) {
 		// cell's pacing + prop ≥ now + fabric + ct + prop — the cluster
 		// lookahead — so the timestamp below is safe, and the closure
 		// schedules nothing before it. VCI rewrite moves inside the
-		// closure: the owning partition mutates the train, not ours.
+		// closure: the owning partition mutates the train (which the
+		// rules above guarantee it owns exclusively when a rewrite is
+		// due), not ours.
 		vci := v.vci
 		train := cells
+		sh := shared
 		p.sim.Cross(out.sim, p.sim.Now()+sw.fabricDelay+out.ct+out.prop, func() {
 			if vci != train[0].VCI {
 				for j := range train {
 					train[j].VCI = vci
 				}
 			}
-			out.sendBurstShaped(train, b.First+sw.fabricDelay, b.Gap)
+			out.sendBurstShaped(train, b.First+sw.fabricDelay, b.Gap, sh)
 		})
 	}
+	flush()
 }
 
 func (sw *Switch) checkPort(p int) {

@@ -1,0 +1,303 @@
+package loadgen
+
+// Live mode: the live-event flash crowd. A handful of channels go on
+// the air as switch-level multicast broadcasts (core.Broadcast), a
+// Zipf-popularity churn of viewers joins and leaves them with
+// exponentially distributed hold times, and a background population of
+// disk-backed Guaranteed VoD sessions shares the same viewer links and
+// server disks. The proof the scoreboard carries: the source transmits
+// each cell train once no matter how many viewers (fanout_cells_saved
+// counts the copies the switch manufactured for free), a join the link
+// budget would refuse degrades that channel's subtree down the tier
+// ladder instead of refusing, and the unicast ablation twin — one
+// circuit and one transmitted copy per viewer — admits strictly fewer
+// viewers at the same budgets.
+//
+// All churn runs in global (barrier) context via the Scheduler facade,
+// so the mode shards: -partitions 1 is bit-identical to serial and
+// -partitions N is deterministic per N.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/atm"
+	"repro/internal/core"
+	"repro/internal/devices"
+	"repro/internal/fabric"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/vodsite"
+)
+
+// liveKey names the live plane's partition-sharded counters.
+func liveKey(name string) telemetry.Key {
+	return telemetry.Key{Node: "loadgen", Subsystem: "live", Name: name}
+}
+
+// liveSource is one channel's encoder: a CBR frame generator that
+// transmits each frame once onto the shared tree (or once per viewer
+// circuit in the unicast ablation). The vcis and viewers fields are
+// written only in global context by the churn engine; the tick reads
+// them from its partition between barriers.
+type liveSource struct {
+	sim     *sim.Sim
+	out     *fabric.Link
+	period  sim.Duration
+	payload []byte
+	seq     uint32
+
+	// vcis are the circuits to transmit on: the tree's single VCI, or
+	// one per live viewer in the unicast ablation.
+	vcis []atm.VCI
+	// viewers is the channel's current viewer count (multicast only),
+	// used to score the copies the switch fan-out saved the source.
+	viewers int
+
+	sent  *telemetry.Counter // frames transmitted (per copy)
+	cells *telemetry.Counter // cells transmitted (per copy)
+	saved *telemetry.Counter // cells the switch replicated for free
+}
+
+func (s *liveSource) start(phase sim.Duration) {
+	s.sim.After(phase, s.tick)
+}
+
+func (s *liveSource) tick() {
+	s.sim.After(s.period, s.tick)
+	binary.BigEndian.PutUint64(s.payload[0:], uint64(s.sim.Now()))
+	binary.BigEndian.PutUint32(s.payload[8:], s.seq)
+	binary.BigEndian.PutUint32(s.payload[12:], magic)
+	s.seq++
+	for _, vci := range s.vcis {
+		cells, err := atm.Segment(vci, devices.UUData, s.payload)
+		if err != nil {
+			panic("loadgen: live frame exceeds AAL5 limit")
+		}
+		s.out.SendBurst(cells)
+		s.sent.Inc()
+		s.cells.Add(int64(len(cells)))
+		if s.viewers > 1 {
+			// The tree carries one copy; the switch manufactures the
+			// other viewers-1 for free. The unicast ablation never sets
+			// viewers, so its saved column is honestly zero.
+			s.saved.Add(int64(s.viewers-1) * int64(len(cells)))
+		}
+	}
+}
+
+// liveChannel is one on-air channel plus its encoder.
+type liveChannel struct {
+	b   *core.Broadcast
+	src *liveSource
+}
+
+// liveJoinPlan is one pre-sampled churn event: viewer v joins channel
+// ch at time at and holds for hold. The whole schedule is drawn from
+// the seed at build time, so runtime ordering cannot perturb the
+// sample sequence.
+type liveJoinPlan struct {
+	at, hold sim.Duration
+	ch, v    int
+}
+
+// liveCounters are one partition's share of the live scoreboard.
+type liveCounters struct {
+	sim                *sim.Sim
+	sent, cells, saved *telemetry.Counter
+}
+
+func (sc *Scenario) liveFor(s *sim.Sim) *liveCounters {
+	for _, c := range sc.liveCtrs {
+		if c.sim == s {
+			return c
+		}
+	}
+	reg, p := sc.metrics(), s.Partition()
+	c := &liveCounters{
+		sim:   s,
+		sent:  reg.Counter(p, trafficKey("frames_sent")),
+		cells: reg.Counter(p, liveKey("source_cells")),
+		saved: reg.Counter(p, liveKey("fanout_saved")),
+	}
+	sc.liveCtrs = append(sc.liveCtrs, c)
+	return c
+}
+
+// Channels exposes the on-air broadcasts for assertions.
+func (sc *Scenario) Channels() []*core.Broadcast {
+	out := make([]*core.Broadcast, len(sc.channels))
+	for i, lc := range sc.channels {
+		out[i] = lc.b
+	}
+	return out
+}
+
+// buildLive constructs the site, puts every channel on the air, admits
+// the background VoD sessions, and pre-samples the churn schedule.
+// Joins are scheduled when Run starts.
+func (sc *Scenario) buildLive() {
+	cfg := sc.cfg
+	n := cfg.Workstations
+
+	siteCfg := core.DefaultSiteConfig()
+	siteCfg.LinkRate = cfg.LinkRate
+	siteCfg.CellAccurate = cfg.CellAccurate
+	siteCfg.Partitions = cfg.Partitions
+	siteCfg.Ports = n + cfg.Channels + cfg.Servers
+	sc.attachSite(core.NewSite(siteCfg))
+	// Sources pay for their uplink: the multicast tree charges each
+	// camera's once per channel, the unicast ablation once per viewer —
+	// the admission asymmetry the scoreboard exists to show.
+	sc.site.Signalling.EnableUplinkAdmission()
+
+	viewers := make([]*core.Endpoint, n)
+	for i := 0; i < n; i++ {
+		viewers[i] = sc.site.Attach(fmt.Sprintf("viewer%d", i))
+	}
+	sc.liveViewers = viewers
+
+	// Background VoD: unicast disk-backed Guaranteed sessions on the
+	// same viewer links — the mixed live+stored load the paper's site
+	// carries. Their underruns must stay zero no matter what the live
+	// churn does to the shared budgets.
+	if cfg.VodStreams > 0 {
+		framesPerRound := int64(cfg.FrameHz) * int64(cfg.Round) / int64(sim.Second)
+		roundBytes := framesPerRound * int64(cfg.FrameBytes)
+		titleBytes := int64(cfg.TitleRounds) * roundBytes
+		segSize := int64(64 << 10)
+		titles := 2 * cfg.Servers
+		perTitle := (titleBytes+segSize-1)/segSize + 1
+		nseg := (int64(titles)*perTitle)/int64(cfg.Servers) + 16
+		sc.Servers = make([]*core.StorageServer, cfg.Servers)
+		for s := range sc.Servers {
+			sc.Servers[s] = sc.site.NewStorageServer(fmt.Sprintf("vod%d", s), int(segSize), nseg)
+		}
+		sc.preloadTitles(titles, titleBytes)
+		for v := 0; v < cfg.VodStreams; v++ {
+			t := v % titles
+			st := sc.addStream(sc.Servers[t%cfg.Servers].Net, []*core.Endpoint{viewers[v%n]}, v)
+			st.server = sc.Servers[t%cfg.Servers]
+			st.title = titleName(t)
+			st.establish()
+		}
+	}
+
+	// One camera per channel; every channel goes on the air before any
+	// viewer exists (a fresh tree forwards nowhere).
+	period := sim.Second / sim.Duration(cfg.FrameHz)
+	sc.channels = make([]*liveChannel, cfg.Channels)
+	for c := range sc.channels {
+		cam := sc.site.Attach(fmt.Sprintf("cam%d", c))
+		b, err := sc.site.OpenBroadcast(core.BroadcastSpec{
+			InPort:     cam.Port,
+			PeakRate:   cfg.PeakRate,
+			Title:      fmt.Sprintf("ch%d", c),
+			FrameBytes: cfg.FrameBytes,
+			FrameHz:    cfg.FrameHz,
+			Unicast:    cfg.Unicast,
+		})
+		if err != nil {
+			panic(fmt.Sprintf("loadgen: channel ch%d refused at open: %v", c, err))
+		}
+		lv := sc.liveFor(cam.Sim)
+		src := &liveSource{
+			sim:     cam.Sim,
+			out:     cam.ToSwitch,
+			period:  period,
+			payload: make([]byte, cfg.FrameBytes),
+			sent:    lv.sent,
+			cells:   lv.cells,
+			saved:   lv.saved,
+		}
+		if !cfg.Unicast {
+			src.vcis = []atm.VCI{b.VCI()}
+			// The tree's VCI is fixed for the channel's lifetime: every
+			// viewer endpoint can carry it, so the sinks register once up
+			// front and branches route cells to them as joins come and go.
+			for _, vp := range viewers {
+				vp.Demux.Register(b.VCI(), &sink{sim: vp.Sim, tl: sc.trafficFor(vp.Sim), period: period})
+			}
+		}
+		sc.channels[c] = &liveChannel{b: b, src: src}
+	}
+
+	// The churn schedule: Zipf channel popularity, arrivals packed into
+	// the front half of the run (the flash crowd), exponential holds.
+	// Everything is sampled here, in one deterministic pass.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	z := vodsite.NewZipf(cfg.Channels, cfg.ZipfS)
+	window := cfg.Duration / 2
+	if window <= 0 {
+		window = 1
+	}
+	minHold := 4 * period
+	for k := 0; k < n*cfg.StreamsPerWS; k++ {
+		hold := sim.Duration(float64(cfg.HoldMean) * rng.ExpFloat64())
+		if hold < minHold {
+			hold = minHold
+		}
+		sc.livePlan = append(sc.livePlan, liveJoinPlan{
+			at:   cfg.Duration/20 + sim.Duration(rng.Int63n(int64(window))),
+			hold: hold,
+			ch:   z.Sample(rng.Float64()),
+			v:    k % n,
+		})
+	}
+}
+
+// liveJoin executes one planned join in global context: admit the
+// viewer (the core layer runs the subtree ladder and counts
+// refusals), wire the ablation's per-viewer circuit, and schedule the
+// leave. Refused joins are final — a flash-crowd viewer who cannot get
+// the channel goes away.
+func (sc *Scenario) liveJoin(p liveJoinPlan) {
+	lc := sc.channels[p.ch]
+	ep := sc.liveViewers[p.v]
+	j, err := lc.b.Join(ep.Port)
+	if err != nil {
+		return
+	}
+	if sc.cfg.Unicast {
+		ep.Demux.Register(j.VCI(), &sink{sim: ep.Sim, tl: sc.trafficFor(ep.Sim), period: lc.src.period})
+		lc.src.vcis = append(lc.src.vcis, j.VCI())
+	} else {
+		lc.src.viewers = lc.b.Viewers()
+	}
+	vci := j.VCI()
+	sc.clock().CallAfter(p.hold, func() { sc.liveLeave(lc, ep, j, vci) })
+}
+
+// liveLeave executes one viewer's departure: the broadcast prunes the
+// branch (and climbs the subtree back up) and the ablation's circuit
+// and sink go with the viewer.
+func (sc *Scenario) liveLeave(lc *liveChannel, ep *core.Endpoint, j *core.Join, vci atm.VCI) {
+	if err := j.Leave(); err != nil {
+		panic(fmt.Sprintf("loadgen: live leave: %v", err))
+	}
+	if sc.cfg.Unicast {
+		ep.Demux.Unregister(vci)
+		for i, v := range lc.src.vcis {
+			if v == vci {
+				lc.src.vcis = append(lc.src.vcis[:i], lc.src.vcis[i+1:]...)
+				break
+			}
+		}
+	} else {
+		lc.src.viewers = lc.b.Viewers()
+	}
+}
+
+// startLive starts the encoders and schedules the churn. Called from
+// Run.
+func (sc *Scenario) startLive() {
+	period := sim.Second / sim.Duration(sc.cfg.FrameHz)
+	for c, lc := range sc.channels {
+		lc.src.start(sim.Duration(int64(c)*7919) % period)
+	}
+	for _, p := range sc.livePlan {
+		p := p
+		sc.clock().CallAfter(p.at, func() { sc.liveJoin(p) })
+	}
+}

@@ -1,0 +1,139 @@
+package loadgen
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// liveCfg is the flash-crowd live mix: five Zipf-popular channels, a
+// join/leave churn of 48 planned viewers over six workstations, and a
+// background population of Guaranteed VoD sessions on the same links.
+// The link budget is sized so the hottest channels force the subtree
+// tier ladder — the determinism runs must reproduce degrade/restore
+// churn, not just a quiet fan-out.
+func liveCfg() Config {
+	return Config{
+		Live:         true,
+		Channels:     5,
+		Workstations: 6,
+		StreamsPerWS: 8,
+		VodStreams:   4,
+		FrameBytes:   4800,
+		PeakRate:     30_000_000,
+		HoldMean:     1500 * sim.Millisecond,
+		Duration:     2 * sim.Second,
+	}
+}
+
+// TestLiveMulticastBeatsUnicastAblation is the live acceptance run:
+// at identical budgets the shared-tree admission admits strictly more
+// viewers than the one-circuit-per-viewer ablation, the switch (not
+// the source) manufactures the viewer copies, and the background
+// Guaranteed VoD sessions ride out the churn with zero underruns.
+func TestLiveMulticastBeatsUnicastAblation(t *testing.T) {
+	res := Build(liveCfg()).Run()
+
+	abl := liveCfg()
+	abl.Unicast = true
+	ablRes := Build(abl).Run()
+
+	if res.LiveJoins <= ablRes.LiveJoins {
+		t.Fatalf("multicast admitted %d joins, unicast ablation %d — the tree bought nothing",
+			res.LiveJoins, ablRes.LiveJoins)
+	}
+	if res.FanoutRatio <= 1 {
+		t.Fatalf("fan-out ratio %.2f — switch never replicated a train", res.FanoutRatio)
+	}
+	if res.FanoutCellsSaved == 0 {
+		t.Fatal("no cells saved by switch fan-out")
+	}
+	if ablRes.FanoutCellsSaved != 0 {
+		t.Fatalf("ablation claims %d saved cells", ablRes.FanoutCellsSaved)
+	}
+	if res.SubtreeDegraded == 0 {
+		t.Fatal("churn never exercised the subtree tier ladder")
+	}
+	if res.Underruns != 0 {
+		t.Fatalf("%d Guaranteed underruns under live churn", res.Underruns)
+	}
+	if res.FramesDelivered == 0 {
+		t.Fatal("no frames delivered")
+	}
+}
+
+// TestLivePartitionsOneBitIdentical extends the determinism contract
+// to the live plane: -partitions=1 routes every join, leave, degrade
+// and frame train through the Cluster machinery and must reproduce
+// both the serial scoreboard and the serial trace artifact byte for
+// byte.
+func TestLivePartitionsOneBitIdentical(t *testing.T) {
+	run := func(partitions int) (Result, []byte) {
+		cfg := liveCfg()
+		cfg.Trace = true
+		cfg.Partitions = partitions
+		sc := Build(cfg)
+		res := sc.Run()
+		var buf bytes.Buffer
+		if err := sc.WriteTrace(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return res, buf.Bytes()
+	}
+	serial, serialTrace := run(0)
+	part1, part1Trace := run(1)
+
+	// The comparison must cover real churn: joins, leaves, at least one
+	// ladder move.
+	if serial.LiveJoins == 0 || serial.LiveLeaves == 0 || serial.SubtreeDegraded == 0 {
+		t.Fatalf("quiet run proves nothing: %+v", serial)
+	}
+
+	stripWall(&serial)
+	stripWall(&part1)
+	if !reflect.DeepEqual(serial, part1) {
+		t.Fatalf("-partitions=1 diverged from serial:\nserial: %+v\npart1:  %+v", serial, part1)
+	}
+	if !bytes.Equal(serialTrace, part1Trace) {
+		t.Fatalf("-partitions=1 trace artifact diverged from serial (%d vs %d bytes)",
+			len(serialTrace), len(part1Trace))
+	}
+}
+
+// TestLivePartitionsDeterministic: the sharded live run is a pure
+// function of the seed for a given partition count.
+func TestLivePartitionsDeterministic(t *testing.T) {
+	cfg := liveCfg()
+	cfg.Partitions = 3
+
+	a := Build(cfg).Run()
+	b := Build(cfg).Run()
+	stripWall(&a)
+	stripWall(&b)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("two -partitions=3 runs diverged:\nfirst:  %+v\nsecond: %+v", a, b)
+	}
+}
+
+// TestLivePartitionsSmoke is the short-lane sharded live run; under
+// `go test -race -short` it proves the fan-out, churn and coalesced
+// delivery paths are race-free across partition threads.
+func TestLivePartitionsSmoke(t *testing.T) {
+	cfg := liveCfg()
+	cfg.Partitions = 2
+	cfg.StreamsPerWS = 4
+	cfg.Duration = sim.Second
+
+	res := Build(cfg).Run()
+	if res.LiveJoins == 0 {
+		t.Fatal("sharded live run admitted no viewer")
+	}
+	if res.FramesDelivered == 0 {
+		t.Fatal("sharded live run delivered no frames")
+	}
+	if res.Underruns != 0 {
+		t.Fatalf("%d underruns in sharded live run", res.Underruns)
+	}
+}

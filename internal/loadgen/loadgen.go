@@ -198,6 +198,31 @@ type Config struct {
 	CPUBytesPerSec int64
 	CPUPerFrame    sim.Duration
 
+	// Live runs the live-broadcast flash crowd: Channels switch-level
+	// multicast channels on the air, a Zipf-popularity churn of viewer
+	// joins and leaves (Workstations × StreamsPerWS join attempts, hold
+	// times exponential around HoldMean), and VodStreams disk-backed
+	// Guaranteed VoD sessions sharing the viewer links and server disks.
+	// A join the link budget refuses degrades that channel's subtree
+	// down the tier ladder instead of refusing. Shards: Partitions is
+	// allowed, with the usual determinism contract.
+	Live bool
+	// Channels is the number of live channels (default 4). Each gets
+	// its own camera port and one uplink reservation however many
+	// viewers join.
+	Channels int
+	// HoldMean is the mean viewer hold time (default: a quarter of
+	// Duration).
+	HoldMean sim.Duration
+	// VodStreams is the background VoD population (default
+	// Workstations/2; negative disables).
+	VodStreams int
+	// Unicast is the live ablation twin: every viewer gets their own
+	// circuit from the camera — uplink charged per viewer, one
+	// transmitted copy each, no subtree ladder — so the scoreboard can
+	// state what the multicast tree bought.
+	Unicast bool
+
 	// ReleaseAt closes every ReleaseEvery'th admitted stream that far
 	// into an Adaptive run (defaults: half the duration, every 3rd;
 	// ReleaseEvery < 0 disables), freeing budget the site uses to
@@ -249,6 +274,35 @@ func (c *Config) class() core.QoSClass {
 }
 
 func (c *Config) setDefaults() {
+	if c.Live {
+		if c.Channels == 0 {
+			c.Channels = 4
+		}
+		if c.Workstations == 0 {
+			c.Workstations = 12
+		}
+		if c.StreamsPerWS == 0 {
+			c.StreamsPerWS = 4
+		}
+		if c.Servers == 0 {
+			c.Servers = 1
+		}
+		if c.VodStreams == 0 {
+			c.VodStreams = c.Workstations / 2
+		}
+		if c.Round == 0 {
+			c.Round = 500 * sim.Millisecond
+		}
+		if c.TitleRounds == 0 {
+			c.TitleRounds = 2
+		}
+		if c.ZipfS == 0 {
+			c.ZipfS = 1.3
+		}
+		if c.Seed == 0 {
+			c.Seed = 1
+		}
+	}
 	if c.CPUBound {
 		c.Pattern = VoD
 		if c.Servers == 0 {
@@ -378,6 +432,9 @@ func (c *Config) setDefaults() {
 	if c.Adaptive && c.ReleaseAt == 0 {
 		c.ReleaseAt = c.Duration / 2
 	}
+	if c.Live && c.HoldMean == 0 {
+		c.HoldMean = c.Duration / 4
+	}
 	if c.LinkRate == 0 {
 		c.LinkRate = fabric.Rate100M
 	}
@@ -462,6 +519,23 @@ type Result struct {
 	// run's admission count.
 	SpillAblationAdmitted int `json:"spill_ablation_admitted,omitempty"`
 
+	// Live-broadcast scoreboard (Live runs only). FanoutCellsSaved is
+	// the copies the switch replicated that the source never had to
+	// transmit; FanoutRatio is delivered copies per transmitted copy —
+	// (source cells + saved) / source cells, 1.0 for the unicast twin.
+	Broadcasts       int     `json:"broadcasts,omitempty"`
+	LiveJoins        int64   `json:"joins,omitempty"`
+	LiveLeaves       int64   `json:"leaves,omitempty"`
+	LiveJoinRefused  int64   `json:"join_refused,omitempty"`
+	SubtreeDegraded  int64   `json:"subtree_degraded,omitempty"`
+	SubtreeRestored  int64   `json:"subtree_restored,omitempty"`
+	LiveSourceCells  int64   `json:"live_source_cells,omitempty"`
+	FanoutCellsSaved int64   `json:"fanout_cells_saved,omitempty"`
+	FanoutRatio      float64 `json:"fanout_ratio,omitempty"`
+	// Ablation column (pegload -unicast-ablation): the per-viewer-
+	// circuit twin run's admitted join count.
+	UnicastAblationJoins int64 `json:"unicast_ablation_joins,omitempty"`
+
 	// QoS-session scoreboard (Adaptive and CPUBound runs).
 	SessionsUp       int   `json:"sessions_up"`       // sessions open at end of run
 	SessionsDegraded int   `json:"sessions_degraded"` // open sessions currently below full quality
@@ -535,6 +609,19 @@ func (r Result) String() string {
 		if r.SpillAblationAdmitted > 0 {
 			s += fmt.Sprintf("\n  ablation: no-spill admitted=%d spill admitted=%d",
 				r.SpillAblationAdmitted, r.Admitted)
+		}
+	}
+	if r.Config.Live {
+		s += fmt.Sprintf(
+			"\n  live: broadcasts=%d joins=%d leaves=%d join-refused=%d"+
+				" subtree-degraded=%d subtree-restored=%d"+
+				"\n  fanout: source-cells=%d saved=%d ratio=%.2fx",
+			r.Broadcasts, r.LiveJoins, r.LiveLeaves, r.LiveJoinRefused,
+			r.SubtreeDegraded, r.SubtreeRestored,
+			r.LiveSourceCells, r.FanoutCellsSaved, r.FanoutRatio)
+		if r.UnicastAblationJoins > 0 {
+			s += fmt.Sprintf("\n  ablation: unicast joins=%d multicast joins=%d",
+				r.UnicastAblationJoins, r.LiveJoins)
 		}
 	}
 	if r.Config.Adaptive || r.Config.CPUBound {
@@ -842,6 +929,14 @@ type Scenario struct {
 	mreqs    []*metroReq
 	mpending []*metroReq
 
+	// Live-mode state: the on-air channels, the viewer endpoints the
+	// churn joins on, the pre-sampled churn schedule, and the per-
+	// partition live counters.
+	channels    []*liveChannel
+	liveViewers []*core.Endpoint
+	livePlan    []liveJoinPlan
+	liveCtrs    []*liveCounters
+
 	admitted, rejected, tornDown int
 	traffics                     []*traffic
 	sampler                      *telemetry.Sampler
@@ -976,14 +1071,24 @@ func Build(cfg Config) *Scenario {
 	if cfg.Metro && (cfg.Cluster || cfg.Adaptive || cfg.CPUBound) {
 		panic("loadgen: Metro cannot be combined with Cluster, Adaptive or CPUBound")
 	}
-	if cfg.Partitions != 0 && !cfg.Cluster && !cfg.Metro {
-		// Only cluster and metro modes keep every stream unicast and
-		// node-owned; the other patterns share state across the whole
-		// site.
-		panic("loadgen: Partitions requires Cluster or Metro mode")
+	if cfg.Live && (cfg.Cluster || cfg.Metro || cfg.Adaptive || cfg.CPUBound) {
+		panic("loadgen: Live is its own topology; it cannot be combined with Cluster, Metro, Adaptive or CPUBound")
+	}
+	if cfg.Unicast && !cfg.Live {
+		panic("loadgen: Unicast is the live ablation; it requires Live mode")
+	}
+	if cfg.Partitions != 0 && !cfg.Cluster && !cfg.Metro && !cfg.Live {
+		// Only cluster, metro and live modes keep control-plane verbs in
+		// global context; the other patterns share state across the
+		// whole site.
+		panic("loadgen: Partitions requires Cluster, Metro or Live mode")
 	}
 	cfg.setDefaults()
 	sc := &Scenario{cfg: cfg}
+	if cfg.Live {
+		sc.buildLive()
+		return sc
+	}
 	if cfg.Metro {
 		sc.buildMetro()
 		return sc
@@ -1154,6 +1259,9 @@ func (sc *Scenario) Run() Result {
 	}
 	// Release and failure are control-plane verbs that touch many
 	// partitions' state: they run in global (barrier) context.
+	if sc.cfg.Live {
+		sc.startLive()
+	}
 	if sc.cfg.Adaptive && sc.cfg.ReleaseAt > 0 && sc.cfg.ReleaseEvery > 0 {
 		sc.site.Clock.CallAfter(sc.cfg.ReleaseAt, sc.releaseSome)
 	}
@@ -1238,7 +1346,8 @@ func (sc *Scenario) collect(wall time.Duration) Result {
 		r.EventsPerSec = float64(r.EventsFired) / r.WallSeconds
 		r.CellsPerSec = float64(r.CellsDelivered) / r.WallSeconds
 	}
-	if sc.cfg.FromStorage || sc.cfg.Cluster || sc.cfg.Adaptive || sc.cfg.CPUBound || sc.cfg.Metro {
+	if sc.cfg.FromStorage || sc.cfg.Cluster || sc.cfg.Adaptive || sc.cfg.CPUBound || sc.cfg.Metro ||
+		(sc.cfg.Live && sc.cfg.VodStreams > 0) {
 		if !sc.cfg.Cluster && !sc.cfg.Metro {
 			// One source of truth: the site counts refusals by the same
 			// core.RefusalLeg taxonomy the trace events carry. Cluster
@@ -1315,6 +1424,20 @@ func (sc *Scenario) collect(wall time.Duration) Result {
 			if req.sess != nil && !req.sess.Closed() {
 				r.SiteServed[req.sess.Served]++
 			}
+		}
+	}
+	if sc.cfg.Live {
+		lv := sc.site.LiveStats
+		r.Broadcasts = int(lv.Broadcasts)
+		r.LiveJoins = lv.Joins
+		r.LiveLeaves = lv.Leaves
+		r.LiveJoinRefused = lv.JoinRefused
+		r.SubtreeDegraded = lv.SubtreeDegraded
+		r.SubtreeRestored = lv.SubtreeRestored
+		r.LiveSourceCells = sc.metrics().CounterValue(liveKey("source_cells"))
+		r.FanoutCellsSaved = sc.metrics().CounterValue(liveKey("fanout_saved"))
+		if r.LiveSourceCells > 0 {
+			r.FanoutRatio = float64(r.LiveSourceCells+r.FanoutCellsSaved) / float64(r.LiveSourceCells)
 		}
 	}
 	if sc.cfg.Adaptive || sc.cfg.CPUBound {

@@ -193,6 +193,90 @@ func (m *Manager) Establish(inPort int, outPorts []int, peakRate int64, ctrl boo
 	return c, nil
 }
 
+// EstablishTree sets up a multicast tree: one circuit from inPort with
+// no leaves yet. The source's uplink (when uplink budgeting is on) is
+// charged once, here — the switch replicates cells, so the tree crosses
+// the sender's link exactly once no matter how many branches JoinTree
+// later grows. Until the first join the tree forwards nowhere (cells
+// count as unrouted), which is exactly a broadcast with no viewers.
+func (m *Manager) EstablishTree(inPort int, peakRate int64) (*Circuit, error) {
+	if peakRate <= 0 {
+		return nil, errors.New("netsig: a multicast tree needs a positive peak rate")
+	}
+	uplinked := false
+	if m.uplink {
+		if m.committedIn[inPort]+peakRate > m.capacityIn[inPort] {
+			m.Refused++
+			return nil, fmt.Errorf("%w: uplink %d committed %d + %d > %d",
+				ErrUplink, inPort, m.committedIn[inPort], peakRate, m.capacityIn[inPort])
+		}
+		m.committedIn[inPort] += peakRate
+		uplinked = true
+	}
+	m.nextVCI++
+	m.nextID++
+	c := &Circuit{
+		ID: m.nextID, VCI: m.nextVCI, InPort: inPort,
+		PeakRate: peakRate, uplinked: uplinked,
+	}
+	m.open[c.ID] = c
+	m.Established++
+	return c, nil
+}
+
+// JoinTree grows a multicast tree by one branch: the new leaf's output
+// link is admission-controlled at the tree's current rate (the uplink
+// is not touched — it was charged once at EstablishTree) and the switch
+// route is installed. A port can carry at most one branch per tree:
+// viewers behind an already-joined port share its cells for free, so a
+// duplicate join is the caller's bookkeeping bug, not an admission
+// question. Rollback is trivial — a refused join holds nothing.
+func (m *Manager) JoinTree(id, outPort int) error {
+	c, ok := m.open[id]
+	if !ok {
+		return ErrNoCircuit
+	}
+	for _, p := range c.OutPorts {
+		if p == outPort {
+			return fmt.Errorf("netsig: port %d is already a branch of tree %d", outPort, id)
+		}
+	}
+	if c.PeakRate > 0 {
+		if m.committed[outPort]+c.PeakRate > m.capacity[outPort] {
+			m.Refused++
+			return fmt.Errorf("%w: port %d committed %d + %d > %d",
+				ErrAdmission, outPort, m.committed[outPort], c.PeakRate, m.capacity[outPort])
+		}
+		m.committed[outPort] += c.PeakRate
+	}
+	m.sw.Route(c.InPort, c.VCI, outPort, c.VCI)
+	c.OutPorts = append(c.OutPorts, outPort)
+	return nil
+}
+
+// LeaveTree prunes one branch: the leaf's switch route is removed (the
+// surviving branches keep forwarding, cells already switched still
+// arrive) and its output-link budget is released. The tree itself stays
+// open even with zero branches; TearDown ends it.
+func (m *Manager) LeaveTree(id, outPort int) error {
+	c, ok := m.open[id]
+	if !ok {
+		return ErrNoCircuit
+	}
+	for i, p := range c.OutPorts {
+		if p != outPort {
+			continue
+		}
+		m.sw.UnrouteLeaf(c.InPort, c.VCI, outPort, c.VCI)
+		if c.PeakRate > 0 {
+			m.committed[outPort] -= c.PeakRate
+		}
+		c.OutPorts = append(c.OutPorts[:i], c.OutPorts[i+1:]...)
+		return nil
+	}
+	return fmt.Errorf("netsig: port %d is not a branch of tree %d", outPort, id)
+}
+
 // EstablishPair sets up the §2.2 device pattern: a data circuit plus
 // its low-bandwidth control circuit between the same ports. ctrlRate
 // is nominal (control streams are tiny); it is admitted too.

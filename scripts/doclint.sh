@@ -20,7 +20,7 @@ fail=0
 # --- exported identifiers need doc comments --------------------------------
 for pkg in internal/core internal/sched internal/vodsite \
            internal/sim internal/fabric internal/loadgen internal/mcache \
-           internal/telemetry internal/metro; do
+           internal/telemetry internal/metro internal/netsig; do
     for f in "$pkg"/*.go; do
         case "$f" in
         *_test.go) continue ;;
